@@ -1,0 +1,109 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation.  The heavy lifting is one call into
+:class:`repro.sim.experiment.ExperimentRunner`; the ``benchmark`` fixture
+wraps that call (``rounds=1`` -- these are experiments, not micro-benchmarks),
+and the resulting rows are appended to ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference the measured numbers.
+
+Fidelity knobs (environment variables):
+
+* ``REPRO_BENCH_ACCESSES`` -- accesses per experiment (default 40000).
+* ``REPRO_BENCH_SCALE``    -- capacity scale-down factor (default 512).
+
+Raising the access count and lowering the scale factor improves fidelity at
+the cost of run time; the defaults regenerate every table and figure in
+roughly ten minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner  # noqa: E402
+from repro.workloads.profile import WorkloadProfile  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "40000"))
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "512"))
+
+
+def bench_config(seed: int = 1) -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    return ExperimentConfig(
+        scale=BENCH_SCALE,
+        num_accesses=BENCH_ACCESSES,
+        num_cores=16,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One experiment runner shared by all benchmarks in a session."""
+    return ExperimentRunner(bench_config())
+
+
+class TraceCache:
+    """Caches the per-(workload, capacity) traces so every design in a
+    comparison sees exactly the same request stream."""
+
+    def __init__(self, experiment_runner: ExperimentRunner) -> None:
+        self.runner = experiment_runner
+        self._traces: Dict[str, list] = {}
+
+    def trace_for(self, profile: WorkloadProfile) -> list:
+        if profile.name not in self._traces:
+            self._traces[profile.name] = self.runner.build_trace(profile)
+        return self._traces[profile.name]
+
+    def run(self, design: str, profile: WorkloadProfile, capacity,
+            associativity=None) -> ExperimentResult:
+        return self.runner.run_design(
+            design, profile, capacity,
+            trace=self.trace_for(profile),
+            associativity=associativity,
+        )
+
+
+@pytest.fixture(scope="session")
+def trace_cache(runner) -> TraceCache:
+    return TraceCache(runner)
+
+
+def write_report(results_dir: Path, name: str, lines: Sequence[str]) -> None:
+    """Persist one regenerated table/figure and echo it to the console."""
+    path = results_dir / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def format_table(header: Sequence[str], rows: List[Sequence[str]]) -> List[str]:
+    """Simple fixed-width table formatter for the report files."""
+    columns = [header] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return lines

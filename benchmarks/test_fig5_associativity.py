@@ -1,0 +1,72 @@
+"""Figure 5 -- Unison Cache miss ratio as a function of associativity.
+
+The paper plots the miss ratio of direct-mapped, 4-way and 32-way Unison
+organizations for a small (128 MB) and a large (1 GB; 8 GB for TPC-H) cache.
+The headline observations to reproduce:
+
+* four ways give a sizeable reduction over direct-mapped (sometimes >2x), and
+* going beyond four ways adds little.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import ALL_WORKLOADS
+
+
+def _capacities_for(workload_name: str):
+    if "TPC-H" in workload_name:
+        return ("1GB", "8GB")
+    return ("128MB", "1GB")
+
+
+def _measure(runner):
+    results = {}
+    for profile in ALL_WORKLOADS:
+        for capacity in _capacities_for(profile.name):
+            sweep = runner.associativity_sweep(profile, capacity,
+                                               associativities=(1, 4, 32))
+            results[(profile.name, capacity)] = {
+                ways: result.miss_ratio for ways, result in sweep.items()
+            }
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_associativity_sweep(benchmark, runner, results_dir):
+    results = benchmark.pedantic(_measure, args=(runner,), rounds=1, iterations=1)
+
+    rows = []
+    for (workload, capacity), ratios in results.items():
+        rows.append([
+            workload, capacity,
+            f"{100 * ratios[1]:.1f}", f"{100 * ratios[4]:.1f}",
+            f"{100 * ratios[32]:.1f}",
+        ])
+    write_report(results_dir, "fig5_associativity", format_table(
+        ["Workload", "Capacity", "1-way miss%", "4-way miss%", "32-way miss%"],
+        rows,
+    ))
+
+    improvements = []
+    diminishing = []
+    for ratios in results.values():
+        if ratios[1] > 0.01:
+            improvements.append((ratios[1] - ratios[4]) / ratios[1])
+        diminishing.append(ratios[4] - ratios[32])
+
+    # 4-way associativity provides a sizeable average reduction over
+    # direct-mapped (the paper often sees the miss ratio halved).
+    assert sum(improvements) / len(improvements) > 0.10
+
+    # Beyond 4 ways there is no significant further reduction (the average
+    # additional gain is small compared to the 1-way -> 4-way step).
+    avg_gain_4_to_32 = sum(diminishing) / len(diminishing)
+    assert avg_gain_4_to_32 < 0.05
+
+    # 4-way should never be much worse than direct-mapped anywhere.
+    for ratios in results.values():
+        assert ratios[4] <= ratios[1] + 0.02

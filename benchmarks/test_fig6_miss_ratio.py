@@ -1,0 +1,98 @@
+"""Figure 6 -- miss ratio of Alloy, Footprint and Unison across capacities.
+
+The paper sweeps 128 MB - 1 GB for the CloudSuite workloads and 1 - 8 GB for
+TPC-H.  The qualitative shape to reproduce:
+
+* Alloy Cache has by far the highest miss ratio everywhere (least pronounced
+  for Data Analytics, the workload with the lowest spatial locality);
+* Footprint and Unison achieve low miss ratios (hit rates often above 90%);
+* miss ratios fall (or at least do not rise) as capacity grows;
+* for TPC-H, Alloy provides very few hits until the cache reaches multiple GB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import CLOUDSUITE_WORKLOADS, tpch_queries
+
+CLOUDSUITE_CAPACITIES = ("128MB", "256MB", "512MB", "1GB")
+TPCH_CAPACITIES = ("1GB", "2GB", "4GB", "8GB")
+DESIGNS = ("alloy", "footprint", "unison")
+
+
+def _measure(trace_cache):
+    results = {}
+    for profile in CLOUDSUITE_WORKLOADS:
+        for capacity in CLOUDSUITE_CAPACITIES:
+            for design in DESIGNS:
+                result = trace_cache.run(design, profile, capacity)
+                results[(profile.name, capacity, design)] = result.miss_ratio
+    tpch = tpch_queries()
+    for capacity in TPCH_CAPACITIES:
+        for design in DESIGNS:
+            result = trace_cache.run(design, tpch, capacity)
+            results[(tpch.name, capacity, design)] = result.miss_ratio
+    return results
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_miss_ratio_comparison(benchmark, trace_cache, results_dir):
+    results = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+
+    workloads = [p.name for p in CLOUDSUITE_WORKLOADS] + [tpch_queries().name]
+    rows = []
+    for workload in workloads:
+        capacities = TPCH_CAPACITIES if "TPC-H" in workload else CLOUDSUITE_CAPACITIES
+        for capacity in capacities:
+            rows.append([
+                workload, capacity,
+                f"{100 * results[(workload, capacity, 'alloy')]:.1f}",
+                f"{100 * results[(workload, capacity, 'footprint')]:.1f}",
+                f"{100 * results[(workload, capacity, 'unison')]:.1f}",
+            ])
+    write_report(results_dir, "fig6_miss_ratio", format_table(
+        ["Workload", "Capacity", "Alloy miss%", "Footprint miss%", "Unison miss%"],
+        rows,
+    ))
+
+    # --- Shape assertions ------------------------------------------------ #
+    # 1. Alloy has the highest miss ratio for every workload at the largest
+    #    CloudSuite capacity.
+    for profile in CLOUDSUITE_WORKLOADS:
+        alloy = results[(profile.name, "1GB", "alloy")]
+        assert alloy >= results[(profile.name, "1GB", "unison")]
+        assert alloy >= results[(profile.name, "1GB", "footprint")]
+
+    # 2. Page-based designs reach high hit rates at 1GB on the high-spatial-
+    #    locality workloads (paper: "often 90% or better").
+    for name in ("Web Search", "Data Serving", "Web Serving", "Software Testing"):
+        assert results[(name, "1GB", "unison")] < 0.25
+        assert results[(name, "1GB", "footprint")] < 0.25
+
+    # 3. Capacity helps (monotone within noise) for Unison.
+    for profile in CLOUDSUITE_WORKLOADS:
+        small = results[(profile.name, "128MB", "unison")]
+        large = results[(profile.name, "1GB", "unison")]
+        assert large <= small + 0.03
+
+    # 4. Data Analytics (lowest spatial locality) is the workload where the
+    #    page-based designs' *relative* advantage over Alloy is weakest: the
+    #    ratio of Unison's to Alloy's miss ratio is highest there.
+    relative = {}
+    for profile in CLOUDSUITE_WORKLOADS:
+        alloy = results[(profile.name, "1GB", "alloy")]
+        unison = results[(profile.name, "1GB", "unison")]
+        relative[profile.name] = unison / max(alloy, 1e-9)
+    assert max(relative, key=relative.get) == "Data Analytics"
+
+    # 5. TPC-H: Alloy's miss ratio stays high for small caches and only drops
+    #    meaningfully at multi-GB capacities.
+    tpch = tpch_queries().name
+    assert results[(tpch, "1GB", "alloy")] > 0.4
+    assert results[(tpch, "8GB", "alloy")] < results[(tpch, "1GB", "alloy")]
+    # Unison still clearly beats Alloy on TPC-H at every capacity.
+    for capacity in TPCH_CAPACITIES:
+        assert results[(tpch, capacity, "unison")] < results[(tpch, capacity, "alloy")]

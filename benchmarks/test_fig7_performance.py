@@ -1,0 +1,96 @@
+"""Figure 7 -- performance (speedup) of Alloy, Footprint, Unison and Ideal.
+
+Speedups are normalized to a system without a DRAM cache, for the five
+CloudSuite workloads across 128 MB - 1 GB.  The qualitative shape to
+reproduce:
+
+* every design speeds the system up, and Ideal bounds them from above;
+* for small caches Footprint Cache is competitive (it pays only a small SRAM
+  tag latency), but its advantage shrinks as capacity grows because the tag
+  latency grows with capacity;
+* at 1 GB Unison Cache outperforms Alloy Cache clearly (paper: ~14%) and is
+  at least on par with Footprint Cache (paper: ~2%);
+* Data Serving shows the largest absolute speedups (most memory-bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import CLOUDSUITE_WORKLOADS
+
+CAPACITIES = ("128MB", "256MB", "512MB", "1GB")
+DESIGNS = ("alloy", "footprint", "unison", "ideal")
+
+
+def _measure(trace_cache):
+    results = {}
+    for profile in CLOUDSUITE_WORKLOADS:
+        for capacity in CAPACITIES:
+            for design in DESIGNS:
+                result = trace_cache.run(design, profile, capacity)
+                results[(profile.name, capacity, design)] = result.speedup_vs_no_cache
+    return results
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_performance_comparison(benchmark, trace_cache, results_dir):
+    results = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+
+    rows = []
+    for profile in CLOUDSUITE_WORKLOADS:
+        for capacity in CAPACITIES:
+            rows.append([
+                profile.name, capacity,
+                f"{results[(profile.name, capacity, 'alloy')]:.2f}",
+                f"{results[(profile.name, capacity, 'footprint')]:.2f}",
+                f"{results[(profile.name, capacity, 'unison')]:.2f}",
+                f"{results[(profile.name, capacity, 'ideal')]:.2f}",
+            ])
+    write_report(results_dir, "fig7_performance", format_table(
+        ["Workload", "Capacity", "Alloy", "Footprint", "Unison", "Ideal"],
+        rows,
+    ))
+
+    # 1. Every design provides a speedup over no DRAM cache, and Ideal is an
+    #    upper bound (within a small tolerance for measurement noise).
+    for (workload, capacity, design), speedup in results.items():
+        assert speedup > 0.95, f"{design} slowed {workload} down at {capacity}"
+        assert speedup <= results[(workload, capacity, "ideal")] + 0.05
+
+    # 2. At 1GB, Unison beats Alloy on every workload, and clearly on average
+    #    (paper: ~14% mean improvement).
+    unison_vs_alloy = []
+    for profile in CLOUDSUITE_WORKLOADS:
+        unison = results[(profile.name, "1GB", "unison")]
+        alloy = results[(profile.name, "1GB", "alloy")]
+        assert unison >= alloy * 0.98
+        unison_vs_alloy.append(unison / alloy)
+    mean_gain = sum(unison_vs_alloy) / len(unison_vs_alloy)
+    assert mean_gain > 1.05
+
+    # 3. At 1GB, Unison is at least on par with Footprint Cache on average.
+    unison_vs_fc = [
+        results[(p.name, "1GB", "unison")] / results[(p.name, "1GB", "footprint")]
+        for p in CLOUDSUITE_WORKLOADS
+    ]
+    assert sum(unison_vs_fc) / len(unison_vs_fc) > 0.98
+
+    # 4. Footprint Cache's edge over Unison shrinks (or reverses) as capacity
+    #    grows, because its SRAM tag latency grows with capacity.
+    deltas_small = []
+    deltas_large = []
+    for profile in CLOUDSUITE_WORKLOADS:
+        deltas_small.append(results[(profile.name, "128MB", "footprint")]
+                            - results[(profile.name, "128MB", "unison")])
+        deltas_large.append(results[(profile.name, "1GB", "footprint")]
+                            - results[(profile.name, "1GB", "unison")])
+    assert (sum(deltas_large) / len(deltas_large)
+            <= sum(deltas_small) / len(deltas_small) + 0.02)
+
+    # 5. Data Serving is the most memory-bound workload and shows the largest
+    #    ideal speedup (the paper plots it on its own axis).
+    ideal_1gb = {p.name: results[(p.name, "1GB", "ideal")] for p in CLOUDSUITE_WORKLOADS}
+    assert max(ideal_1gb, key=ideal_1gb.get) == "Data Serving"

@@ -1,0 +1,70 @@
+"""Figure 8 -- performance comparison for TPC-H queries at 1-8 GB.
+
+TPC-H (MonetDB, >100 GB dataset) is the paper's "realistic server setup" for
+multi-gigabyte caches.  The shape to reproduce:
+
+* Unison Cache outperforms Footprint Cache at every capacity, because FC's
+  SRAM tag latency keeps growing (25-48 cycles at 2-8 GB) while Unison's
+  access latency is capacity-independent;
+* Alloy Cache improves steadily with capacity but remains limited by its low
+  hit ratio;
+* the paper quotes ~7% Unison-over-Alloy and ~6% Unison-over-Footprint
+  improvement at 8 GB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import tpch_queries
+
+CAPACITIES = ("1GB", "2GB", "4GB", "8GB")
+DESIGNS = ("alloy", "footprint", "unison", "ideal")
+
+
+def _measure(trace_cache):
+    profile = tpch_queries()
+    results = {}
+    for capacity in CAPACITIES:
+        for design in DESIGNS:
+            result = trace_cache.run(design, profile, capacity)
+            results[(capacity, design)] = result.speedup_vs_no_cache
+    return results
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_tpch_scaling(benchmark, trace_cache, results_dir):
+    results = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+
+    rows = [
+        [capacity,
+         f"{results[(capacity, 'alloy')]:.2f}",
+         f"{results[(capacity, 'footprint')]:.2f}",
+         f"{results[(capacity, 'unison')]:.2f}",
+         f"{results[(capacity, 'ideal')]:.2f}"]
+        for capacity in CAPACITIES
+    ]
+    write_report(results_dir, "fig8_tpch_performance", format_table(
+        ["Capacity", "Alloy", "Footprint", "Unison", "Ideal"], rows,
+    ))
+
+    # 1. Every design helps, and Ideal bounds them.
+    for (capacity, design), speedup in results.items():
+        assert speedup > 0.95
+        assert speedup <= results[(capacity, "ideal")] + 0.05
+
+    # 2. Unison beats Footprint at the multi-GB capacities where FC's tag
+    #    latency is large (the paper's central scalability argument).
+    for capacity in ("4GB", "8GB"):
+        assert results[(capacity, "unison")] >= results[(capacity, "footprint")] - 0.01
+
+    # 3. Unison beats Alloy at every capacity, and by a visible margin at 8GB.
+    for capacity in CAPACITIES:
+        assert results[(capacity, "unison")] >= results[(capacity, "alloy")] - 0.01
+    assert results[("8GB", "unison")] / results[("8GB", "alloy")] > 1.02
+
+    # 4. Alloy improves steadily with capacity (its hit ratio grows).
+    alloy = [results[(c, "alloy")] for c in CAPACITIES]
+    assert alloy[-1] >= alloy[0] - 0.02

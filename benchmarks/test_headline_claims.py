@@ -1,0 +1,73 @@
+"""Headline claims of the paper's abstract and conclusion.
+
+* Unison Cache improves performance over Alloy Cache by ~14% at 1 GB thanks
+  to its high hit rate (abstract, Section V-C).
+* Unison Cache performs on par with (paper: ~2% better than) the hypothetical
+  Footprint Cache design at 1 GB while requiring no SRAM tag array.
+* Unison Cache approaches the performance of the ideal latency-optimized
+  DRAM cache.
+
+The reproduction asserts the *direction and rough magnitude* of these claims
+(the absolute factors depend on the synthetic workloads; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import CLOUDSUITE_WORKLOADS
+
+
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def _measure(trace_cache):
+    speedups = {"alloy": [], "footprint": [], "unison": [], "ideal": []}
+    per_workload = {}
+    for profile in CLOUDSUITE_WORKLOADS:
+        row = {}
+        for design in speedups:
+            result = trace_cache.run(design, profile, "1GB")
+            speedups[design].append(result.speedup_vs_no_cache)
+            row[design] = result.speedup_vs_no_cache
+        per_workload[profile.name] = row
+    geo = {design: _geomean(values) for design, values in speedups.items()}
+    return geo, per_workload
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_performance_claims(benchmark, trace_cache, results_dir):
+    geo, per_workload = benchmark.pedantic(
+        _measure, args=(trace_cache,), rounds=1, iterations=1
+    )
+
+    rows = [[w, f"{r['alloy']:.2f}", f"{r['footprint']:.2f}",
+             f"{r['unison']:.2f}", f"{r['ideal']:.2f}"]
+            for w, r in per_workload.items()]
+    rows.append(["GEOMEAN", f"{geo['alloy']:.2f}", f"{geo['footprint']:.2f}",
+                 f"{geo['unison']:.2f}", f"{geo['ideal']:.2f}"])
+    lines = format_table(
+        ["Workload (1GB)", "Alloy", "Footprint", "Unison", "Ideal"], rows)
+    lines.append("")
+    lines.append(f"Unison vs Alloy     : {100 * (geo['unison'] / geo['alloy'] - 1):+.1f}%  (paper: +14%)")
+    lines.append(f"Unison vs Footprint : {100 * (geo['unison'] / geo['footprint'] - 1):+.1f}%  (paper: +2%)")
+    lines.append(f"Unison vs Ideal     : {100 * (geo['unison'] / geo['ideal'] - 1):+.1f}%  (paper: approaches ideal)")
+    write_report(results_dir, "headline_claims", lines)
+
+    # Unison improves on Alloy by a clear margin at 1GB (paper: 14%).
+    assert geo["unison"] / geo["alloy"] > 1.05
+
+    # Unison is at least on par with the hypothetical Footprint Cache.
+    assert geo["unison"] / geo["footprint"] > 0.97
+
+    # Unison approaches (comes within ~20% of) the ideal DRAM cache.
+    assert geo["unison"] / geo["ideal"] > 0.80
+
+    # And the ideal cache is strictly the best design.
+    assert geo["ideal"] >= max(geo["alloy"], geo["footprint"], geo["unison"])

@@ -1,0 +1,114 @@
+"""Table II -- key characteristics of the three DRAM cache schemes.
+
+Everything in this table is structural (derived from the organizations), so
+the benchmark recomputes each cell from the configuration models and checks
+it against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_report
+
+from repro.config.cache_configs import (
+    AlloyCacheConfig,
+    FootprintCacheConfig,
+    UnisonCacheConfig,
+    footprint_tag_array_for_capacity,
+)
+from repro.core.row_layout import UnisonRowLayout
+from repro.predictors.miss import MissPredictor
+from repro.predictors.way import WayPredictor
+from repro.utils.units import format_size
+
+
+def _characteristics():
+    alloy = AlloyCacheConfig(capacity="8GB")
+    footprint = FootprintCacheConfig(capacity="8GB")
+    unison_960 = UnisonCacheConfig(capacity="8GB")
+    unison_1984 = UnisonCacheConfig(capacity="8GB", blocks_per_page=31)
+    layout_960 = UnisonRowLayout(UnisonCacheConfig(capacity=64 * 8192))
+    layout_1984 = UnisonRowLayout(
+        UnisonCacheConfig(capacity=64 * 8192, blocks_per_page=31)
+    )
+    miss_predictor = MissPredictor(num_cores=16, entries_per_core=256, counter_bits=3)
+    way_small = WayPredictor.for_capacity(1 * 1024 ** 3)
+    way_large = WayPredictor.for_capacity(8 * 1024 ** 3)
+    fc_tags_8g = footprint_tag_array_for_capacity("8GB")
+
+    return {
+        "blocks_per_row": {
+            "alloy": alloy.blocks_per_row,
+            "footprint": footprint.blocks_per_row,
+            "unison_960": layout_960.data_blocks_per_row,
+            "unison_1984": layout_1984.data_blocks_per_row,
+        },
+        "sram_tags_8gb_bytes": {
+            "alloy": 0,
+            "footprint": fc_tags_8g.tag_bytes,
+            "unison": 0,
+        },
+        "in_dram_tags_8gb_bytes": {
+            "alloy": alloy.in_dram_tag_bytes,
+            "footprint": 0,
+            "unison": int(unison_960.in_dram_tag_fraction * unison_960.capacity_bytes),
+        },
+        "miss_predictor_bytes": {
+            "per_core": miss_predictor.storage_bytes_per_core,
+            "total": miss_predictor.storage_bytes_total,
+        },
+        "way_predictor_bytes": {
+            "1GB": way_small.storage_bytes,
+            "8GB": way_large.storage_bytes,
+        },
+        "associativity": {
+            "alloy": 1,
+            "footprint": footprint.associativity,
+            "unison": unison_960.associativity,
+        },
+    }
+
+
+def test_table2_characteristics(benchmark, results_dir):
+    data = benchmark.pedantic(_characteristics, rounds=1, iterations=1)
+
+    rows = [
+        ["64B blocks per 8KB row", "112", str(data["blocks_per_row"]["alloy"])],
+        ["  (Footprint Cache)", "128", str(data["blocks_per_row"]["footprint"])],
+        ["  (Unison 960B/1984B)", "120-124",
+         f"{data['blocks_per_row']['unison_960']}-{data['blocks_per_row']['unison_1984']}"],
+        ["SRAM tag array @ 8GB (FC)", "~48MB",
+         format_size(data["sram_tags_8gb_bytes"]["footprint"])],
+        ["In-DRAM tag size @ 8GB (AC)", "1GB (12.5%)",
+         format_size(data["in_dram_tags_8gb_bytes"]["alloy"])],
+        ["In-DRAM tag size @ 8GB (UC)", "256-512MB (3.1-6.2%)",
+         format_size(data["in_dram_tags_8gb_bytes"]["unison"])],
+        ["Miss-predictor size", "96B/core, 1.5KB total",
+         f"{data['miss_predictor_bytes']['per_core']}B/core, "
+         f"{data['miss_predictor_bytes']['total']}B total"],
+        ["Way predictor", "1-16KB",
+         f"{data['way_predictor_bytes']['1GB']}B-{data['way_predictor_bytes']['8GB']}B"],
+        ["Associativity (AC/FC/UC)", "1 / 32 / 4",
+         f"{data['associativity']['alloy']} / {data['associativity']['footprint']}"
+         f" / {data['associativity']['unison']}"],
+    ]
+    write_report(results_dir, "table2_characteristics",
+                 format_table(["Characteristic", "Paper", "Measured"], rows))
+
+    # Blocks per row.
+    assert data["blocks_per_row"]["alloy"] == 112
+    assert data["blocks_per_row"]["footprint"] == 128
+    assert data["blocks_per_row"]["unison_960"] == 120
+    assert data["blocks_per_row"]["unison_1984"] == 124
+    # SRAM tag array for FC at 8GB: paper quotes ~48-50MB.
+    assert 40e6 < data["sram_tags_8gb_bytes"]["footprint"] < 60e6
+    # Alloy's in-DRAM tags: roughly 1GB at 8GB capacity (the paper quotes
+    # 12.5%; with 112 TADs per row the exact figure is 896MB).
+    assert data["in_dram_tags_8gb_bytes"]["alloy"] > 0.85 * 1024 ** 3
+    # Unison's in-DRAM overhead: 3.1-6.2% of 8GB.
+    unison_overhead = data["in_dram_tags_8gb_bytes"]["unison"]
+    assert 0.02 * 8 * 1024 ** 3 < unison_overhead < 0.07 * 8 * 1024 ** 3
+    # Predictor storage.
+    assert data["miss_predictor_bytes"]["per_core"] == 96
+    assert data["miss_predictor_bytes"]["total"] == 1536
+    assert data["way_predictor_bytes"]["1GB"] == 1024
+    assert data["way_predictor_bytes"]["8GB"] == 16 * 1024

@@ -1,0 +1,54 @@
+"""Table IV -- Footprint Cache SRAM tag size and lookup latency vs capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.config.cache_configs import footprint_tag_array_for_capacity
+
+_PAPER_TABLE_IV = {
+    "128MB": (0.8, 6),
+    "256MB": (1.58, 9),
+    "512MB": (3.12, 11),
+    "1GB": (6.2, 16),
+    "2GB": (12.5, 25),
+    "4GB": (25.0, 36),
+    "8GB": (50.0, 48),
+}
+
+
+def _compute():
+    return {
+        capacity: footprint_tag_array_for_capacity(capacity)
+        for capacity in _PAPER_TABLE_IV
+    }
+
+
+def test_table4_footprint_tag_scaling(benchmark, results_dir):
+    models = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = []
+    for capacity, (paper_mb, paper_latency) in _PAPER_TABLE_IV.items():
+        model = models[capacity]
+        rows.append([
+            capacity,
+            f"{paper_mb:.2f}MB / {paper_latency}cyc",
+            f"{model.tag_megabytes:.2f}MB / {model.lookup_latency_cycles}cyc",
+        ])
+    write_report(results_dir, "table4_fc_tag_array",
+                 format_table(["Cache size", "Paper (tags/latency)",
+                               "Measured (tags/latency)"], rows))
+
+    for capacity, (paper_mb, paper_latency) in _PAPER_TABLE_IV.items():
+        model = models[capacity]
+        assert model.tag_megabytes == pytest.approx(paper_mb, abs=0.01)
+        assert model.lookup_latency_cycles == paper_latency
+
+    # The scalability claim behind the paper: the FC tag array grows roughly
+    # linearly with capacity and becomes impractical (tens of MB) at 8GB,
+    # while Unison Cache needs no SRAM tags at any capacity.
+    sizes = [models[c].tag_bytes for c in _PAPER_TABLE_IV]
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] > 40 * 1024 ** 2

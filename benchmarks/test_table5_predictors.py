@@ -1,0 +1,101 @@
+"""Table V -- predictor accuracy and overfetch per workload.
+
+Regenerates, for every workload, the Alloy Cache miss-predictor accuracy, the
+Footprint Cache and Unison Cache (960B and 1984B pages) footprint-predictor
+accuracy and overfetch, and the Unison Cache way-predictor accuracy, at the
+paper's 1 GB design point (8 GB for TPC-H).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_report
+
+from repro.workloads.cloudsuite import ALL_WORKLOADS
+
+
+def _capacity_for(workload_name: str) -> str:
+    return "8GB" if "TPC-H" in workload_name else "1GB"
+
+
+def _measure(trace_cache):
+    rows = {}
+    for profile in ALL_WORKLOADS:
+        capacity = _capacity_for(profile.name)
+        alloy = trace_cache.run("alloy", profile, capacity)
+        footprint = trace_cache.run("footprint", profile, capacity)
+        unison_960 = trace_cache.run("unison", profile, capacity)
+        unison_1984 = trace_cache.run("unison-1984", profile, capacity)
+        rows[profile.name] = {
+            "alloy_mp": alloy.miss_prediction_accuracy,
+            "fc_fp": footprint.footprint_accuracy,
+            "fc_overfetch": footprint.footprint_overfetch,
+            "uc960_fp": unison_960.footprint_accuracy,
+            "uc960_overfetch": unison_960.footprint_overfetch,
+            "uc960_wp": unison_960.way_prediction_accuracy,
+            "uc1984_fp": unison_1984.footprint_accuracy,
+            "uc1984_wp": unison_1984.way_prediction_accuracy,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_predictor_accuracy(benchmark, trace_cache, results_dir):
+    rows = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+
+    table = []
+    for workload, r in rows.items():
+        table.append([
+            workload,
+            f"{100 * r['alloy_mp']:.1f}",
+            f"{100 * r['fc_fp']:.1f}",
+            f"{100 * r['fc_overfetch']:.1f}",
+            f"{100 * r['uc960_fp']:.1f}",
+            f"{100 * r['uc960_overfetch']:.1f}",
+            f"{100 * r['uc960_wp']:.1f}",
+            f"{100 * r['uc1984_fp']:.1f}",
+            f"{100 * r['uc1984_wp']:.1f}",
+        ])
+    write_report(results_dir, "table5_predictors", format_table(
+        ["Workload", "AC MP%", "FC FP%", "FC OF%", "UC960 FP%", "UC960 OF%",
+         "UC960 WP%", "UC1984 FP%", "UC1984 WP%"],
+        table,
+    ))
+
+    values = list(rows.values())
+
+    def _with_data(metric):
+        # A value of exactly 0.0 means the design evicted too few pages in the
+        # measurement window to record any trained-prediction outcome (this
+        # happens for Footprint Cache on its lowest-miss-ratio workloads);
+        # such entries carry no information and are excluded from the means.
+        return [r[metric] for r in values if r[metric] > 0.0]
+
+    # Paper: the way predictor achieves ~93-96% on average because it
+    # operates at page granularity.
+    mean_wp = sum(r["uc960_wp"] for r in values) / len(values)
+    assert mean_wp > 0.85
+
+    # Paper: AC's miss predictor is "highly effective, achieving over 90%";
+    # the reproduction's MAP-I model should at least be clearly useful.
+    mean_mp = sum(r["alloy_mp"] for r in values) / len(values)
+    assert mean_mp > 0.6
+
+    # Paper: footprint predictors are accurate (81-99% per workload).
+    fc_fp = _with_data("fc_fp")
+    uc_fp = _with_data("uc960_fp")
+    assert fc_fp and sum(fc_fp) / len(fc_fp) > 0.7
+    assert uc_fp and sum(uc_fp) / len(uc_fp) > 0.6
+
+    # Paper: overfetch is modest (~10% on average), i.e. the designs stay
+    # bandwidth-efficient.
+    mean_overfetch = sum(r["uc960_overfetch"] for r in values) / len(values)
+    assert mean_overfetch < 0.45
+
+    # Paper: Software Testing has among the least predictable footprints of
+    # the CloudSuite workloads for the page-based designs.
+    cloudsuite = {k: v for k, v in rows.items()
+                  if "TPC-H" not in k and v["fc_fp"] > 0.0}
+    worst_fc = min(cloudsuite, key=lambda k: cloudsuite[k]["fc_fp"])
+    assert worst_fc in ("Software Testing", "Data Analytics", "Web Serving")

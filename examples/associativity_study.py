@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Associativity and way-prediction study (Figure 5 and Section III-A.5/6).
+
+Direct-mapped page-based caches suffer heavily from conflicts (the paper's
+analytical model puts the conflict probability ~500x higher than for a
+block-based cache of the same size).  This example quantifies, on a workload
+of your choice:
+
+* how the miss ratio changes from direct-mapped to 4-way to 32-way, and
+* what the way predictor contributes: its accuracy and how many extra cycles
+  mispredictions would add to the average hit.
+
+Usage::
+
+    python examples/associativity_study.py [--workload "Web Serving"] [--capacity 1GB]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ExperimentConfig, ExperimentRunner, workload_by_name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="Web Serving")
+    parser.add_argument("--capacity", default="1GB")
+    parser.add_argument("--accesses", type=int, default=45_000)
+    parser.add_argument("--scale", type=int, default=512)
+    args = parser.parse_args()
+
+    profile = workload_by_name(args.workload)
+    runner = ExperimentRunner(
+        ExperimentConfig(scale=args.scale, num_accesses=args.accesses)
+    )
+
+    print(f"Unison Cache associativity sweep -- {profile.name} @ {args.capacity} "
+          f"(scale 1/{args.scale})\n")
+    results = runner.associativity_sweep(profile, args.capacity,
+                                         associativities=(1, 4, 32))
+
+    print(f"{'ways':>5} {'miss%':>8} {'hit lat':>9} {'WP acc%':>9} {'speedup':>9}")
+    print("-" * 45)
+    for ways, result in sorted(results.items()):
+        wp = (f"{100 * result.way_prediction_accuracy:>8.1f}%"
+              if ways > 1 else "     n/a")
+        print(f"{ways:>5} {result.miss_ratio_percent:>7.1f}% "
+              f"{result.average_hit_latency:>9.1f} {wp} "
+              f"{result.speedup_vs_no_cache:>8.2f}x")
+
+    one_way = results[1].miss_ratio
+    four_way = results[4].miss_ratio
+    thirtytwo = results[32].miss_ratio
+    print()
+    if one_way > 0:
+        print(f"4-way removes {100 * (one_way - four_way) / one_way:.0f}% of the "
+              f"direct-mapped misses; 32-way removes only a further "
+              f"{100 * (four_way - thirtytwo) / max(one_way, 1e-9):.0f}% "
+              f"(diminishing returns, Section V-B).")
+    print("Way prediction keeps the 4-way hit latency within a couple of cycles "
+          "of direct-mapped by fetching only the predicted way (Section III-A.6).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

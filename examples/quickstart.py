@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: compare Unison Cache against the baselines on one workload.
+
+Runs the four DRAM cache designs (Unison, Alloy, Footprint, Ideal) over the
+same synthetic Web Search trace at a scaled-down 1 GB design point and prints
+the metrics the paper's evaluation revolves around: miss ratio, average hit
+latency, off-chip traffic, and speedup over a system without a DRAM cache.
+
+Usage::
+
+    python examples/quickstart.py [--accesses 60000] [--scale 512]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ExperimentConfig, ExperimentRunner, workload_by_name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="Web Search",
+                        help="workload name (e.g. 'Web Search', 'Data Serving')")
+    parser.add_argument("--capacity", default="1GB",
+                        help="paper-scale DRAM cache capacity (e.g. 512MB, 1GB)")
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="number of L2-miss requests to simulate")
+    parser.add_argument("--scale", type=int, default=512,
+                        help="capacity scale-down factor for tractable runs")
+    args = parser.parse_args()
+
+    profile = workload_by_name(args.workload)
+    runner = ExperimentRunner(
+        ExperimentConfig(scale=args.scale, num_accesses=args.accesses)
+    )
+
+    print(f"Workload : {profile.name} (working set {profile.working_set}, "
+          f"scaled 1/{args.scale})")
+    print(f"Capacity : {args.capacity} (paper scale)")
+    print(f"Accesses : {args.accesses} ({int(args.accesses / 3)} measured)")
+    print()
+
+    header = (f"{'design':<12} {'miss%':>7} {'hit lat':>8} {'miss lat':>9} "
+              f"{'blk/acc':>8} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+
+    results = runner.compare_designs(
+        ["unison", "alloy", "footprint", "ideal"], profile, args.capacity
+    )
+    for name in ("alloy", "footprint", "unison", "ideal"):
+        result = results[name]
+        print(f"{name:<12} {result.miss_ratio_percent:>6.1f}% "
+              f"{result.average_hit_latency:>8.1f} "
+              f"{result.average_miss_latency:>9.1f} "
+              f"{result.offchip_blocks_per_access:>8.2f} "
+              f"{result.speedup_vs_no_cache:>7.2f}x")
+
+    unison = results["unison"]
+    print()
+    print(f"Unison way-prediction accuracy : {100 * unison.way_prediction_accuracy:.1f}%")
+    print(f"Unison footprint accuracy      : {100 * unison.footprint_accuracy:.1f}%")
+    print(f"Unison footprint overfetch     : {100 * unison.footprint_overfetch:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

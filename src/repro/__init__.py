@@ -1,0 +1,73 @@
+"""Unison Cache reproduction library.
+
+A from-scratch, trace-driven Python reproduction of *Unison Cache: A Scalable
+and Effective Die-Stacked DRAM Cache* (Jevdjic, Loh, Kaynak, Falsafi --
+MICRO 2014), including the Alloy Cache and Footprint Cache baselines, the
+DRAM timing and SRAM cache substrates, synthetic server-workload generators,
+and the experiment harness that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import ExperimentRunner, ExperimentConfig, workload_by_name
+
+    runner = ExperimentRunner(ExperimentConfig(scale=256, num_accesses=60_000))
+    result = runner.run_design("unison", workload_by_name("Web Search"), "1GB")
+    print(result.miss_ratio, result.speedup_vs_no_cache)
+"""
+
+from repro.baselines import AlloyCache, FootprintCache, IdealCache, NoDramCache
+from repro.config import (
+    AlloyCacheConfig,
+    FootprintCacheConfig,
+    SystemConfig,
+    UnisonCacheConfig,
+)
+from repro.core import UnisonCache, UnisonRowLayout
+from repro.sim import (
+    DESIGN_NAMES,
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    PerformanceModel,
+    SamplingRunner,
+    make_design,
+)
+from repro.trace import AccessType, MemoryAccess
+from repro.workloads import (
+    ALL_WORKLOADS,
+    CLOUDSUITE_WORKLOADS,
+    SyntheticWorkload,
+    WorkloadProfile,
+    workload_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlloyCache",
+    "FootprintCache",
+    "IdealCache",
+    "NoDramCache",
+    "UnisonCache",
+    "UnisonRowLayout",
+    "AlloyCacheConfig",
+    "FootprintCacheConfig",
+    "UnisonCacheConfig",
+    "SystemConfig",
+    "DESIGN_NAMES",
+    "make_design",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "PerformanceModel",
+    "SamplingRunner",
+    "AccessType",
+    "MemoryAccess",
+    "WorkloadProfile",
+    "SyntheticWorkload",
+    "ALL_WORKLOADS",
+    "CLOUDSUITE_WORKLOADS",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,193 @@
+"""Alloy Cache (Qureshi & Loh, MICRO 2012) -- the block-based baseline.
+
+Alloy Cache stores each 64-byte block together with its tag as a 72-byte
+tag-and-data (TAD) unit, organizes the cache direct-mapped so the location of
+a block is known without searching, and streams the whole TAD in one DRAM
+access, breaking tag-then-data serialization.  A small per-core miss predictor
+(MAP-I style) lets predicted misses bypass the DRAM-cache lookup and go to
+off-chip memory immediately.
+
+Consequences the evaluation depends on (Section II-A):
+
+* hits are fast (one DRAM access, no SRAM tag array), but
+* only temporal reuse produces hits, so the miss ratio on server workloads is
+  high, and
+* mispredicted hits pay lookup-then-memory serialization, while mispredicted
+  misses waste off-chip bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.cache_configs import AlloyCacheConfig
+from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+from repro.predictors.miss import MissPredictor
+from repro.stats.counters import StatGroup
+from repro.trace.record import MemoryAccess
+
+
+class AlloyCache(DramCacheModel):
+    """Direct-mapped, block-based DRAM cache with TADs and a miss predictor."""
+
+    design_name = "alloy"
+
+    def __init__(self, config: Optional[AlloyCacheConfig] = None,
+                 stacked: Optional[StackedDram] = None,
+                 memory: Optional[MainMemory] = None,
+                 num_cores: int = 16,
+                 interarrival_cycles: int = 6) -> None:
+        self.config = config or AlloyCacheConfig()
+        self.config.validate()
+        super().__init__(self.config.capacity_bytes, stacked, memory,
+                         interarrival_cycles=interarrival_cycles)
+
+        self.num_blocks = self.config.num_blocks
+        # Direct-mapped arrays: tag per frame (-1 == invalid) and a dirty flag.
+        self._tags: List[int] = [-1] * self.num_blocks
+        self._dirty: List[bool] = [False] * self.num_blocks
+
+        self.miss_predictor: Optional[MissPredictor] = None
+        if self.config.use_miss_predictor:
+            self.miss_predictor = MissPredictor(
+                num_cores=num_cores,
+                entries_per_core=self.config.miss_predictor_entries_per_core,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _frame_of(self, block_address: int) -> int:
+        return block_address % self.num_blocks
+
+    def _tag_of(self, block_address: int) -> int:
+        return block_address // self.num_blocks
+
+    def _row_of_frame(self, frame: int) -> "tuple[int, int]":
+        """(DRAM row, byte offset of the TAD within the row) for a frame."""
+        row = frame // self.config.blocks_per_row
+        slot = frame % self.config.blocks_per_row
+        return row, slot * self.config.tad_bytes
+
+    # ------------------------------------------------------------------ #
+    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
+        """Service one L2-miss request."""
+        block_address = request.block_address
+        frame = self._frame_of(block_address)
+        tag = self._tag_of(block_address)
+        is_hit = self._tags[frame] == tag
+
+        predicted_miss = False
+        predictor_latency = 0
+        if self.miss_predictor is not None:
+            predicted_miss = self.miss_predictor.record(
+                request.core_id, request.pc, was_miss=not is_hit
+            )
+            predictor_latency = self.config.miss_predictor_latency_cycles
+
+        if is_hit:
+            latency, extra_fetch = self._service_hit(
+                request, frame, predicted_miss, predictor_latency
+            )
+            self.cache_stats.record_hit(latency, request.is_write)
+            return DramCacheAccessResult(
+                hit=True, latency_cycles=latency,
+                offchip_blocks_fetched=extra_fetch,
+            )
+
+        latency, written = self._service_miss(
+            request, frame, tag, predicted_miss, predictor_latency
+        )
+        self.cache_stats.record_miss(latency, request.is_write)
+        return DramCacheAccessResult(
+            hit=False, latency_cycles=latency,
+            offchip_blocks_fetched=1, offchip_blocks_written=written,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _tad_read_latency(self, frame: int) -> int:
+        row, offset = self._row_of_frame(frame)
+        result = self.stacked.read(row, offset, self.config.tad_bytes, self._now)
+        return result.latency_cpu_cycles
+
+    def _service_hit(self, request: MemoryAccess, frame: int,
+                     predicted_miss: bool, predictor_latency: int) -> "tuple[int, int]":
+        """A true hit; returns (latency, extra off-chip blocks fetched)."""
+        extra_fetch = 0
+        tad_latency = self._tad_read_latency(frame)
+        if predicted_miss:
+            # False miss prediction: an unnecessary off-chip fetch was issued
+            # in parallel; the data still returns from the (faster) cache, but
+            # the memory request wastes bandwidth (Section II-A).
+            self.memory.read_block(request.block_address, self._now)
+            self.cache_stats.offchip_prefetch_blocks += 1
+            extra_fetch = 1
+        if request.is_write:
+            row, offset = self._row_of_frame(frame)
+            self.stacked.write(row, offset, self.config.tad_bytes, self._now)
+            self._dirty[frame] = True
+        return predictor_latency + tad_latency, extra_fetch
+
+    def _service_miss(self, request: MemoryAccess, frame: int, tag: int,
+                      predicted_miss: bool, predictor_latency: int) -> "tuple[int, int]":
+        """A true miss; returns (latency, dirty blocks written back)."""
+        if predicted_miss:
+            # Correctly predicted miss: the off-chip request is issued
+            # immediately, hiding the DRAM-cache lookup entirely.
+            offchip_latency = self.memory.read_block(request.block_address, self._now)
+            latency = predictor_latency + offchip_latency
+        else:
+            # False hit prediction: the lookup happens first and only then is
+            # the off-chip request issued (tag-then-memory serialization).
+            lookup_latency = self._tad_read_latency(frame)
+            offchip_latency = self.memory.read_block(request.block_address, self._now)
+            latency = predictor_latency + lookup_latency + offchip_latency
+        self.cache_stats.offchip_demand_blocks += 1
+
+        written = self._install(request, frame, tag)
+        return latency, written
+
+    def _install(self, request: MemoryAccess, frame: int, tag: int) -> int:
+        """Install the fetched block, writing back a dirty victim if needed."""
+        written = 0
+        if self._tags[frame] >= 0 and self._dirty[frame]:
+            victim_block = self._tags[frame] * self.num_blocks + frame
+            self.memory.write_block(victim_block, self._now)
+            self.cache_stats.offchip_writeback_blocks += 1
+            written = 1
+        if self._tags[frame] >= 0:
+            self.cache_stats.pages_evicted += 1
+        self._tags[frame] = tag
+        self._dirty[frame] = request.is_write
+        self.cache_stats.pages_allocated += 1
+        row, offset = self._row_of_frame(frame)
+        self.stacked.write(row, offset, self.config.tad_bytes, self._now)
+        return written
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Reset cache and predictor statistics; contents and training persist."""
+        super().reset_stats()
+        if self.miss_predictor is not None:
+            self.miss_predictor.reset_stats()
+
+    @property
+    def miss_prediction_accuracy(self) -> float:
+        """Fraction of misses correctly identified (Table V's "MP Accuracy")."""
+        if self.miss_predictor is None:
+            return 0.0
+        return self.miss_predictor.miss_identification.value
+
+    @property
+    def miss_predictor_overfetch(self) -> float:
+        """Extra off-chip fetches caused by false miss predictions, per hit."""
+        if self.miss_predictor is None or self.cache_stats.hits == 0:
+            return 0.0
+        return self.miss_predictor.false_misses / self.cache_stats.hits
+
+    def stats(self) -> StatGroup:
+        """Design, predictor and device statistics."""
+        group = super().stats()
+        if self.miss_predictor is not None:
+            group.merge_child(self.miss_predictor.stats())
+        return group

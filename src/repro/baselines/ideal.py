@@ -1,0 +1,43 @@
+"""Ideal latency-optimized DRAM cache.
+
+The reference point of Figures 7 and 8: a cache that never misses and has no
+tag-access overhead, equivalent to treating the die-stacked DRAM as main
+memory.  Every request costs exactly one stacked-DRAM block read and generates
+no off-chip traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+from repro.trace.record import MemoryAccess
+from repro.utils.units import parse_size, SizeLike
+
+
+class IdealCache(DramCacheModel):
+    """A 100%-hit-rate, zero-tag-overhead DRAM cache."""
+
+    design_name = "ideal"
+
+    def __init__(self, capacity: SizeLike = "1GB",
+                 stacked: Optional[StackedDram] = None,
+                 memory: Optional[MainMemory] = None,
+                 row_buffer_size: int = 8 * 1024,
+                 block_size: int = 64,
+                 interarrival_cycles: int = 6) -> None:
+        super().__init__(parse_size(capacity), stacked, memory,
+                         interarrival_cycles=interarrival_cycles)
+        self.row_buffer_size = row_buffer_size
+        self.block_size = block_size
+
+    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
+        """Every access hits and costs one stacked-DRAM block read."""
+        row = request.address // self.row_buffer_size
+        offset = (request.address % self.row_buffer_size) // self.block_size * self.block_size
+        result = self.stacked.read(row, offset, self.block_size, self._now)
+        latency = result.latency_cpu_cycles
+        self.cache_stats.record_hit(latency, request.is_write)
+        return DramCacheAccessResult(hit=True, latency_cycles=latency)

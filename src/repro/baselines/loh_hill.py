@@ -1,0 +1,159 @@
+"""Loh-Hill cache (MICRO 2011) -- the earlier tags-in-DRAM block-based design.
+
+Included as an extension beyond the paper's three evaluated designs: Section
+II-A uses it to motivate Alloy Cache.  Each DRAM row forms one set: the first
+few block slots hold the tags for the remaining data blocks (29 data ways per
+2 KB row in the original design; the split is computed from the row size), so
+a lookup reads the tag blocks first and, on a match, issues a separate read
+for the data block -- the two accesses are serialized, but the scheduler keeps
+the row open so the data read is a row-buffer hit.  An on-chip "MissMap"
+records block presence so true misses can skip the in-DRAM tag lookup; its
+lookup latency is paid by every request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.replacement import LruPolicy
+from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+from repro.stats.counters import StatGroup
+from repro.trace.record import MemoryAccess
+from repro.utils.units import parse_size, SizeLike
+
+
+class LohHillCache(DramCacheModel):
+    """Set-per-row, tags-in-DRAM block cache with a MissMap front end."""
+
+    design_name = "loh_hill"
+
+    #: Bytes of tag metadata kept per data block (tag + state bits).
+    TAG_ENTRY_BYTES = 6
+
+    def __init__(self, capacity: SizeLike = "1GB",
+                 stacked: Optional[StackedDram] = None,
+                 memory: Optional[MainMemory] = None,
+                 row_buffer_size: int = 8 * 1024,
+                 block_size: int = 64,
+                 missmap_latency_cycles: int = 8,
+                 interarrival_cycles: int = 6) -> None:
+        super().__init__(parse_size(capacity), stacked, memory,
+                         interarrival_cycles=interarrival_cycles)
+        if row_buffer_size % block_size:
+            raise ValueError("row_buffer_size must be a multiple of block_size")
+        self.block_size = block_size
+        self.row_buffer_size = row_buffer_size
+        self.missmap_latency_cycles = missmap_latency_cycles
+
+        blocks_per_row = row_buffer_size // block_size
+        # Reserve the smallest number of block slots whose bytes can hold the
+        # tag entries of all remaining slots (2 KB rows -> 3 tag + 29 data
+        # blocks, exactly the original design; 8 KB rows -> 11 tag + 117 data).
+        tag_blocks = 1
+        while (blocks_per_row - tag_blocks) * self.TAG_ENTRY_BYTES > tag_blocks * block_size:
+            tag_blocks += 1
+        self.tag_blocks_per_row = tag_blocks
+        #: Data blocks per set.
+        self.associativity = blocks_per_row - tag_blocks
+        self.num_sets = self.capacity_bytes // row_buffer_size
+        if self.num_sets < 1:
+            raise ValueError("capacity must hold at least one DRAM row")
+
+        self._tags: List[List[int]] = [
+            [-1] * self.associativity for _ in range(self.num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * self.associativity for _ in range(self.num_sets)
+        ]
+        self._lru: List[LruPolicy] = [
+            LruPolicy(self.associativity) for _ in range(self.num_sets)
+        ]
+        # The MissMap: presence bits for every block the cache may hold.
+        self._missmap: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    def _locate(self, block_address: int) -> "tuple[int, int]":
+        return block_address % self.num_sets, block_address // self.num_sets
+
+    def _find_way(self, set_index: int, tag: int) -> int:
+        row_tags = self._tags[set_index]
+        for way, existing in enumerate(row_tags):
+            if existing == tag:
+                return way
+        return -1
+
+    def _tag_read(self, set_index: int) -> int:
+        result = self.stacked.read(
+            set_index, 0, self.tag_blocks_per_row * self.block_size, self._now
+        )
+        return result.latency_cpu_cycles
+
+    def _data_read(self, set_index: int, way: int) -> int:
+        offset = (self.tag_blocks_per_row + way) * self.block_size
+        result = self.stacked.read(set_index, offset, self.block_size, self._now)
+        return result.latency_cpu_cycles
+
+    # ------------------------------------------------------------------ #
+    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
+        set_index, tag = self._locate(request.block_address)
+        way = self._find_way(set_index, tag)
+
+        if not self._missmap.get(request.block_address, False):
+            # MissMap says the block is absent: go straight to memory.
+            offchip = self.memory.read_block(request.block_address, self._now)
+            self.cache_stats.offchip_demand_blocks += 1
+            written = self._install(request, set_index, tag)
+            latency = self.missmap_latency_cycles + offchip
+            self.cache_stats.record_miss(latency, request.is_write)
+            return DramCacheAccessResult(
+                hit=False, latency_cycles=latency,
+                offchip_blocks_fetched=1, offchip_blocks_written=written,
+            )
+
+        # MissMap says present: tag read, then the data read (serialized; the
+        # data read hits the open row).
+        tag_latency = self._tag_read(set_index)
+        data_latency = self._data_read(set_index, max(way, 0))
+        self._lru[set_index].on_access(max(way, 0))
+        if request.is_write:
+            self._dirty[set_index][max(way, 0)] = True
+        latency = self.missmap_latency_cycles + tag_latency + data_latency
+        self.cache_stats.record_hit(latency, request.is_write)
+        return DramCacheAccessResult(hit=True, latency_cycles=latency)
+
+    def _install(self, request: MemoryAccess, set_index: int, tag: int) -> int:
+        """Allocate the fetched block; returns dirty blocks written back."""
+        written = 0
+        victim_way = self._lru[set_index].victim(
+            [existing >= 0 for existing in self._tags[set_index]]
+        )
+        victim_tag = self._tags[set_index][victim_way]
+        if victim_tag >= 0:
+            victim_block = victim_tag * self.num_sets + set_index
+            self._missmap.pop(victim_block, None)
+            if self._dirty[set_index][victim_way]:
+                self.memory.write_block(victim_block, self._now)
+                self.cache_stats.offchip_writeback_blocks += 1
+                written = 1
+            self.cache_stats.pages_evicted += 1
+        self._tags[set_index][victim_way] = tag
+        self._dirty[set_index][victim_way] = request.is_write
+        self._lru[set_index].on_fill(victim_way)
+        self._missmap[request.block_address] = True
+        self.cache_stats.pages_allocated += 1
+        # Update the in-row tag block and write the data block.
+        self.stacked.write(set_index, 0, self.block_size, self._now)
+        self.stacked.write(
+            set_index, (self.tag_blocks_per_row + victim_way) * self.block_size,
+            self.block_size, self._now,
+        )
+        return written
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> StatGroup:
+        """Design and device statistics plus MissMap occupancy."""
+        group = super().stats()
+        group.set("missmap_entries", len(self._missmap))
+        return group

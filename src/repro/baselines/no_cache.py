@@ -1,0 +1,41 @@
+"""A system without a die-stacked DRAM cache.
+
+Useful as a lower-bound reference and for normalizing speedups: every L2 miss
+goes straight to off-chip memory, and off-chip traffic equals one block per
+access (the baseline the paper's bandwidth discussion compares against).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+from repro.trace.record import MemoryAccess
+
+
+class NoDramCache(DramCacheModel):
+    """Pass-through design: every request misses to off-chip memory."""
+
+    design_name = "no_cache"
+
+    def __init__(self, memory: Optional[MainMemory] = None,
+                 interarrival_cycles: int = 6) -> None:
+        super().__init__(capacity_bytes=1, stacked=StackedDram(), memory=memory,
+                         interarrival_cycles=interarrival_cycles)
+
+    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
+        """Every access is an off-chip memory access."""
+        if request.is_write:
+            latency = self.memory.write_block(request.block_address, self._now)
+            self.cache_stats.offchip_writeback_blocks += 1
+        else:
+            latency = self.memory.read_block(request.block_address, self._now)
+            self.cache_stats.offchip_demand_blocks += 1
+        self.cache_stats.record_miss(latency, request.is_write)
+        return DramCacheAccessResult(
+            hit=False, latency_cycles=latency,
+            offchip_blocks_fetched=0 if request.is_write else 1,
+            offchip_blocks_written=1 if request.is_write else 0,
+        )

@@ -1,0 +1,31 @@
+"""On-chip SRAM cache hierarchy.
+
+The paper's CMP has split 64 KB L1 caches per core and a shared 4 MB 16-way
+L2; the die-stacked DRAM cache only observes the L2 miss stream.  This
+subpackage provides the generic set-associative cache model, replacement
+policies, MSHRs, and a two-level hierarchy front-end that can filter a raw
+access stream down to the L2-miss stream the DRAM cache models consume.
+"""
+
+from repro.cache.replacement import (
+    LruPolicy,
+    NruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.sram_cache import CacheAccessResult, SetAssociativeCache
+from repro.cache.mshr import MshrFile
+from repro.cache.hierarchy import CacheHierarchy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "NruPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "SetAssociativeCache",
+    "CacheAccessResult",
+    "MshrFile",
+    "CacheHierarchy",
+]

@@ -1,0 +1,96 @@
+"""Two-level SRAM cache hierarchy front end.
+
+The hierarchy takes a raw per-core access stream, filters it through private
+L1 data caches and the shared L2, and emits the L2-miss stream (demand misses
+plus dirty writebacks) that the die-stacked DRAM cache observes.  The
+synthetic workload generators already model post-L2 statistics, so the main
+experiments drive the DRAM cache directly; the hierarchy is used by examples,
+by tests, and by users who want to replay their own raw traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.cache.sram_cache import SetAssociativeCache
+from repro.config.system import SystemConfig
+from repro.stats.counters import StatGroup
+from repro.trace.record import AccessType, MemoryAccess
+
+
+class CacheHierarchy:
+    """Private L1D caches per core plus a shared L2."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self.l1d: List[SetAssociativeCache] = [
+            SetAssociativeCache(self.config.l1d) for _ in range(self.config.num_cores)
+        ]
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.requests = 0
+
+    # ------------------------------------------------------------------ #
+    def access(self, access: MemoryAccess) -> List[MemoryAccess]:
+        """Run one access through the hierarchy.
+
+        Returns the list of requests that escape the L2 (zero, one, or two
+        entries: a demand miss and/or a dirty writeback), preserving the PC
+        and core of the originating access so the DRAM cache's footprint
+        predictor sees the same correlation information it would in hardware.
+        """
+        if access.core_id >= self.config.num_cores:
+            raise ValueError(
+                f"core_id {access.core_id} out of range for "
+                f"{self.config.num_cores}-core system"
+            )
+        self.requests += 1
+        block = access.block_address
+        outgoing: List[MemoryAccess] = []
+
+        l1 = self.l1d[access.core_id]
+        l1_result = l1.access(block, is_write=access.is_write)
+        if l1_result.hit:
+            return outgoing
+        if l1_result.writeback_block is not None:
+            # L1 dirty victim written into the L2 (allocate on writeback).
+            l2_wb = self.l2.access(l1_result.writeback_block, is_write=True)
+            if l2_wb.writeback_block is not None:
+                outgoing.append(self._writeback(access, l2_wb.writeback_block))
+
+        l2_result = self.l2.access(block, is_write=False)
+        if not l2_result.hit:
+            outgoing.append(access.block_aligned())
+            if l2_result.writeback_block is not None:
+                outgoing.append(self._writeback(access, l2_result.writeback_block))
+        return outgoing
+
+    @staticmethod
+    def _writeback(origin: MemoryAccess, victim_block: int) -> MemoryAccess:
+        from repro.trace.record import BLOCK_SIZE
+
+        return MemoryAccess(
+            address=victim_block * BLOCK_SIZE,
+            pc=origin.pc,
+            access_type=AccessType.WRITE,
+            core_id=origin.core_id,
+            timestamp=origin.timestamp,
+        )
+
+    # ------------------------------------------------------------------ #
+    def filter_stream(self, accesses: Iterable[MemoryAccess]) -> Iterator[MemoryAccess]:
+        """Lazily transform a raw access stream into the L2-miss stream."""
+        for access in accesses:
+            for escaped in self.access(access):
+                yield escaped
+
+    def stats(self) -> StatGroup:
+        """Aggregated hierarchy statistics."""
+        group = StatGroup("hierarchy")
+        group.set("requests", self.requests)
+        l1_hits = sum(c.hits for c in self.l1d)
+        l1_misses = sum(c.misses for c in self.l1d)
+        group.set("l1d.hits", l1_hits)
+        group.set("l1d.misses", l1_misses)
+        group.merge_child(self.l2.stats())
+        return group

@@ -1,0 +1,85 @@
+"""Miss status holding registers (MSHRs).
+
+MSHRs track outstanding misses so that secondary misses to an in-flight block
+merge instead of issuing duplicate requests, and so the number of misses the
+core can overlap (its memory-level parallelism) is bounded by the MSHR count.
+The trace-driven front end uses this to derive the effective MLP fed to the
+analytic performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss."""
+
+    block_address: int
+    issue_time: int
+    merged_requests: int = 0
+    requestors: List[int] = field(default_factory=list)
+
+
+class MshrFile:
+    """A fixed-capacity file of MSHR entries."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self._entries: Dict[int, MshrEntry] = {}
+        # Statistics
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of in-flight misses."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True if no new primary miss can be accepted."""
+        return len(self._entries) >= self.num_entries
+
+    def lookup(self, block_address: int) -> bool:
+        """True if a miss to this block is already outstanding."""
+        return block_address in self._entries
+
+    # ------------------------------------------------------------------ #
+    def allocate(self, block_address: int, now: int, requestor: int = 0) -> bool:
+        """Register a primary miss.
+
+        Returns True on success, False if the file is full (the requestor must
+        stall); a secondary miss to an existing entry is merged and always
+        succeeds.
+        """
+        entry = self._entries.get(block_address)
+        if entry is not None:
+            entry.merged_requests += 1
+            entry.requestors.append(requestor)
+            self.merges += 1
+            return True
+        if self.full:
+            self.stalls += 1
+            return False
+        self._entries[block_address] = MshrEntry(
+            block_address=block_address, issue_time=now, requestors=[requestor]
+        )
+        self.allocations += 1
+        return True
+
+    def release(self, block_address: int) -> MshrEntry:
+        """Retire the entry when the fill returns; returns the entry."""
+        if block_address not in self._entries:
+            raise KeyError(f"no outstanding miss for block {block_address:#x}")
+        return self._entries.pop(block_address)
+
+    def outstanding_blocks(self) -> List[int]:
+        """Block addresses of all in-flight misses."""
+        return list(self._entries)

@@ -1,0 +1,171 @@
+"""Generic set-associative SRAM cache model (functional, with hit latency).
+
+Used for the L1 and L2 levels of the hierarchy.  The model is write-back /
+write-allocate, which matches the paper's system (dirty L2 victims appear as
+writes in the DRAM-cache request stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.config.system import SramCacheConfig
+from repro.stats.counters import StatGroup
+
+
+@dataclass
+class _Line:
+    """One cache line's bookkeeping state."""
+
+    valid: bool = False
+    dirty: bool = False
+    tag: int = -1
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    latency_cycles: int
+    #: Block address of a dirty victim written back as a result of the fill,
+    #: or None if the access caused no dirty eviction.
+    writeback_block: Optional[int] = None
+    #: Block address of the victim (clean or dirty), or None.
+    evicted_block: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache.
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency of the cache level.
+    replacement:
+        Replacement policy name understood by
+        :func:`repro.cache.replacement.make_policy`.
+    """
+
+    def __init__(self, config: SramCacheConfig, replacement: str = "lru") -> None:
+        config.validate()
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.block_size = config.block_size
+        self._lines: List[List[_Line]] = [
+            [_Line() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(replacement, self.associativity) for _ in range(self.num_sets)
+        ]
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def _index_and_tag(self, block_address: int) -> "tuple[int, int]":
+        return block_address % self.num_sets, block_address // self.num_sets
+
+    def _lookup(self, set_index: int, tag: int) -> int:
+        for way, line in enumerate(self._lines[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return -1
+
+    # ------------------------------------------------------------------ #
+    def contains(self, block_address: int) -> bool:
+        """True if the block is present (no statistics side effects)."""
+        set_index, tag = self._index_and_tag(block_address)
+        return self._lookup(set_index, tag) >= 0
+
+    def access(self, block_address: int, is_write: bool = False) -> CacheAccessResult:
+        """Access a block; on a miss the block is allocated (write-allocate)."""
+        if block_address < 0:
+            raise ValueError("block_address must be non-negative")
+        set_index, tag = self._index_and_tag(block_address)
+        way = self._lookup(set_index, tag)
+        policy = self._policies[set_index]
+
+        if way >= 0:
+            self.hits += 1
+            line = self._lines[set_index][way]
+            if is_write:
+                line.dirty = True
+            policy.on_access(way)
+            return CacheAccessResult(hit=True, latency_cycles=self.config.hit_latency_cycles)
+
+        self.misses += 1
+        writeback_block, evicted_block = self._fill(set_index, tag, is_write)
+        return CacheAccessResult(
+            hit=False,
+            latency_cycles=self.config.hit_latency_cycles,
+            writeback_block=writeback_block,
+            evicted_block=evicted_block,
+        )
+
+    def _fill(self, set_index: int, tag: int,
+              is_write: bool) -> "tuple[Optional[int], Optional[int]]":
+        policy = self._policies[set_index]
+        lines = self._lines[set_index]
+        victim_way = policy.victim([line.valid for line in lines])
+        victim = lines[victim_way]
+
+        writeback_block: Optional[int] = None
+        evicted_block: Optional[int] = None
+        if victim.valid:
+            evicted_block = victim.tag * self.num_sets + set_index
+            self.evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+                writeback_block = evicted_block
+
+        victim.valid = True
+        victim.dirty = is_write
+        victim.tag = tag
+        policy.on_fill(victim_way)
+        return writeback_block, evicted_block
+
+    def invalidate(self, block_address: int) -> bool:
+        """Drop a block if present; returns True if it was found."""
+        set_index, tag = self._index_and_tag(block_address)
+        way = self._lookup(set_index, tag)
+        if way < 0:
+            return False
+        self._lines[set_index][way] = _Line()
+        return True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Miss ratio (0.0 if no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (warm-up boundary)."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.evictions = 0
+
+    def stats(self) -> StatGroup:
+        """Hit/miss/eviction statistics for this level."""
+        group = StatGroup(self.config.name)
+        group.set("hits", self.hits)
+        group.set("misses", self.misses)
+        group.set("accesses", self.accesses)
+        group.set("miss_ratio", self.miss_ratio)
+        group.set("writebacks", self.writebacks)
+        group.set("evictions", self.evictions)
+        return group

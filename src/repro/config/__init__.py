@@ -1,0 +1,37 @@
+"""System and cache-design configuration.
+
+The classes here encode the evaluation setup of the paper:
+
+* :class:`repro.config.system.SystemConfig` -- the architectural parameters of
+  Table III (16-core scale-out pod, L1/L2 sizes, stacked and off-chip DRAM
+  organization and timings).
+* :class:`repro.config.cache_configs` -- per-design DRAM cache configurations
+  (Unison 960B/1984B pages, Alloy, Footprint 2KB pages) and the Footprint
+  Cache SRAM tag-array model of Table IV.
+"""
+
+from repro.config.system import (
+    CoreConfig,
+    DramChannelConfig,
+    SramCacheConfig,
+    SystemConfig,
+)
+from repro.config.cache_configs import (
+    AlloyCacheConfig,
+    FootprintCacheConfig,
+    UnisonCacheConfig,
+    footprint_tag_array_for_capacity,
+    FootprintTagArrayModel,
+)
+
+__all__ = [
+    "CoreConfig",
+    "DramChannelConfig",
+    "SramCacheConfig",
+    "SystemConfig",
+    "AlloyCacheConfig",
+    "FootprintCacheConfig",
+    "UnisonCacheConfig",
+    "footprint_tag_array_for_capacity",
+    "FootprintTagArrayModel",
+]

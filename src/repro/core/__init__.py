@@ -1,0 +1,15 @@
+"""Unison Cache -- the paper's primary contribution.
+
+* :mod:`repro.core.row_layout` -- how pages, embedded tags, bit vectors,
+  (PC, offset) pairs and LRU state are packed into an 8 KB DRAM row
+  (Figures 2 and 3).
+* :mod:`repro.core.unison` -- the functional + timing model of the cache:
+  page-based allocation with footprint fetching, DRAM-embedded tags read in
+  unison with the predicted way's data block, set-associativity with way
+  prediction, singleton bypass, and eviction-time footprint learning.
+"""
+
+from repro.core.row_layout import UnisonRowLayout
+from repro.core.unison import UnisonCache
+
+__all__ = ["UnisonRowLayout", "UnisonCache"]

@@ -1,0 +1,182 @@
+"""DRAM row organization of Unison Cache (paper Figures 2 and 3).
+
+An 8 KB DRAM row holds a whole number of *page frames* (8 frames of 960 B
+pages in the default configuration).  The metadata needed to determine block
+presence (page tag plus valid/dirty bit vectors, 8 bytes per page as drawn in
+Figure 2) for every frame of the row is packed together at the front so the
+tags of a whole set return in one short burst; the (PC, offset) pairs and LRU
+bits follow; the frames' data blocks fill the rest of the row.
+
+For the default configuration -- 960 B pages (15 blocks), 4 ways, 8 KB rows --
+each row holds two 4-way sets (8 frames): 64 B of presence metadata, ~50 B of
+other metadata, and 8 x 960 B = 7680 B of data, i.e. 120 data blocks per row
+(Table II).  When the associativity exceeds the frames per row (the 32-way
+sensitivity study of Figure 5), a set simply spans consecutive rows; the
+frame-based addressing below handles both cases uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cache_configs import UnisonCacheConfig
+
+
+@dataclass(frozen=True)
+class UnisonRowLayout:
+    """Byte-level layout of DRAM rows for a Unison Cache configuration.
+
+    Pages are addressed by *frame index*: frame ``f`` lives in DRAM row
+    ``f // pages_per_row`` at slot ``f % pages_per_row``.  The cache model
+    computes a page's frame index as ``set_index * associativity + way``.
+    """
+
+    config: UnisonCacheConfig
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        if self.data_base_offset + self.data_bytes_per_row > self.row_bytes:
+            raise ValueError(
+                "metadata and data do not fit in the row: "
+                f"{self.data_base_offset} + {self.data_bytes_per_row} "
+                f"> {self.row_bytes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def row_bytes(self) -> int:
+        """DRAM row size in bytes."""
+        return self.config.row_buffer_size
+
+    @property
+    def pages_per_row(self) -> int:
+        """Page frames stored in one row."""
+        return self.config.pages_per_row
+
+    @property
+    def sets_per_row(self) -> int:
+        """Complete sets per row (0 if a set spans several rows)."""
+        return self.config.sets_per_row
+
+    @property
+    def associativity(self) -> int:
+        """Pages per set."""
+        return self.config.associativity
+
+    @property
+    def page_data_bytes(self) -> int:
+        """Data bytes of one page."""
+        return self.config.page_data_bytes
+
+    @property
+    def data_bytes_per_row(self) -> int:
+        """Data bytes of all frames of one row."""
+        return self.pages_per_row * self.page_data_bytes
+
+    @property
+    def data_blocks_per_row(self) -> int:
+        """Data blocks stored per row (Table II's "64B Blocks per 8KB Row")."""
+        return self.pages_per_row * self.config.blocks_per_page
+
+    # ------------------------------------------------------------------ #
+    # Metadata sizing
+    # ------------------------------------------------------------------ #
+    @property
+    def presence_bytes_per_page(self) -> int:
+        """Bytes of presence metadata per page: tag + valid/dirty bit vectors.
+
+        A page tag of ~4 bytes plus two bit vectors of ``blocks_per_page``
+        bits each, rounded to whole bytes -- 8 bytes for 15-block pages,
+        matching Figure 2's 8-byte metadata unit.
+        """
+        vector_bytes = -(-self.config.blocks_per_page // 8)
+        return 4 + 2 * vector_bytes
+
+    @property
+    def presence_bytes_per_set(self) -> int:
+        """Presence metadata transferred on every access (32 B for 4 ways)."""
+        return self.presence_bytes_per_page * self.associativity
+
+    @property
+    def presence_bytes_per_row(self) -> int:
+        """Presence metadata stored at the front of each row."""
+        return self.presence_bytes_per_page * self.pages_per_row
+
+    @property
+    def pc_offset_bytes_per_page(self) -> int:
+        """Bytes of the (PC, offset) pair stored per page (read on eviction only)."""
+        return 6
+
+    @property
+    def lru_bytes_per_row(self) -> int:
+        """Bytes of replacement-policy state per row."""
+        return 2
+
+    @property
+    def metadata_bytes_per_row(self) -> int:
+        """Total metadata bytes per row."""
+        return (self.presence_bytes_per_row
+                + self.pc_offset_bytes_per_page * self.pages_per_row
+                + self.lru_bytes_per_row)
+
+    @property
+    def data_base_offset(self) -> int:
+        """Byte offset at which the data frames start within a row."""
+        return self.metadata_bytes_per_row
+
+    @property
+    def unused_bytes_per_row(self) -> int:
+        """Slack bytes per row (alignment padding)."""
+        return self.row_bytes - self.data_base_offset - self.data_bytes_per_row
+
+    # ------------------------------------------------------------------ #
+    # Frame-based addressing
+    # ------------------------------------------------------------------ #
+    def frame_index(self, set_index: int, way: int) -> int:
+        """Frame index of ``way`` of ``set_index``."""
+        if set_index < 0:
+            raise IndexError("set_index must be non-negative")
+        if not 0 <= way < self.associativity:
+            raise IndexError(f"way {way} out of range")
+        return set_index * self.associativity + way
+
+    def frame_row(self, frame: int) -> int:
+        """DRAM row index holding ``frame``."""
+        if frame < 0:
+            raise IndexError("frame must be non-negative")
+        return frame // self.pages_per_row
+
+    def frame_slot(self, frame: int) -> int:
+        """Position of ``frame`` within its row."""
+        if frame < 0:
+            raise IndexError("frame must be non-negative")
+        return frame % self.pages_per_row
+
+    def presence_metadata_offset(self, frame: int) -> int:
+        """Offset of the frame's presence metadata within its row."""
+        return self.frame_slot(frame) * self.presence_bytes_per_page
+
+    def other_metadata_offset(self, frame: int) -> int:
+        """Offset of the frame's (PC, offset) metadata (read on evictions)."""
+        return (self.presence_bytes_per_row
+                + self.frame_slot(frame) * self.pc_offset_bytes_per_page)
+
+    def block_offset(self, frame: int, block_index: int) -> int:
+        """Byte offset of one data block of ``frame`` within its row."""
+        if not 0 <= block_index < self.config.blocks_per_page:
+            raise IndexError(f"block_index {block_index} out of range")
+        return (self.data_base_offset
+                + self.frame_slot(frame) * self.page_data_bytes
+                + block_index * self.config.block_size)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Summary used by the Table II benchmark."""
+        return (
+            f"{self.pages_per_row} pages/row, {self.associativity} ways, "
+            f"{self.config.blocks_per_page} blocks/page, "
+            f"{self.data_blocks_per_row} data blocks/row, "
+            f"{self.presence_bytes_per_set}B presence metadata/set"
+        )

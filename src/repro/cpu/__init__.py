@@ -1,0 +1,13 @@
+"""Trace-driven CPU front end.
+
+The paper's performance numbers come from cycle-level simulation of a 16-core
+scale-out pod; this reproduction replaces the cores with a trace-driven front
+end (:class:`repro.cpu.cmp.TraceDrivenCmp`) plus the analytic performance
+model in :mod:`repro.sim.performance` -- see DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.cpu.core import TraceDrivenCore
+from repro.cpu.cmp import TraceDrivenCmp
+
+__all__ = ["TraceDrivenCore", "TraceDrivenCmp"]

@@ -1,0 +1,82 @@
+"""Chip multiprocessor front end.
+
+:class:`TraceDrivenCmp` glues the pieces of the evaluated system together for
+end-to-end runs: per-core trace replay, the crossbar to the shared L2, and a
+DRAM cache design in front of off-chip memory.  It reports the throughput
+metric the paper uses -- user instructions per total cycles, aggregated over
+all cores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.config.system import SystemConfig
+from repro.cpu.core import TraceDrivenCore
+from repro.dramcache.base import DramCacheModel
+from repro.interconnect.crossbar import Crossbar
+from repro.stats.counters import StatGroup
+from repro.trace.record import MemoryAccess
+
+
+class TraceDrivenCmp:
+    """A 16-core (by default) CMP driving one DRAM cache design."""
+
+    def __init__(self, dram_cache: DramCacheModel,
+                 config: Optional[SystemConfig] = None,
+                 instructions_per_access: float = 50.0) -> None:
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self.dram_cache = dram_cache
+        self.crossbar = Crossbar(
+            num_inputs=self.config.num_cores,
+            num_outputs=4,
+            traversal_latency=self.config.interconnect_latency_cycles,
+        )
+        self.cores: List[TraceDrivenCore] = [
+            TraceDrivenCore(core_id, self.config.core, instructions_per_access)
+            for core_id in range(self.config.num_cores)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Iterable[MemoryAccess]) -> None:
+        """Replay an L2-miss stream through the DRAM cache, charging each core."""
+        for request in requests:
+            core = self.cores[request.core_id % len(self.cores)]
+            core.retire_compute_window()
+            port = self.crossbar.output_port_for(request.address)
+            interconnect = self.crossbar.route(
+                request.core_id % self.crossbar.num_inputs, port
+            )
+            l2_latency = self.config.l2.hit_latency_cycles
+            result = self.dram_cache.access(request)
+            core.stall_for_memory(interconnect + l2_latency + result.latency_cycles)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_instructions(self) -> int:
+        """User instructions retired by all cores."""
+        return sum(core.progress.instructions for core in self.cores)
+
+    @property
+    def total_cycles(self) -> float:
+        """Execution time: the slowest core's cycle count."""
+        return max((core.progress.cycles for core in self.cores), default=0.0)
+
+    @property
+    def user_instructions_per_cycle(self) -> float:
+        """The paper's throughput metric: user instructions / total cycles."""
+        cycles = self.total_cycles
+        if cycles == 0:
+            return 0.0
+        return self.total_instructions / cycles
+
+    def stats(self) -> StatGroup:
+        """System-level statistics."""
+        group = StatGroup("cmp")
+        group.set("instructions", self.total_instructions)
+        group.set("cycles", self.total_cycles)
+        group.set("uipc", self.user_instructions_per_cycle)
+        group.merge_child(self.crossbar.stats())
+        group.merge_child(self.dram_cache.stats())
+        return group

@@ -1,0 +1,85 @@
+"""Trace-driven core model.
+
+A :class:`TraceDrivenCore` replays one core's share of a workload trace and
+accounts, per instruction window, how many cycles the core spends computing
+versus waiting for memory.  The model is deliberately first-order: the core
+issues ``base_ipc`` instructions per cycle until it reaches a memory access
+that misses the on-chip hierarchy, at which point it stalls for the miss
+latency divided by the core's memory-level parallelism.  This is the same
+abstraction the analytic performance model uses; the core class exists so
+examples and tests can exercise the per-core accounting explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import CoreConfig
+from repro.stats.counters import StatGroup
+
+
+@dataclass
+class CoreProgress:
+    """Cumulative progress of one core."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    memory_stall_cycles: float = 0.0
+    offchip_requests: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """User instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class TraceDrivenCore:
+    """One core of the CMP, replaying its portion of the access trace."""
+
+    def __init__(self, core_id: int, config: CoreConfig = None,
+                 instructions_per_access: float = 50.0) -> None:
+        if instructions_per_access <= 0:
+            raise ValueError("instructions_per_access must be positive")
+        self.core_id = core_id
+        self.config = config or CoreConfig()
+        #: How many instructions the core retires, on average, between two
+        #: DRAM-cache requests (the inverse of the L2 MPKI times 1000).
+        self.instructions_per_access = instructions_per_access
+        self.progress = CoreProgress()
+
+    # ------------------------------------------------------------------ #
+    def retire_compute_window(self) -> None:
+        """Account the instructions executed between two memory requests."""
+        instructions = self.instructions_per_access
+        self.progress.instructions += int(instructions)
+        self.progress.cycles += instructions / self.config.base_ipc
+
+    def stall_for_memory(self, latency_cycles: float) -> None:
+        """Account a memory request of the given latency.
+
+        The effective stall is the latency divided by the core's memory-level
+        parallelism: an out-of-order core overlaps independent misses.
+        """
+        if latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+        effective = latency_cycles / max(1.0, self.config.mlp)
+        self.progress.cycles += effective
+        self.progress.memory_stall_cycles += effective
+        self.progress.offchip_requests += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ipc(self) -> float:
+        """User IPC achieved so far."""
+        return self.progress.ipc
+
+    def stats(self) -> StatGroup:
+        """Per-core accounting."""
+        group = StatGroup(f"core{self.core_id}")
+        group.set("instructions", self.progress.instructions)
+        group.set("cycles", self.progress.cycles)
+        group.set("memory_stall_cycles", self.progress.memory_stall_cycles)
+        group.set("ipc", self.ipc)
+        return group

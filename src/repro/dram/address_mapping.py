@@ -1,0 +1,64 @@
+"""Address decomposition into DRAM coordinates.
+
+The controller interleaves consecutive DRAM rows across channels and banks
+(row:bank:channel order below the row-buffer-sized stripe), which maximizes
+bank-level parallelism for the footprint-granularity transfers the DRAM cache
+performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Location of a byte address within the DRAM organization."""
+
+    channel: int
+    bank: int
+    row: int
+    column_byte: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Maps byte addresses to (channel, bank, row, column).
+
+    Parameters
+    ----------
+    num_channels:
+        Number of independent channels.
+    banks_per_channel:
+        Banks per channel (rank detail is folded into the bank count).
+    row_bytes:
+        Row-buffer size in bytes.
+    """
+
+    num_channels: int
+    banks_per_channel: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0 or self.banks_per_channel <= 0:
+            raise ValueError("channel and bank counts must be positive")
+        if self.row_bytes <= 0:
+            raise ValueError("row_bytes must be positive")
+
+    def decompose(self, address: int) -> DramCoordinates:
+        """Decompose a byte address into DRAM coordinates."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        column = address % self.row_bytes
+        stripe = address // self.row_bytes
+        channel = stripe % self.num_channels
+        stripe //= self.num_channels
+        bank = stripe % self.banks_per_channel
+        row = stripe // self.banks_per_channel
+        return DramCoordinates(channel=channel, bank=bank, row=row, column_byte=column)
+
+    def row_base_address(self, coords: DramCoordinates) -> int:
+        """Inverse of :meth:`decompose` for the start of a row."""
+        stripe = (coords.row * self.banks_per_channel + coords.bank) * self.num_channels
+        stripe += coords.channel
+        return stripe * self.row_bytes

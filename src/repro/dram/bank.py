@@ -1,0 +1,128 @@
+"""Per-bank row-buffer state machine.
+
+A :class:`Bank` tracks which row (if any) is open in its row buffer and the
+earliest cycle at which the next activate / column access / precharge may be
+issued, honouring tRCD, tCAS, tRAS, tRP, tRC, tWR and tRTP.  The controller
+asks a bank to perform a column access to a given row at a given time and
+receives back the cycle at which the data transfer begins, plus whether the
+access was a row-buffer hit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.timing import DramTimings
+
+
+class BankState(enum.Enum):
+    """Row-buffer state of a bank."""
+
+    IDLE = "idle"          # no row open (precharged)
+    ACTIVE = "active"      # a row is open in the row buffer
+
+
+@dataclass
+class ColumnAccessResult:
+    """Outcome of a column access issued to a bank."""
+
+    #: Cycle at which the first data beat appears on the bus.
+    data_start_cycle: int
+    #: True if the access hit in the open row buffer.
+    row_hit: bool
+    #: True if another row had to be closed first (row-buffer conflict).
+    row_conflict: bool
+
+
+class Bank:
+    """One DRAM bank with an open-page policy."""
+
+    def __init__(self, timings: DramTimings) -> None:
+        self.timings = timings
+        self.state = BankState.IDLE
+        self.open_row: int = -1
+        # Earliest cycles at which each command type may next be issued.
+        self._next_activate = 0
+        self._next_column = 0
+        self._next_precharge = 0
+        # Statistics
+        self.activations = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+
+    # ------------------------------------------------------------------ #
+    def _issue_precharge(self, now: int) -> int:
+        """Close the open row; returns the cycle the bank becomes IDLE."""
+        issue = max(now, self._next_precharge)
+        done = issue + self.timings.t_rp
+        self.state = BankState.IDLE
+        self.open_row = -1
+        self._next_activate = max(self._next_activate, done)
+        return done
+
+    def _issue_activate(self, row: int, now: int) -> int:
+        """Open ``row``; returns the cycle at which column commands may issue."""
+        t = self.timings
+        issue = max(now, self._next_activate)
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.activations += 1
+        # The next activate to this bank must respect tRC; precharge must
+        # respect tRAS.
+        self._next_activate = issue + t.t_rc
+        self._next_precharge = issue + t.t_ras
+        column_ready = issue + t.t_rcd
+        self._next_column = max(self._next_column, column_ready)
+        return column_ready
+
+    # ------------------------------------------------------------------ #
+    def access(self, row: int, now: int, is_write: bool = False) -> ColumnAccessResult:
+        """Perform a column access to ``row`` at time ``now``.
+
+        Follows the open-page policy: a row-buffer hit issues the column
+        command immediately; a miss activates the row (precharging first if a
+        different row is open).
+        """
+        if row < 0:
+            raise ValueError("row must be non-negative")
+        t = self.timings
+        row_hit = self.state is BankState.ACTIVE and self.open_row == row
+        row_conflict = self.state is BankState.ACTIVE and self.open_row != row
+
+        if row_hit:
+            self.row_hits += 1
+            column_issue = max(now, self._next_column)
+        else:
+            if row_conflict:
+                self.row_conflicts += 1
+                ready = self._issue_precharge(now)
+            else:
+                self.row_misses += 1
+                ready = max(now, self._next_activate)
+            column_issue = self._issue_activate(row, ready)
+            column_issue = max(column_issue, self._next_column, now)
+
+        data_start = column_issue + (t.t_cas if not is_write else 0)
+        if is_write:
+            # Write recovery constrains the next precharge and column command.
+            self._next_precharge = max(
+                self._next_precharge, column_issue + t.t_wr
+            )
+            self._next_column = max(self._next_column, column_issue + t.t_wtr)
+        else:
+            self._next_precharge = max(
+                self._next_precharge, column_issue + t.t_rtp
+            )
+            self._next_column = max(self._next_column, column_issue + 1)
+
+        return ColumnAccessResult(
+            data_start_cycle=data_start,
+            row_hit=row_hit,
+            row_conflict=row_conflict,
+        )
+
+    def is_row_open(self, row: int) -> bool:
+        """True if ``row`` is currently open in the row buffer."""
+        return self.state is BankState.ACTIVE and self.open_row == row

@@ -1,0 +1,103 @@
+"""A DRAM channel: a set of banks sharing command and data buses.
+
+The channel enforces the inter-bank constraints that the per-bank state
+machines cannot see: the tRRD minimum spacing between activates, the tFAW
+four-activate window, and the occupancy of the shared data bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DramTimings
+
+
+class Channel:
+    """One DRAM channel with ``num_banks`` banks and a shared data bus."""
+
+    def __init__(self, timings: DramTimings, num_banks: int) -> None:
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self.timings = timings
+        self.banks: List[Bank] = [Bank(timings) for _ in range(num_banks)]
+        self._data_bus_free = 0
+        self._recent_activates: Deque[int] = deque(maxlen=4)
+        self._last_activate = -(10 ** 9)
+        # Statistics
+        self.reads = 0
+        self.writes = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------ #
+    def _activate_constraint(self, now: int) -> int:
+        """Earliest cycle a new activate may issue given tRRD / tFAW."""
+        earliest = max(now, self._last_activate + self.timings.t_rrd)
+        if len(self._recent_activates) == self._recent_activates.maxlen:
+            earliest = max(earliest, self._recent_activates[0] + self.timings.t_faw)
+        return earliest
+
+    def _record_activate(self, cycle: int) -> None:
+        self._recent_activates.append(cycle)
+        self._last_activate = cycle
+
+    # ------------------------------------------------------------------ #
+    def access(self, bank_index: int, row: int, num_bytes: int, now: int,
+               is_write: bool = False) -> "ChannelAccessResult":
+        """Perform one column access transferring ``num_bytes``.
+
+        Returns the completion cycle of the data transfer along with
+        row-buffer outcome information.
+        """
+        if not 0 <= bank_index < len(self.banks):
+            raise IndexError(f"bank index {bank_index} out of range")
+        bank = self.banks[bank_index]
+
+        will_activate = not bank.is_row_open(row)
+        issue_time = now
+        if will_activate:
+            issue_time = self._activate_constraint(now)
+
+        result = bank.access(row, issue_time, is_write=is_write)
+        if will_activate:
+            self._record_activate(issue_time)
+
+        transfer_cycles = self.timings.data_cycles(num_bytes)
+        data_start = max(result.data_start_cycle, self._data_bus_free)
+        data_end = data_start + transfer_cycles
+        self._data_bus_free = data_end
+
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.bytes_transferred += max(0, num_bytes)
+
+        return ChannelAccessResult(
+            completion_cycle=data_end,
+            data_start_cycle=data_start,
+            row_hit=result.row_hit,
+            row_conflict=result.row_conflict,
+            activated=will_activate,
+        )
+
+    @property
+    def total_activations(self) -> int:
+        """Row activations summed over all banks."""
+        return sum(bank.activations for bank in self.banks)
+
+
+class ChannelAccessResult:
+    """Outcome of a channel access."""
+
+    __slots__ = ("completion_cycle", "data_start_cycle", "row_hit",
+                 "row_conflict", "activated")
+
+    def __init__(self, completion_cycle: int, data_start_cycle: int,
+                 row_hit: bool, row_conflict: bool, activated: bool) -> None:
+        self.completion_cycle = completion_cycle
+        self.data_start_cycle = data_start_cycle
+        self.row_hit = row_hit
+        self.row_conflict = row_conflict
+        self.activated = activated

@@ -1,0 +1,121 @@
+"""DRAM controller front-end.
+
+:class:`DramController` is the interface the DRAM cache models and the main
+memory use: it maps addresses to channels/banks/rows, performs accesses
+against the timing model, and reports latencies in **CPU cycles** so callers
+never handle DRAM-bus cycles directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.system import DramChannelConfig
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.channel import Channel
+from repro.dram.timing import DramTimings
+from repro.stats.counters import StatGroup
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Latency and row-buffer outcome of one DRAM access."""
+
+    latency_cpu_cycles: int
+    row_hit: bool
+    activated: bool
+
+
+class DramController:
+    """Open-page controller over one or more channels.
+
+    The controller keeps a coarse notion of time: callers pass the CPU cycle
+    at which a request arrives, and receive its latency.  Internally the
+    per-bank and per-bus constraints are tracked in DRAM bus cycles.
+
+    Parameters
+    ----------
+    config:
+        Channel organization and timing parameters.
+    cpu_frequency_ghz:
+        CPU frequency used to convert latencies to CPU cycles.
+    """
+
+    def __init__(self, config: DramChannelConfig, cpu_frequency_ghz: float = 3.0) -> None:
+        config.validate()
+        self.config = config
+        self.cpu_frequency_ghz = cpu_frequency_ghz
+        self.timings = DramTimings.from_channel_config(config)
+        self.channels: List[Channel] = [
+            Channel(self.timings, config.banks_per_rank)
+            for _ in range(config.num_channels)
+        ]
+        self.mapping = AddressMapping(
+            num_channels=config.num_channels,
+            banks_per_channel=config.banks_per_rank,
+            row_bytes=config.row_buffer_bytes,
+        )
+        self._cpu_per_dram = (cpu_frequency_ghz * 1000.0) / config.frequency_mhz
+        self.total_requests = 0
+
+    # ------------------------------------------------------------------ #
+    def _to_dram_cycles(self, cpu_cycle: int) -> int:
+        return int(cpu_cycle / self._cpu_per_dram)
+
+    def _to_cpu_cycles(self, dram_cycles: float) -> int:
+        return int(-(-dram_cycles * self._cpu_per_dram // 1))
+
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, num_bytes: int, now_cpu: int = 0,
+               is_write: bool = False) -> AccessResult:
+        """Access ``num_bytes`` starting at ``address``.
+
+        The transfer is assumed to stay within one DRAM row (the DRAM cache
+        models guarantee this by construction); latency is returned in CPU
+        cycles from request arrival to last data beat.
+        """
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        coords = self.mapping.decompose(address)
+        channel = self.channels[coords.channel]
+        now_dram = self._to_dram_cycles(now_cpu)
+        result = channel.access(
+            coords.bank, coords.row, num_bytes, now_dram, is_write=is_write
+        )
+        self.total_requests += 1
+        latency_dram = result.completion_cycle - now_dram
+        return AccessResult(
+            latency_cpu_cycles=self._to_cpu_cycles(latency_dram),
+            row_hit=result.row_hit,
+            activated=result.activated,
+        )
+
+    def row_of(self, address: int) -> int:
+        """Global row identifier for ``address`` (used to detect same-row accesses)."""
+        coords = self.mapping.decompose(address)
+        return ((coords.row * self.mapping.banks_per_channel) + coords.bank) \
+            * self.mapping.num_channels + coords.channel
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_activations(self) -> int:
+        """Row activations across all channels (energy proxy, Section V-D)."""
+        return sum(channel.total_activations for channel in self.channels)
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        """Bytes moved over all data buses."""
+        return sum(channel.bytes_transferred for channel in self.channels)
+
+    def stats(self) -> StatGroup:
+        """Controller-level statistics."""
+        group = StatGroup(self.config.name)
+        group.set("requests", self.total_requests)
+        group.set("activations", self.total_activations)
+        group.set("bytes_transferred", self.total_bytes_transferred)
+        reads = sum(c.reads for c in self.channels)
+        writes = sum(c.writes for c in self.channels)
+        group.set("reads", reads)
+        group.set("writes", writes)
+        return group

@@ -1,0 +1,83 @@
+"""DRAM timing parameters.
+
+All values are in DRAM command-bus cycles.  The defaults are the stacked-DRAM
+parameters of the paper's Table III; :meth:`DramTimings.from_channel_config`
+builds timings from any :class:`repro.config.system.DramChannelConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import DramChannelConfig
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Timing constraints of a DRAM device (in DRAM bus cycles)."""
+
+    t_cas: int = 11
+    t_rcd: int = 11
+    t_rp: int = 11
+    t_ras: int = 28
+    t_rc: int = 39
+    t_wr: int = 12
+    t_wtr: int = 6
+    t_rtp: int = 6
+    t_rrd: int = 5
+    t_faw: int = 24
+    burst_length: int = 8
+    #: Data bus width in bits; with DDR signalling a burst of length 8
+    #: transfers ``burst_length * bus_width_bits / 8`` bytes.
+    bus_width_bits: int = 128
+    frequency_mhz: float = 1600.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_cas", "t_rcd", "t_rp", "t_ras", "t_rc", "t_wr",
+                     "t_wtr", "t_rtp", "t_rrd", "t_faw", "burst_length"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.bus_width_bits % 8:
+            raise ValueError("bus_width_bits must be a multiple of 8")
+        if self.t_rc < self.t_ras:
+            raise ValueError("t_rc must be >= t_ras")
+
+    @classmethod
+    def from_channel_config(cls, config: DramChannelConfig) -> "DramTimings":
+        """Build timings from a :class:`DramChannelConfig`."""
+        return cls(
+            t_cas=config.t_cas,
+            t_rcd=config.t_rcd,
+            t_rp=config.t_rp,
+            t_ras=config.t_ras,
+            t_rc=config.t_rc,
+            t_wr=config.t_wr,
+            t_wtr=config.t_wtr,
+            t_rtp=config.t_rtp,
+            t_rrd=config.t_rrd,
+            t_faw=config.t_faw,
+            burst_length=config.burst_length,
+            bus_width_bits=config.bus_width_bits,
+            frequency_mhz=config.frequency_mhz,
+        )
+
+    @property
+    def bytes_per_burst_cycle(self) -> int:
+        """Bytes transferred per bus cycle (double data rate)."""
+        return self.bus_width_bits // 4
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes transferred by one full burst (``burst_length`` beats)."""
+        return self.burst_length * self.bus_width_bits // 8
+
+    def data_cycles(self, num_bytes: int) -> int:
+        """Bus cycles occupied transferring ``num_bytes`` (rounded up, min 1)."""
+        if num_bytes <= 0:
+            return 0
+        return max(1, -(-num_bytes // self.bytes_per_burst_cycle))
+
+    def cpu_cycles(self, dram_cycles: float, cpu_frequency_ghz: float = 3.0) -> int:
+        """Convert DRAM bus cycles to CPU cycles (rounded up)."""
+        ratio = cpu_frequency_ghz * 1000.0 / self.frequency_mhz
+        return int(-(-dram_cycles * ratio // 1))

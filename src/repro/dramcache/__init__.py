@@ -1,0 +1,16 @@
+"""Common infrastructure for die-stacked DRAM cache designs.
+
+Defines the request/response interface every design implements
+(:class:`repro.dramcache.base.DramCacheModel`), the shared statistics record
+(:class:`repro.dramcache.stats.DramCacheStats`), and the latency components a
+design reports per access.
+"""
+
+from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.stats import DramCacheStats
+
+__all__ = [
+    "DramCacheAccessResult",
+    "DramCacheModel",
+    "DramCacheStats",
+]

@@ -1,0 +1,112 @@
+"""Abstract interface of a die-stacked DRAM cache design.
+
+Every design (Unison, Alloy, Footprint, Ideal, NoCache) consumes the same
+request stream -- :class:`repro.trace.record.MemoryAccess` records, i.e. the
+L2-miss stream -- and reports per-access outcomes through the same
+:class:`DramCacheAccessResult`, so the experiment harness, the performance
+model and the benchmark suite treat all designs uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dramcache.stats import DramCacheStats
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+from repro.stats.counters import StatGroup
+from repro.trace.record import MemoryAccess
+
+
+@dataclass(frozen=True)
+class DramCacheAccessResult:
+    """Outcome of one DRAM-cache access."""
+
+    hit: bool
+    #: Latency of the access in CPU cycles, measured at the DRAM cache
+    #: controller (excludes the L1/L2/interconnect portion, which the
+    #: performance model adds uniformly for all designs).
+    latency_cycles: int
+    #: 64-byte blocks fetched from off-chip memory as a consequence of this
+    #: access (demand block + any speculatively fetched footprint blocks).
+    offchip_blocks_fetched: int = 0
+    #: Dirty blocks written back off-chip as a consequence of this access.
+    offchip_blocks_written: int = 0
+
+
+class DramCacheModel(abc.ABC):
+    """Base class for all DRAM cache designs.
+
+    Subclasses implement :meth:`_service_request`; the public :meth:`access`
+    wrapper advances the model's clock in a *closed-loop* fashion -- the next
+    request is issued one inter-arrival gap after the previous one completes.
+    This keeps the DRAM timing model in its unloaded-latency regime (the
+    regime the paper's latency arguments are about) instead of accumulating
+    unbounded queueing backlog when a trace is replayed back-to-back.
+    """
+
+    #: Short machine-readable design name, overridden by subclasses.
+    design_name: str = "base"
+
+    def __init__(self, capacity_bytes: int, stacked: StackedDram = None,
+                 memory: MainMemory = None,
+                 interarrival_cycles: int = 6) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.stacked = stacked if stacked is not None else StackedDram()
+        self.memory = memory if memory is not None else MainMemory()
+        self.cache_stats = DramCacheStats(name=self.design_name)
+        self._interarrival = max(1, interarrival_cycles)
+        self._now = 0
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
+        """Service one request at time ``self._now`` and return its outcome."""
+
+    def access(self, request: MemoryAccess) -> DramCacheAccessResult:
+        """Service one request, advancing the closed-loop clock."""
+        self._now += self._interarrival
+        result = self._service_request(request)
+        self._now += max(0, result.latency_cycles)
+        return result
+
+    def run(self, requests: Iterable[MemoryAccess]) -> DramCacheStats:
+        """Service a whole request stream and return the statistics record."""
+        for request in requests:
+            self.access(request)
+        return self.cache_stats
+
+    def warm_up(self, requests: Iterable[MemoryAccess]) -> None:
+        """Service requests, then discard the statistics gathered while doing so."""
+        for request in requests:
+            self.access(request)
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Reset statistics without touching cache contents (warm-up boundary)."""
+        self.cache_stats.reset()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def miss_ratio(self) -> float:
+        """Convenience accessor for the measured miss ratio."""
+        return self.cache_stats.miss_ratio
+
+    def stats(self) -> StatGroup:
+        """Design statistics plus the underlying device statistics."""
+        group = StatGroup(self.design_name)
+        group.merge_child(self.cache_stats.stats())
+        group.merge_child(self.memory.stats())
+        group.merge_child(self.stacked.stats())
+        return group
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        from repro.utils.units import format_size
+
+        return f"{self.design_name}({format_size(self.capacity_bytes)})"

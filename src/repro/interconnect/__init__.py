@@ -1,0 +1,5 @@
+"""On-chip interconnect models."""
+
+from repro.interconnect.crossbar import Crossbar
+
+__all__ = ["Crossbar"]

@@ -1,0 +1,58 @@
+"""Crossbar interconnect model.
+
+The evaluated CMP connects 16 cores to 4 L2 banks through a 16x4 crossbar
+(Table III).  The model charges a fixed traversal latency plus a simple
+contention term when several requests target the same output port in the same
+cycle window; it is used by the full-system assembly and by the performance
+model's constant L2-access component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.stats.counters import StatGroup
+
+
+class Crossbar:
+    """A fixed-latency crossbar with per-output-port contention tracking."""
+
+    def __init__(self, num_inputs: int = 16, num_outputs: int = 4,
+                 traversal_latency: int = 4) -> None:
+        if num_inputs <= 0 or num_outputs <= 0:
+            raise ValueError("port counts must be positive")
+        if traversal_latency < 0:
+            raise ValueError("traversal_latency must be non-negative")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.traversal_latency = traversal_latency
+        self._port_busy_until: Dict[int, int] = {}
+        self.transfers = 0
+        self.contended_transfers = 0
+
+    def route(self, input_port: int, output_port: int, now: int = 0) -> int:
+        """Route one flit; returns the latency including any port contention."""
+        if not 0 <= input_port < self.num_inputs:
+            raise ValueError(f"input_port {input_port} out of range")
+        if not 0 <= output_port < self.num_outputs:
+            raise ValueError(f"output_port {output_port} out of range")
+        busy_until = self._port_busy_until.get(output_port, 0)
+        wait = max(0, busy_until - now)
+        if wait:
+            self.contended_transfers += 1
+        start = now + wait
+        self._port_busy_until[output_port] = start + 1
+        self.transfers += 1
+        return wait + self.traversal_latency
+
+    def output_port_for(self, address: int) -> int:
+        """Bank selection: interleave L2 banks on 64-byte block addresses."""
+        return (address // 64) % self.num_outputs
+
+    def stats(self) -> StatGroup:
+        """Transfer and contention statistics."""
+        group = StatGroup("crossbar")
+        group.set("transfers", self.transfers)
+        group.set("contended_transfers", self.contended_transfers)
+        group.set("traversal_latency", self.traversal_latency)
+        return group

@@ -1,0 +1,14 @@
+"""Memory devices built on the DRAM timing model.
+
+* :class:`repro.mem.main_memory.MainMemory` -- the off-chip DDR3-1600 channel;
+  the DRAM cache designs send their misses, footprint fetches and dirty
+  write-backs here.  It tracks off-chip traffic and row activations (the
+  energy proxy of Section V-D).
+* :class:`repro.mem.stacked.StackedDram` -- the in-package die-stacked DRAM
+  that holds the cache's data (and, for Unison and Alloy, its tags).
+"""
+
+from repro.mem.main_memory import MainMemory
+from repro.mem.stacked import StackedDram
+
+__all__ = ["MainMemory", "StackedDram"]

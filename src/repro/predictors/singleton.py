@@ -1,0 +1,123 @@
+"""Singleton table.
+
+A significant fraction of page footprints contain only a single block
+("singletons"); allocating a whole page frame for them wastes capacity, so
+Unison Cache (like Footprint Cache) does not allocate a page when the
+footprint predictor says "singleton" -- the block is fetched and forwarded.
+Because un-allocated pages never get evicted, the usual eviction-time
+correction path cannot fix a wrong singleton prediction; the small singleton
+table fills that gap by remembering recent singleton pages and watching for a
+second block being demanded (Section III-A.4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.stats.counters import StatGroup
+from repro.utils.bitvector import BitVector
+
+
+@dataclass
+class SingletonEntry:
+    """State kept for one page that was predicted (and served) as a singleton."""
+
+    page_number: int
+    trigger_pc: int
+    trigger_offset: int
+    observed: BitVector
+
+
+class SingletonTable:
+    """LRU table of recently-seen singleton pages.
+
+    Parameters
+    ----------
+    num_entries:
+        Capacity of the table (the paper's table is 3 KB, on the order of a
+        few hundred entries).
+    blocks_per_page:
+        Width of the observed-block bit vectors.
+    """
+
+    def __init__(self, num_entries: int = 256, blocks_per_page: int = 15) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        if blocks_per_page <= 0:
+            raise ValueError("blocks_per_page must be positive")
+        self.num_entries = num_entries
+        self.blocks_per_page = blocks_per_page
+        self._entries: "OrderedDict[int, SingletonEntry]" = OrderedDict()
+        # Statistics
+        self.insertions = 0
+        self.promotions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def insert(self, page_number: int, trigger_pc: int, trigger_offset: int) -> None:
+        """Record a page that was just served as a singleton."""
+        if not 0 <= trigger_offset < self.blocks_per_page:
+            raise ValueError("trigger_offset out of range")
+        observed = BitVector.from_indices(self.blocks_per_page, [trigger_offset])
+        entry = SingletonEntry(
+            page_number=page_number,
+            trigger_pc=trigger_pc,
+            trigger_offset=trigger_offset,
+            observed=observed,
+        )
+        if page_number in self._entries:
+            self._entries.pop(page_number)
+        elif len(self._entries) >= self.num_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[page_number] = entry
+        self.insertions += 1
+
+    def lookup(self, page_number: int) -> Optional[SingletonEntry]:
+        """Return the entry for a page (refreshing its recency), or None."""
+        entry = self._entries.get(page_number)
+        if entry is not None:
+            self._entries.move_to_end(page_number)
+        return entry
+
+    def record_access(self, page_number: int,
+                      block_offset: int) -> Optional[Tuple[int, int, BitVector]]:
+        """Note a demand to ``block_offset`` of a tracked singleton page.
+
+        If the access shows the page is *not* actually a singleton, the entry
+        is removed and ``(trigger_pc, trigger_offset, observed_footprint)`` is
+        returned so the caller can correct the footprint predictor and, if it
+        chooses, allocate the page properly.  Returns None otherwise.
+        """
+        entry = self.lookup(page_number)
+        if entry is None:
+            return None
+        if not 0 <= block_offset < self.blocks_per_page:
+            raise ValueError("block_offset out of range")
+        entry.observed.set(block_offset)
+        if entry.observed.popcount() > 1:
+            del self._entries[page_number]
+            self.promotions += 1
+            return entry.trigger_pc, entry.trigger_offset, entry.observed.copy()
+        return None
+
+    def remove(self, page_number: int) -> bool:
+        """Drop a page from the table; returns True if it was present."""
+        return self._entries.pop(page_number, None) is not None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of pages currently tracked."""
+        return len(self._entries)
+
+    def stats(self) -> StatGroup:
+        """Table statistics."""
+        group = StatGroup("singleton_table")
+        group.set("insertions", self.insertions)
+        group.set("promotions", self.promotions)
+        group.set("evictions", self.evictions)
+        group.set("occupancy", self.occupancy)
+        return group

@@ -1,0 +1,28 @@
+"""Simulation and experiment layer.
+
+* :mod:`repro.sim.performance` -- the analytic performance model that converts
+  measured DRAM-cache behaviour into the user-IPC / speedup numbers of
+  Figures 7 and 8.
+* :mod:`repro.sim.factory` -- construction of every evaluated design at any
+  (possibly scaled-down) capacity.
+* :mod:`repro.sim.experiment` -- the experiment runner used by the examples
+  and by every benchmark: warm-up, measurement, and a uniform result record.
+* :mod:`repro.sim.sampling` -- SimFlex-style repeated measurement windows with
+  confidence intervals.
+"""
+
+from repro.sim.performance import PerformanceModel
+from repro.sim.factory import DESIGN_NAMES, make_design
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.sim.sampling import SampledMeasurement, SamplingRunner
+
+__all__ = [
+    "PerformanceModel",
+    "DESIGN_NAMES",
+    "make_design",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "SampledMeasurement",
+    "SamplingRunner",
+]

@@ -1,0 +1,246 @@
+"""Experiment runner.
+
+The runner reproduces the paper's methodology at laptop scale:
+
+1. build a DRAM cache design for a given *paper* capacity, structurally
+   identical to the paper's configuration but with the number of sets scaled
+   down by ``scale`` (the synthetic workload's working set is scaled by the
+   same factor, so capacity-to-working-set ratios -- and therefore hit-ratio
+   trends -- are preserved);
+2. replay a warm-up portion of the workload (the paper uses two thirds of
+   each trace for warm-up), reset statistics, and measure the remainder;
+3. report a uniform :class:`ExperimentResult` containing the miss ratio,
+   latencies, predictor accuracies, off-chip traffic, row activations, and
+   the speedup over a no-DRAM-cache system computed by the analytic
+   performance model.
+
+Every benchmark under ``benchmarks/`` and every example is a thin wrapper
+around this runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.alloy import AlloyCache
+from repro.baselines.no_cache import NoDramCache
+from repro.config.system import SystemConfig
+from repro.core.unison import UnisonCache
+from repro.dramcache.base import DramCacheModel
+from repro.sim.factory import make_design
+from repro.sim.performance import PerformanceModel
+from repro.trace.record import MemoryAccess
+from repro.utils.units import format_size, parse_size, SizeLike
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of one experiment run."""
+
+    #: Capacity scale-down factor (structure and working set shrink together).
+    scale: int = 128
+    #: Total accesses replayed (warm-up plus measurement).
+    num_accesses: int = 240_000
+    #: Fraction of the trace used for warm-up (the paper uses two thirds).
+    warmup_fraction: float = 2.0 / 3.0
+    #: Number of interleaved cores in the synthetic trace.
+    num_cores: int = 16
+    #: Workload generator seed.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform record of one (design, workload, capacity) measurement."""
+
+    design: str
+    workload: str
+    capacity: str
+    scale: int
+    accesses_measured: int
+
+    miss_ratio: float
+    hit_ratio: float
+    average_hit_latency: float
+    average_miss_latency: float
+    average_access_latency: float
+
+    offchip_blocks_per_access: float
+    offchip_demand_blocks: int
+    offchip_prefetch_blocks: int
+    offchip_writeback_blocks: int
+    offchip_row_activations: int
+    stacked_row_activations: int
+
+    footprint_accuracy: Optional[float] = None
+    footprint_overfetch: Optional[float] = None
+    way_prediction_accuracy: Optional[float] = None
+    miss_prediction_accuracy: Optional[float] = None
+    miss_predictor_overfetch: Optional[float] = None
+
+    speedup_vs_no_cache: Optional[float] = None
+    user_ipc: Optional[float] = None
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def miss_ratio_percent(self) -> float:
+        """Miss ratio in percent, as plotted in Figures 5 and 6."""
+        return 100.0 * self.miss_ratio
+
+
+class ExperimentRunner:
+    """Builds designs, replays workloads, and produces :class:`ExperimentResult`."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None,
+                 system: Optional[SystemConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self.system = system or SystemConfig()
+        self.performance = PerformanceModel(self.system)
+
+    # ------------------------------------------------------------------ #
+    # Trace construction
+    # ------------------------------------------------------------------ #
+    def build_trace(self, profile: WorkloadProfile) -> List[MemoryAccess]:
+        """Materialize the scaled workload trace for this experiment."""
+        scaled_profile = profile.scaled(
+            max(profile.region_size * 64, profile.working_set_bytes // self.config.scale)
+        )
+        workload = SyntheticWorkload(
+            scaled_profile,
+            num_cores=self.config.num_cores,
+            seed=self.config.seed,
+        )
+        return workload.generate(self.config.num_accesses)
+
+    def _split(self, trace: Sequence[MemoryAccess]) -> "tuple[Sequence[MemoryAccess], Sequence[MemoryAccess]]":
+        split = int(len(trace) * self.config.warmup_fraction)
+        return trace[:split], trace[split:]
+
+    # ------------------------------------------------------------------ #
+    # Running designs
+    # ------------------------------------------------------------------ #
+    def run_design(self, design_name: str, profile: WorkloadProfile,
+                   capacity: SizeLike,
+                   trace: Optional[Sequence[MemoryAccess]] = None,
+                   associativity: Optional[int] = None) -> ExperimentResult:
+        """Run one design over one workload at one (paper) capacity."""
+        if trace is None:
+            trace = self.build_trace(profile)
+        warmup, measure = self._split(trace)
+
+        design = make_design(
+            design_name, capacity, scale=self.config.scale,
+            num_cores=self.config.num_cores, associativity=associativity,
+        )
+        design.warm_up(warmup)
+        activations_before = (design.memory.row_activations,
+                              design.stacked.row_activations)
+        design.run(measure)
+
+        baseline = self._run_no_cache_baseline(measure)
+        speedup = self.performance.speedup(
+            design.cache_stats, baseline.cache_stats, profile
+        )
+        estimate = self.performance.estimate(design.cache_stats, profile)
+
+        return self._result_from(
+            design, design_name, profile, capacity, len(measure),
+            activations_before, speedup, estimate.user_ipc,
+        )
+
+    def _run_no_cache_baseline(self, measure: Iterable[MemoryAccess]) -> NoDramCache:
+        baseline = NoDramCache()
+        baseline.run(measure)
+        return baseline
+
+    def _result_from(self, design: DramCacheModel, design_name: str,
+                     profile: WorkloadProfile, capacity: SizeLike,
+                     measured: int,
+                     activations_before: "tuple[int, int]",
+                     speedup: Optional[float],
+                     user_ipc: Optional[float]) -> ExperimentResult:
+        stats = design.cache_stats
+        offchip_act = design.memory.row_activations - activations_before[0]
+        stacked_act = design.stacked.row_activations - activations_before[1]
+
+        result = ExperimentResult(
+            design=design_name,
+            workload=profile.name,
+            capacity=format_size(parse_size(capacity)),
+            scale=self.config.scale,
+            accesses_measured=measured,
+            miss_ratio=stats.miss_ratio,
+            hit_ratio=stats.hit_ratio,
+            average_hit_latency=stats.average_hit_latency,
+            average_miss_latency=stats.average_miss_latency,
+            average_access_latency=stats.average_access_latency,
+            offchip_blocks_per_access=stats.offchip_blocks_per_access,
+            offchip_demand_blocks=stats.offchip_demand_blocks,
+            offchip_prefetch_blocks=stats.offchip_prefetch_blocks,
+            offchip_writeback_blocks=stats.offchip_writeback_blocks,
+            offchip_row_activations=offchip_act,
+            stacked_row_activations=stacked_act,
+            speedup_vs_no_cache=speedup,
+            user_ipc=user_ipc,
+        )
+
+        if isinstance(design, UnisonCache):
+            result.footprint_accuracy = design.footprint_accuracy
+            result.footprint_overfetch = design.footprint_overfetch
+            result.way_prediction_accuracy = design.way_prediction_accuracy
+        elif hasattr(design, "footprint_accuracy"):
+            result.footprint_accuracy = design.footprint_accuracy
+            result.footprint_overfetch = design.footprint_overfetch
+        if isinstance(design, AlloyCache):
+            result.miss_prediction_accuracy = design.miss_prediction_accuracy
+            result.miss_predictor_overfetch = design.miss_predictor_overfetch
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sweeps
+    # ------------------------------------------------------------------ #
+    def compare_designs(self, design_names: Sequence[str],
+                        profile: WorkloadProfile, capacity: SizeLike,
+                        ) -> Dict[str, ExperimentResult]:
+        """Run several designs over the *same* trace (fair comparison)."""
+        trace = self.build_trace(profile)
+        return {
+            name: self.run_design(name, profile, capacity, trace=trace)
+            for name in design_names
+        }
+
+    def sweep_capacities(self, design_name: str, profile: WorkloadProfile,
+                         capacities: Sequence[SizeLike],
+                         ) -> List[ExperimentResult]:
+        """Run one design across a range of capacities (one trace per capacity)."""
+        return [
+            self.run_design(design_name, profile, capacity)
+            for capacity in capacities
+        ]
+
+    def associativity_sweep(self, profile: WorkloadProfile, capacity: SizeLike,
+                            associativities: Sequence[int] = (1, 4, 32),
+                            ) -> Dict[int, ExperimentResult]:
+        """Unison Cache miss ratio versus associativity (Figure 5)."""
+        trace = self.build_trace(profile)
+        results: Dict[int, ExperimentResult] = {}
+        for ways in associativities:
+            name = {1: "unison-dm", 4: "unison", 32: "unison-32way"}.get(ways, "unison")
+            results[ways] = self.run_design(
+                name, profile, capacity, trace=trace, associativity=ways
+            )
+        return results

@@ -1,0 +1,117 @@
+"""Design factory.
+
+One place to construct every evaluated DRAM cache design with consistent
+parameters, including the scaled-down-capacity mode the experiment harness
+uses (see :mod:`repro.sim.experiment`): structural parameters (page size,
+associativity, row organization) always match the paper; only the number of
+sets shrinks with the scale factor, while latency parameters that depend on
+the *paper* capacity (Footprint Cache's SRAM tag latency, Unison Cache's way
+predictor sizing) are derived from the unscaled capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.alloy import AlloyCache
+from repro.baselines.footprint import FootprintCache
+from repro.baselines.ideal import IdealCache
+from repro.baselines.loh_hill import LohHillCache
+from repro.baselines.no_cache import NoDramCache
+from repro.config.cache_configs import (
+    AlloyCacheConfig,
+    FootprintCacheConfig,
+    UnisonCacheConfig,
+    footprint_tag_array_for_capacity,
+)
+from repro.core.unison import UnisonCache
+from repro.dramcache.base import DramCacheModel
+from repro.utils.units import parse_size, SizeLike
+
+#: Names accepted by :func:`make_design`.
+DESIGN_NAMES = (
+    "unison",          # 960B pages, 4-way, way prediction (the main design point)
+    "unison-1984",     # 1984B pages, 4-way
+    "unison-dm",       # 960B pages, direct-mapped
+    "unison-32way",    # 960B pages, 32-way (Figure 5's associativity sweep)
+    "alloy",
+    "footprint",
+    "loh_hill",        # extension: Loh & Hill MICRO'11 tags-in-DRAM design
+    "ideal",
+    "no_cache",
+)
+
+#: Row-buffer size shared by every design (Table III).
+_ROW_BYTES = 8 * 1024
+
+
+def _scaled_capacity(paper_capacity: SizeLike, scale: int) -> int:
+    capacity = parse_size(paper_capacity)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    scaled = capacity // scale
+    # Keep a whole number of rows and never collapse below a handful of rows.
+    scaled = max(_ROW_BYTES * 4, (scaled // _ROW_BYTES) * _ROW_BYTES)
+    return scaled
+
+
+def make_design(name: str, capacity: SizeLike, scale: int = 1,
+                num_cores: int = 16,
+                associativity: Optional[int] = None) -> DramCacheModel:
+    """Construct a DRAM cache design.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DESIGN_NAMES`.
+    capacity:
+        The *paper* capacity (e.g. ``"1GB"``).  Latency parameters that grow
+        with capacity are derived from this value.
+    scale:
+        Capacity scale-down factor for tractable trace-driven runs; the
+        simulated structure holds ``capacity / scale`` bytes.
+    num_cores:
+        Core count (sizes the Alloy miss predictor).
+    associativity:
+        Optional associativity override for the Unison variants.
+    """
+    paper_capacity = parse_size(capacity)
+    scaled = _scaled_capacity(paper_capacity, scale)
+    key = name.lower()
+
+    if key in ("unison", "unison-dm", "unison-32way", "unison-1984"):
+        blocks_per_page = 31 if key == "unison-1984" else 15
+        if associativity is None:
+            if key == "unison-dm":
+                associativity = 1
+            elif key == "unison-32way":
+                associativity = 32
+            else:
+                associativity = 4
+        config = UnisonCacheConfig(
+            capacity=scaled,
+            blocks_per_page=blocks_per_page,
+            associativity=associativity,
+            use_way_prediction=associativity > 1,
+            way_predictor_index_bits=16 if paper_capacity > 4 * 1024 ** 3 else 12,
+        )
+        return UnisonCache(config)
+
+    if key == "alloy":
+        return AlloyCache(AlloyCacheConfig(capacity=scaled), num_cores=num_cores)
+
+    if key == "footprint":
+        tag_latency = footprint_tag_array_for_capacity(paper_capacity).lookup_latency_cycles
+        config = FootprintCacheConfig(capacity=scaled)
+        return FootprintCache(config, tag_latency_cycles=tag_latency)
+
+    if key == "loh_hill":
+        return LohHillCache(capacity=scaled)
+
+    if key == "ideal":
+        return IdealCache(capacity=scaled)
+
+    if key == "no_cache":
+        return NoDramCache()
+
+    raise ValueError(f"unknown design {name!r}; options: {DESIGN_NAMES}")

@@ -1,0 +1,72 @@
+"""Discrete histograms.
+
+Used for distributions the paper reasons about qualitatively -- footprint
+densities (how many blocks of a page are touched before eviction), page
+residency times, and DRAM cache hit-latency distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from typing import Dict, Iterable, Tuple
+
+
+class Histogram:
+    """A histogram over integer-valued observations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counts: _Counter = _Counter()
+        self._total = 0
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[value] += count
+        self._total += count
+
+    def count(self, value: int) -> int:
+        """Number of observations of ``value``."""
+        return self._counts.get(value, 0)
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return self._total
+
+    def mean(self) -> float:
+        """Mean observation, or 0.0 if empty."""
+        if self._total == 0:
+            return 0.0
+        return sum(v * c for v, c in self._counts.items()) / self._total
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that at least ``fraction`` of observations are <= v."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self._total == 0:
+            raise ValueError("cannot take a percentile of an empty histogram")
+        threshold = fraction * self._total
+        running = 0
+        for value in sorted(self._counts):
+            running += self._counts[value]
+            if running >= threshold:
+                return value
+        return max(self._counts)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """(value, count) pairs in ascending value order."""
+        return sorted(self._counts.items())
+
+    def as_dict(self) -> Dict[int, int]:
+        """Copy of the underlying counts."""
+        return dict(self._counts)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for value, count in other.items():
+            self.record(value, count)
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,23 @@
+"""Memory access traces.
+
+The reproduction is trace-driven: workload generators produce streams of
+:class:`repro.trace.record.MemoryAccess` records (the L2-miss stream that the
+DRAM cache observes), which the cache models consume.  Traces can also be
+written to and read from a simple text format for inspection and replay.
+"""
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.io import TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.filters import interleave_traces, limit_trace, split_warmup
+
+__all__ = [
+    "AccessType",
+    "MemoryAccess",
+    "TraceReader",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+    "interleave_traces",
+    "limit_trace",
+    "split_warmup",
+]

@@ -1,0 +1,119 @@
+"""Reading and writing traces in a simple line-oriented text format.
+
+Each line is ``timestamp core_id access_type pc address`` with addresses and
+PCs in hexadecimal.  Lines starting with ``#`` are comments.  The format is
+deliberately trivial so traces can be produced or inspected with standard
+text tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.trace.record import AccessType, MemoryAccess
+
+PathLike = Union[str, Path]
+
+_TYPE_TO_CODE = {AccessType.READ: "R", AccessType.WRITE: "W"}
+_CODE_TO_TYPE = {"R": AccessType.READ, "W": AccessType.WRITE}
+
+
+def format_access(access: MemoryAccess) -> str:
+    """Render one access as a trace line."""
+    code = _TYPE_TO_CODE[access.access_type]
+    return (
+        f"{access.timestamp} {access.core_id} {code} "
+        f"{access.pc:#x} {access.address:#x}"
+    )
+
+
+def parse_access(line: str) -> MemoryAccess:
+    """Parse one trace line back into a :class:`MemoryAccess`.
+
+    Raises ``ValueError`` for malformed lines.
+    """
+    parts = line.split()
+    if len(parts) != 5:
+        raise ValueError(f"malformed trace line (expected 5 fields): {line!r}")
+    timestamp_str, core_str, code, pc_str, addr_str = parts
+    if code not in _CODE_TO_TYPE:
+        raise ValueError(f"unknown access type code {code!r} in line {line!r}")
+    return MemoryAccess(
+        timestamp=int(timestamp_str),
+        core_id=int(core_str),
+        access_type=_CODE_TO_TYPE[code],
+        pc=int(pc_str, 16),
+        address=int(addr_str, 16),
+    )
+
+
+class TraceWriter:
+    """Write accesses to a trace file; usable as a context manager."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        self._handle = None
+        self._count = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._handle = self._path.open("w", encoding="utf-8")
+        self._handle.write("# repro trace v1: timestamp core type pc address\n")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def write(self, access: MemoryAccess) -> None:
+        """Append one access."""
+        if self._handle is None:
+            raise RuntimeError("TraceWriter must be used as a context manager")
+        self._handle.write(format_access(access) + "\n")
+        self._count += 1
+
+    def write_all(self, accesses: Iterable[MemoryAccess]) -> None:
+        """Append every access from an iterable."""
+        for access in accesses:
+            self.write(access)
+
+    @property
+    def count(self) -> int:
+        """Number of accesses written so far."""
+        return self._count
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TraceReader:
+    """Iterate over the accesses stored in a trace file."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                yield parse_access(line)
+
+    def read_all(self) -> List[MemoryAccess]:
+        """Read the whole trace into a list."""
+        return list(self)
+
+
+def write_trace(path: PathLike, accesses: Iterable[MemoryAccess]) -> int:
+    """Write all accesses to ``path``; returns the number written."""
+    with TraceWriter(path) as writer:
+        writer.write_all(accesses)
+        return writer.count
+
+
+def read_trace(path: PathLike) -> List[MemoryAccess]:
+    """Read all accesses from ``path``."""
+    return TraceReader(path).read_all()

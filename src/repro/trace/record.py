@@ -1,0 +1,99 @@
+"""The memory access record consumed by all cache models.
+
+A :class:`MemoryAccess` describes one L2-miss request as seen by the
+die-stacked DRAM cache controller: the physical block address, whether it is
+a read or a write(-back), the program counter of the triggering instruction
+(needed by the footprint predictor), and the issuing core.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Block size in bytes assumed throughout the paper and this reproduction.
+BLOCK_SIZE = 64
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self is AccessType.WRITE
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One request arriving at the DRAM cache controller.
+
+    Attributes
+    ----------
+    address:
+        Physical byte address of the access (block-aligned addresses are not
+        required; the cache models align internally).
+    pc:
+        Program counter of the instruction that triggered the access.  The
+        footprint predictor indexes its history table with (pc, offset).
+    access_type:
+        Read or write.
+    core_id:
+        Issuing core (0-based).  Used by the per-core miss predictor of the
+        Alloy Cache and for per-core statistics.
+    timestamp:
+        Logical time of the access (e.g. instruction count or cycle at issue).
+        Monotonically non-decreasing within a trace.
+    """
+
+    address: int
+    pc: int
+    access_type: AccessType = AccessType.READ
+    core_id: int = 0
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.pc < 0:
+            raise ValueError(f"pc must be non-negative, got {self.pc}")
+        if self.core_id < 0:
+            raise ValueError(f"core_id must be non-negative, got {self.core_id}")
+
+    @property
+    def is_write(self) -> bool:
+        """True if this is a write access."""
+        return self.access_type.is_write
+
+    @property
+    def block_address(self) -> int:
+        """The 64-byte-block number containing this address."""
+        return self.address // BLOCK_SIZE
+
+    def block_aligned(self) -> "MemoryAccess":
+        """A copy of this access with the address aligned to its block base."""
+        aligned = self.block_address * BLOCK_SIZE
+        if aligned == self.address:
+            return self
+        return MemoryAccess(
+            address=aligned,
+            pc=self.pc,
+            access_type=self.access_type,
+            core_id=self.core_id,
+            timestamp=self.timestamp,
+        )
+
+    def page_number(self, page_size: int) -> int:
+        """Page number for a given page size in bytes."""
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        return self.address // page_size
+
+    def page_offset_blocks(self, page_size: int) -> int:
+        """Block offset of this access within its page."""
+        if page_size % BLOCK_SIZE:
+            raise ValueError("page_size must be a multiple of the block size")
+        return (self.address % page_size) // BLOCK_SIZE

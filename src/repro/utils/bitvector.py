@@ -1,0 +1,194 @@
+"""Fixed-width bit vectors.
+
+The Unison Cache and Footprint Cache designs track, for every cached page,
+which 64-byte blocks inside the page are valid, dirty, or were demanded by the
+processor (the page *footprint*).  The hardware stores these as small bit
+vectors embedded in the DRAM row metadata; we model them with a compact
+integer-backed :class:`BitVector`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class BitVector:
+    """A fixed-width vector of bits backed by a single Python integer.
+
+    The width is fixed at construction time.  All mutating operations keep the
+    value masked to ``width`` bits, so a :class:`BitVector` can never report
+    bits outside its range as set.
+
+    Parameters
+    ----------
+    width:
+        Number of bits in the vector.  Must be positive.
+    value:
+        Optional initial value.  Bits above ``width`` are silently discarded.
+    """
+
+    __slots__ = ("_width", "_value")
+
+    def __init__(self, width: int, value: int = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"BitVector width must be positive, got {width}")
+        self._width = width
+        self._value = value & self._mask
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_indices(cls, width: int, indices: Iterable[int]) -> "BitVector":
+        """Build a vector with the given bit positions set."""
+        vec = cls(width)
+        for index in indices:
+            vec.set(index)
+        return vec
+
+    @classmethod
+    def ones(cls, width: int) -> "BitVector":
+        """Build a vector with every bit set."""
+        return cls(width, (1 << width) - 1)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        """Number of bits in the vector."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """The vector interpreted as an unsigned integer."""
+        return self._value
+
+    @property
+    def _mask(self) -> int:
+        return (1 << self._width) - 1
+
+    # ------------------------------------------------------------------ #
+    # Bit access
+    # ------------------------------------------------------------------ #
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._width:
+            raise IndexError(
+                f"bit index {index} out of range for width {self._width}"
+            )
+
+    def get(self, index: int) -> bool:
+        """Return True if the bit at ``index`` is set."""
+        self._check_index(index)
+        return bool((self._value >> index) & 1)
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index``."""
+        self._check_index(index)
+        self._value |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Clear the bit at ``index``."""
+        self._check_index(index)
+        self._value &= ~(1 << index) & self._mask
+
+    def assign(self, index: int, flag: bool) -> None:
+        """Set or clear the bit at ``index`` depending on ``flag``."""
+        if flag:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __setitem__(self, index: int, flag: bool) -> None:
+        self.assign(index, bool(flag))
+
+    # ------------------------------------------------------------------ #
+    # Whole-vector operations
+    # ------------------------------------------------------------------ #
+    def clear_all(self) -> None:
+        """Clear every bit."""
+        self._value = 0
+
+    def set_all(self) -> None:
+        """Set every bit."""
+        self._value = self._mask
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return bin(self._value).count("1")
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return self._value != 0
+
+    def all(self) -> bool:
+        """True if every bit is set."""
+        return self._value == self._mask
+
+    def indices(self) -> List[int]:
+        """Return the sorted list of set bit positions."""
+        return [i for i in range(self._width) if (self._value >> i) & 1]
+
+    def copy(self) -> "BitVector":
+        """Return an independent copy of this vector."""
+        return BitVector(self._width, self._value)
+
+    # ------------------------------------------------------------------ #
+    # Set algebra (used to compare predicted vs actual footprints)
+    # ------------------------------------------------------------------ #
+    def _check_compatible(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError(f"expected BitVector, got {type(other).__name__}")
+        if other.width != self._width:
+            raise ValueError(
+                f"width mismatch: {self._width} vs {other.width}"
+            )
+
+    def union(self, other: "BitVector") -> "BitVector":
+        """Bitwise OR of the two vectors."""
+        self._check_compatible(other)
+        return BitVector(self._width, self._value | other.value)
+
+    def intersection(self, other: "BitVector") -> "BitVector":
+        """Bitwise AND of the two vectors."""
+        self._check_compatible(other)
+        return BitVector(self._width, self._value & other.value)
+
+    def difference(self, other: "BitVector") -> "BitVector":
+        """Bits set in ``self`` but not in ``other``."""
+        self._check_compatible(other)
+        return BitVector(self._width, self._value & ~other.value)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        return self.union(other)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        return self.intersection(other)
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._width
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._width):
+            yield bool((self._value >> i) & 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._width == other.width and self._value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value))
+
+    def __repr__(self) -> str:
+        bits = "".join("1" if b else "0" for b in reversed(list(self)))
+        return f"BitVector(width={self._width}, bits={bits})"

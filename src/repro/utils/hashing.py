@@ -1,0 +1,54 @@
+"""Hashing helpers used by predictors.
+
+The Unison Cache way predictor is "a 2-bit array directly indexed by the
+12-bit XOR hash of the page address (16-bit XOR for caches above 4GB)"
+(Section III-A.6).  :func:`fold_xor` implements exactly that XOR-folding hash.
+
+:func:`mix64` is a cheap, deterministic 64-bit mixer (a splitmix64 finalizer)
+used by the synthetic workload generators to derive pseudo-random but
+reproducible structure (e.g. which (PC, offset) pair maps to which footprint
+pattern) without depending on global random state.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def fold_xor(value: int, output_bits: int) -> int:
+    """XOR-fold ``value`` down to ``output_bits`` bits.
+
+    The value is split into consecutive ``output_bits``-wide chunks starting
+    from the least-significant bit and the chunks are XORed together.  This is
+    the standard hardware-friendly index hash used for way predictors.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer to fold.
+    output_bits:
+        Width of the result in bits; must be positive.
+    """
+    if output_bits <= 0:
+        raise ValueError(f"output_bits must be positive, got {output_bits}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    mask = (1 << output_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= output_bits
+    return folded
+
+
+def mix64(value: int) -> int:
+    """Deterministically scramble a 64-bit integer (splitmix64 finalizer).
+
+    Used by workload generators to map structured identifiers (page numbers,
+    PC values, iteration counters) onto well-distributed pseudo-random values
+    without any shared random-number-generator state.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64

@@ -1,0 +1,89 @@
+"""Capacity parsing and formatting helpers.
+
+The paper describes cache capacities as human-readable strings (``128MB``,
+``1GB``, ``960B`` pages).  Configuration objects throughout the reproduction
+accept either integers (bytes) or these strings; this module is the single
+place where the conversion lives.
+
+All units are binary (``1KB == 1024`` bytes), matching the paper's use.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": 1024,
+    "KIB": 1024,
+    "MB": 1024 ** 2,
+    "MIB": 1024 ** 2,
+    "GB": 1024 ** 3,
+    "GIB": 1024 ** 3,
+    "TB": 1024 ** 4,
+    "TIB": 1024 ** 4,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*$")
+
+SizeLike = Union[int, str]
+
+
+def parse_size(size: SizeLike) -> int:
+    """Convert a capacity expressed as an int or string into bytes.
+
+    ``parse_size(1024)`` returns ``1024``; ``parse_size("1KB")`` returns
+    ``1024``; ``parse_size("1.5MB")`` returns ``1572864``.
+
+    Raises
+    ------
+    ValueError
+        If the string cannot be parsed or the unit is unknown, or if the
+        resulting size is negative.
+    TypeError
+        If ``size`` is neither an int nor a string.
+    """
+    if isinstance(size, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("size must be an int or str, not bool")
+    if isinstance(size, int):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return size
+    if not isinstance(size, str):
+        raise TypeError(f"size must be an int or str, got {type(size).__name__}")
+
+    match = _SIZE_RE.match(size)
+    if match is None:
+        raise ValueError(f"cannot parse size string {size!r}")
+    number, unit = match.groups()
+    unit = unit.upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown size unit {unit!r} in {size!r}")
+    value = float(number) * _UNIT_FACTORS[unit]
+    if unit in ("", "B") and abs(value - round(value)) > 1e-9:
+        raise ValueError(f"size {size!r} does not resolve to a whole number of bytes")
+    return int(round(value))
+
+
+def format_size(num_bytes: int) -> str:
+    """Format a byte count using the largest exact binary unit.
+
+    The formatter prefers exact representations (``format_size(1536)`` is
+    ``"1.5KB"``) and falls back to two decimal places otherwise.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    if num_bytes < 1024:
+        return f"{num_bytes}B"
+    for unit, factor in (("TB", 1024 ** 4), ("GB", 1024 ** 3),
+                         ("MB", 1024 ** 2), ("KB", 1024)):
+        if num_bytes >= factor:
+            value = num_bytes / factor
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            if (value * 2) == int(value * 2):
+                return f"{value:.1f}{unit}"
+            return f"{value:.2f}{unit}"
+    raise AssertionError("unreachable")

@@ -1,0 +1,47 @@
+"""Synthetic server workload models.
+
+The paper evaluates CloudSuite (Data Analytics, Data Serving, Software
+Testing, Web Search, Web Serving) and TPC-H on MonetDB using full-system
+memory traces.  Those traces cannot be redistributed, so this subpackage
+provides statistically-calibrated synthetic generators that reproduce the
+trace properties the evaluation depends on:
+
+* page-level **spatial locality** (how many blocks of a page are touched
+  during its residency -- the footprint density),
+* **code/footprint correlation** (the same (PC, offset) pair recurring with
+  the same footprint, which is what the footprint predictor exploits),
+* **temporal reuse** at the DRAM-cache level (low, since L1/L2 filter it),
+* the **singleton fraction** (pages whose footprint is a single block),
+* the **working-set size** relative to the evaluated cache capacities.
+
+See DESIGN.md ("Substitutions") for why matching these properties preserves
+the paper's qualitative results.
+"""
+
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.cloudsuite import (
+    CLOUDSUITE_WORKLOADS,
+    ALL_WORKLOADS,
+    data_analytics,
+    data_serving,
+    software_testing,
+    web_search,
+    web_serving,
+    tpch_queries,
+    workload_by_name,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "SyntheticWorkload",
+    "CLOUDSUITE_WORKLOADS",
+    "ALL_WORKLOADS",
+    "data_analytics",
+    "data_serving",
+    "software_testing",
+    "web_search",
+    "web_serving",
+    "tpch_queries",
+    "workload_by_name",
+]

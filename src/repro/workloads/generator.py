@@ -1,0 +1,251 @@
+"""Synthetic L2-miss-stream generator.
+
+:class:`SyntheticWorkload` turns a :class:`~repro.workloads.profile.WorkloadProfile`
+into a deterministic, reproducible stream of
+:class:`~repro.trace.record.MemoryAccess` records that statistically matches
+the workload's description.
+
+The model of program behaviour is deliberately simple and matches the mental
+model the Footprint Cache / Unison Cache papers use:
+
+* the workload owns a large set of fixed-size *data regions* (4 KB by default);
+* a limited set of *code sites* (identified by PC) repeatedly traverse those
+  regions; each code site has a canonical *access pattern* (which blocks of a
+  region it touches), perturbed by per-traversal noise;
+* region popularity follows a Zipf-like distribution, and a small fraction of
+  traversals touch only one block (*singletons*);
+* the streams of all cores are interleaved round-robin, which is what the
+  DRAM cache controller observes.
+
+Every random decision is drawn from a seeded ``random.Random`` instance so a
+given (profile, seed, num_cores) triple always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.utils.hashing import mix64
+from repro.workloads.profile import WorkloadProfile
+
+#: Base value for generated program counters; gives PCs a realistic text-segment look.
+_PC_BASE = 0x0000_0000_0040_0000
+
+
+class SyntheticWorkload:
+    """Deterministic synthetic workload calibrated by a :class:`WorkloadProfile`.
+
+    Parameters
+    ----------
+    profile:
+        The statistical description of the workload.
+    num_cores:
+        Number of cores whose access streams are interleaved (the paper's CMP
+        has 16).
+    seed:
+        Seed for the deterministic pseudo-random generator.
+    """
+
+    def __init__(self, profile: WorkloadProfile, num_cores: int = 16, seed: int = 1) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        self.profile = profile
+        self.num_cores = num_cores
+        self.seed = seed
+        self._rng = random.Random(mix64(seed) ^ mix64(hash(profile.name) & 0xFFFF_FFFF))
+        # Per-core state: pending accesses of the in-flight traversal and the
+        # current code site with its remaining run length.
+        self._pending: List[Deque[MemoryAccess]] = [deque() for _ in range(num_cores)]
+        self._current_pc_index: List[int] = [
+            self._rng.randrange(profile.num_code_regions) for _ in range(num_cores)
+        ]
+        self._pc_run_remaining: List[int] = [
+            max(1, profile.pc_locality_run) for _ in range(num_cores)
+        ]
+        # Recently traversed (region, code-site) pairs per core: a temporal
+        # re-visit re-walks the same structure with the same code, which is
+        # what makes footprints repeatable in real server software.
+        self._recent_regions: List[Deque[Tuple[int, int]]] = [
+            deque(maxlen=32) for _ in range(num_cores)
+        ]
+        self._timestamp = 0
+        self._pattern_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def accesses(self, count: int) -> Iterator[MemoryAccess]:
+        """Yield the next ``count`` accesses of the interleaved stream."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        produced = 0
+        core = 0
+        while produced < count:
+            queue = self._pending[core]
+            if not queue:
+                self._start_traversal(core)
+                queue = self._pending[core]
+            yield queue.popleft()
+            produced += 1
+            core = (core + 1) % self.num_cores
+
+    def generate(self, count: int) -> List[MemoryAccess]:
+        """Materialize the next ``count`` accesses as a list."""
+        return list(self.accesses(count))
+
+    # ------------------------------------------------------------------ #
+    # Traversal construction
+    # ------------------------------------------------------------------ #
+    def _start_traversal(self, core: int) -> None:
+        """Queue up the accesses of one region traversal for ``core``."""
+        profile = self.profile
+        rng = self._rng
+
+        region, reused_pc = self._choose_region(core)
+        if reused_pc is not None:
+            pc_index = reused_pc
+        else:
+            pc_index = self._advance_code_site(core)
+        self._recent_regions[core].append((region, pc_index))
+
+        singleton = rng.random() < profile.singleton_fraction
+        if singleton:
+            # Singleton traversals come from dedicated code sites so that the
+            # footprint/singleton predictors can learn them separately.
+            pc_index = profile.num_code_regions + (pc_index % max(1, profile.num_code_regions // 8))
+            offsets = [self._singleton_offset(pc_index, region)]
+        else:
+            offsets = self._traversal_offsets(pc_index, region)
+
+        pc = _PC_BASE + pc_index * 4
+        region_base = region * profile.region_size
+        queue = self._pending[core]
+        for offset in offsets:
+            address = region_base + offset * profile.block_size
+            access_type = (
+                AccessType.WRITE
+                if rng.random() < profile.write_fraction
+                else AccessType.READ
+            )
+            queue.append(
+                MemoryAccess(
+                    address=address,
+                    pc=pc,
+                    access_type=access_type,
+                    core_id=core,
+                    timestamp=self._timestamp,
+                )
+            )
+            self._timestamp += 1
+
+    def _choose_region(self, core: int) -> Tuple[int, Optional[int]]:
+        """Pick the data region for the next traversal.
+
+        Returns ``(region, code_site)`` where ``code_site`` is the site to
+        reuse for a temporal re-visit (None for a fresh traversal).
+        """
+        profile = self.profile
+        rng = self._rng
+        recent = self._recent_regions[core]
+        if recent and rng.random() < profile.temporal_reuse:
+            region, pc_index = recent[rng.randrange(len(recent))]
+            return region, pc_index
+        return self._zipf_region(rng.random()), None
+
+    def _zipf_region(self, uniform: float) -> int:
+        """Map a uniform draw onto a Zipf-skewed region index.
+
+        Uses the bounded-Pareto inverse-CDF approximation
+        ``rank = N * u**(1 / (1 - alpha))`` which is exact for ``alpha == 0``
+        (uniform) and increasingly head-heavy as ``alpha`` approaches 1.
+        """
+        profile = self.profile
+        n = profile.num_regions
+        alpha = min(profile.region_zipf_alpha, 0.99)
+        if alpha <= 0.0:
+            rank = int(uniform * n)
+        else:
+            rank = int(n * (uniform ** (1.0 / (1.0 - alpha))))
+        return min(rank, n - 1)
+
+    def _advance_code_site(self, core: int) -> int:
+        """Return the code-site index for the next traversal of ``core``."""
+        profile = self.profile
+        self._pc_run_remaining[core] -= 1
+        if self._pc_run_remaining[core] <= 0:
+            self._current_pc_index[core] = self._rng.randrange(profile.num_code_regions)
+            # Geometric-ish run length around pc_locality_run.
+            self._pc_run_remaining[core] = 1 + self._rng.randrange(
+                2 * profile.pc_locality_run - 1
+            )
+        return self._current_pc_index[core]
+
+    # ------------------------------------------------------------------ #
+    # Access-pattern synthesis
+    # ------------------------------------------------------------------ #
+    def _canonical_pattern(self, pc_index: int) -> Tuple[int, ...]:
+        """The canonical block-offset pattern of a code site.
+
+        Derived deterministically from the code-site index so that the same
+        (PC, offset) pair always implies the same footprint -- the property
+        the footprint predictor learns and exploits.
+        """
+        cached = self._pattern_cache.get(pc_index)
+        if cached is not None:
+            return cached
+        profile = self.profile
+        blocks = profile.blocks_per_region
+        # Per-site density jitters around the profile mean.
+        jitter = ((mix64(pc_index * 977 + 13) % 1000) / 1000.0 - 0.5) * 0.3
+        density = min(1.0, max(1.0 / blocks, profile.footprint_density + jitter))
+        if density >= 0.7:
+            # Dense sites are whole-structure scans: they touch the entire
+            # region, which is what gives workloads like Web Search their
+            # near-perfect footprint predictability.
+            offsets = tuple(range(blocks))
+            self._pattern_cache[pc_index] = offsets
+            return offsets
+        target = max(1, round(density * blocks))
+        # Half of the sites start their walk at the structure base (block 0),
+        # the rest at a site-specific offset.
+        if mix64(pc_index * 53 + 29) % 2 == 0:
+            start = 0
+        else:
+            start = mix64(pc_index * 31 + 7) % blocks
+        stride_choices = (1, 1, 1, 2, 3)
+        stride = stride_choices[mix64(pc_index * 131 + 3) % len(stride_choices)]
+        offsets = tuple(sorted({(start + i * stride) % blocks for i in range(target)}))
+        self._pattern_cache[pc_index] = offsets
+        return offsets
+
+    def _traversal_offsets(self, pc_index: int, region: int) -> List[int]:
+        """Apply per-traversal noise to the code site's canonical pattern."""
+        profile = self.profile
+        rng = self._rng
+        noise = profile.footprint_noise
+        blocks = profile.blocks_per_region
+        pattern = self._canonical_pattern(pc_index)
+        offsets = set(pattern)
+        if noise > 0.0:
+            for offset in pattern:
+                if rng.random() < noise:
+                    offsets.discard(offset)
+            extra_budget = max(1, int(noise * len(pattern)))
+            for _ in range(extra_budget):
+                if rng.random() < noise:
+                    offsets.add(rng.randrange(blocks))
+        if not offsets:
+            offsets.add(pattern[0])
+        # A region traversal visits its blocks in ascending address order, the
+        # common pattern for scans and structure walks.
+        result = sorted(offsets)
+        _ = region  # regions do not currently perturb the pattern
+        return result
+
+    def _singleton_offset(self, pc_index: int, region: int) -> int:
+        """The single block offset touched by a singleton traversal."""
+        blocks = self.profile.blocks_per_region
+        return mix64(pc_index * 2654435761 + region) % blocks

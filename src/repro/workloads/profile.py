@@ -1,0 +1,114 @@
+"""Workload profile: the statistical knobs of a synthetic workload.
+
+A :class:`WorkloadProfile` is a pure description -- the actual access stream
+is produced by :class:`repro.workloads.generator.SyntheticWorkload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import parse_size, SizeLike
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one server workload's L2-miss stream.
+
+    Attributes
+    ----------
+    name:
+        Workload name as used in the paper's figures.
+    working_set:
+        Approximate size of the hot data the workload cycles through.  The
+        relationship between this value and the DRAM cache capacity drives
+        the capacity sensitivity seen in Figures 6-8.
+    num_code_regions:
+        Number of distinct (PC) code sites that touch data regions.  Server
+        software re-uses a limited set of functions to traverse large data,
+        which is the source of the code/footprint correlation.
+    footprint_density:
+        Average fraction of a 4 KB data region's blocks touched during one
+        traversal (0..1].  High density == high spatial locality.
+    footprint_noise:
+        Probability that an individual block deviates from the code site's
+        canonical access pattern on a given traversal.  Higher noise lowers
+        footprint-predictor accuracy (e.g. Software Testing).
+    singleton_fraction:
+        Fraction of traversals that touch exactly one block (singleton pages).
+    temporal_reuse:
+        Probability that a traversal targets a recently-traversed region
+        again (post-L2 temporal locality; low for server workloads).
+    region_zipf_alpha:
+        Skew of region popularity (0 == uniform).  Popular regions are what a
+        small block-based cache can still capture.
+    pc_locality_run:
+        Average number of consecutive traversals performed by the same code
+        site before switching (models loop behaviour; affects way-predictor
+        and footprint-table locality).
+    write_fraction:
+        Fraction of accesses that are writes (dirty evictions downstream).
+    l2_mpki:
+        L2 misses per kilo-instruction.  Does not influence the generated
+        trace itself; the analytic performance model uses it to weigh how
+        much memory latency contributes to each workload's execution time
+        (Figures 7 and 8).
+    """
+
+    name: str
+    working_set: SizeLike
+    num_code_regions: int = 256
+    footprint_density: float = 0.6
+    footprint_noise: float = 0.05
+    singleton_fraction: float = 0.10
+    temporal_reuse: float = 0.15
+    region_zipf_alpha: float = 0.6
+    pc_locality_run: int = 4
+    write_fraction: float = 0.25
+    l2_mpki: float = 20.0
+
+    #: Size of the data region a code site traverses (bytes).  Regions are
+    #: larger than any evaluated cache page so that both 960 B and 2 KB page
+    #: organizations observe the same underlying locality.
+    region_size: int = 4096
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.footprint_density <= 1.0:
+            raise ValueError("footprint_density must be in (0, 1]")
+        for field_name in ("footprint_noise", "singleton_fraction",
+                           "temporal_reuse", "write_fraction"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if self.num_code_regions <= 0:
+            raise ValueError("num_code_regions must be positive")
+        if self.pc_locality_run <= 0:
+            raise ValueError("pc_locality_run must be positive")
+        if self.region_size % self.block_size:
+            raise ValueError("region_size must be a multiple of block_size")
+        if self.region_zipf_alpha < 0:
+            raise ValueError("region_zipf_alpha must be non-negative")
+        if self.l2_mpki <= 0:
+            raise ValueError("l2_mpki must be positive")
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Working-set size in bytes."""
+        return parse_size(self.working_set)
+
+    @property
+    def num_regions(self) -> int:
+        """Number of distinct data regions in the working set."""
+        return max(1, self.working_set_bytes // self.region_size)
+
+    @property
+    def blocks_per_region(self) -> int:
+        """Blocks per data region."""
+        return self.region_size // self.block_size
+
+    def scaled(self, working_set: SizeLike) -> "WorkloadProfile":
+        """A copy of this profile with a different working-set size."""
+        from dataclasses import replace
+
+        return replace(self, working_set=working_set)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build deliberately tiny configurations (a few DRAM rows, short
+traces) so each test runs in milliseconds while still exercising the same
+code paths the full-scale experiments use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.cache_configs import (
+    AlloyCacheConfig,
+    FootprintCacheConfig,
+    UnisonCacheConfig,
+)
+from repro.trace.record import AccessType, MemoryAccess
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profile import WorkloadProfile
+
+
+@pytest.fixture
+def small_unison_config() -> UnisonCacheConfig:
+    """A Unison Cache of 64 DRAM rows (512 KB): 128 sets, 4 ways, 960 B pages."""
+    return UnisonCacheConfig(capacity=64 * 8192)
+
+
+@pytest.fixture
+def small_alloy_config() -> AlloyCacheConfig:
+    """An Alloy Cache of 64 DRAM rows (512 KB)."""
+    return AlloyCacheConfig(capacity=64 * 8192)
+
+
+@pytest.fixture
+def small_footprint_config() -> FootprintCacheConfig:
+    """A Footprint Cache of 512 KB with 2 KB pages and 8 ways."""
+    return FootprintCacheConfig(capacity=64 * 8192, associativity=8)
+
+
+@pytest.fixture
+def tiny_profile() -> WorkloadProfile:
+    """A small, fast workload profile for functional tests."""
+    return WorkloadProfile(
+        name="tiny",
+        working_set="2MB",
+        num_code_regions=32,
+        footprint_density=0.5,
+        footprint_noise=0.05,
+        singleton_fraction=0.1,
+        temporal_reuse=0.2,
+        region_zipf_alpha=0.6,
+        pc_locality_run=3,
+        write_fraction=0.25,
+        l2_mpki=20.0,
+    )
+
+
+@pytest.fixture
+def tiny_trace(tiny_profile) -> list:
+    """A short deterministic trace from the tiny profile."""
+    workload = SyntheticWorkload(tiny_profile, num_cores=4, seed=7)
+    return workload.generate(2000)
+
+
+def make_access(address: int, pc: int = 0x400100, write: bool = False,
+                core: int = 0, timestamp: int = 0) -> MemoryAccess:
+    """Helper used across test modules to build one request."""
+    return MemoryAccess(
+        address=address,
+        pc=pc,
+        access_type=AccessType.WRITE if write else AccessType.READ,
+        core_id=core,
+        timestamp=timestamp,
+    )
+
+
+@pytest.fixture
+def access_factory():
+    """Expose :func:`make_access` as a fixture."""
+    return make_access

@@ -1,0 +1,165 @@
+"""Unit and property tests for :mod:`repro.utils.bitvector`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitvector import BitVector
+
+
+class TestConstruction:
+    def test_new_vector_is_empty(self):
+        vec = BitVector(15)
+        assert vec.popcount() == 0
+        assert not vec.any()
+        assert len(vec) == 15
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-3)
+
+    def test_initial_value_is_masked(self):
+        vec = BitVector(4, value=0xFF)
+        assert vec.value == 0xF
+
+    def test_from_indices(self):
+        vec = BitVector.from_indices(15, [0, 3, 14])
+        assert vec.indices() == [0, 3, 14]
+
+    def test_ones(self):
+        vec = BitVector.ones(8)
+        assert vec.all()
+        assert vec.popcount() == 8
+
+
+class TestBitAccess:
+    def test_set_and_get(self):
+        vec = BitVector(15)
+        vec.set(7)
+        assert vec.get(7)
+        assert not vec.get(6)
+
+    def test_clear(self):
+        vec = BitVector.ones(15)
+        vec.clear(0)
+        assert not vec.get(0)
+        assert vec.popcount() == 14
+
+    def test_assign(self):
+        vec = BitVector(8)
+        vec.assign(2, True)
+        assert vec.get(2)
+        vec.assign(2, False)
+        assert not vec.get(2)
+
+    def test_getitem_setitem(self):
+        vec = BitVector(8)
+        vec[5] = True
+        assert vec[5]
+        vec[5] = False
+        assert not vec[5]
+
+    def test_out_of_range_index_raises(self):
+        vec = BitVector(15)
+        with pytest.raises(IndexError):
+            vec.get(15)
+        with pytest.raises(IndexError):
+            vec.set(-1)
+
+    def test_set_is_idempotent(self):
+        vec = BitVector(15)
+        vec.set(3)
+        vec.set(3)
+        assert vec.popcount() == 1
+
+
+class TestWholeVectorOps:
+    def test_clear_all_and_set_all(self):
+        vec = BitVector(15)
+        vec.set_all()
+        assert vec.all()
+        vec.clear_all()
+        assert not vec.any()
+
+    def test_indices_sorted(self):
+        vec = BitVector.from_indices(15, [14, 0, 7])
+        assert vec.indices() == [0, 7, 14]
+
+    def test_copy_is_independent(self):
+        vec = BitVector.from_indices(15, [1])
+        clone = vec.copy()
+        clone.set(2)
+        assert not vec.get(2)
+        assert clone.get(2)
+
+    def test_iteration_yields_all_bits(self):
+        vec = BitVector.from_indices(4, [1, 3])
+        assert list(vec) == [False, True, False, True]
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = BitVector.from_indices(15, [0, 1])
+        b = BitVector.from_indices(15, [1, 2])
+        assert (a | b).indices() == [0, 1, 2]
+
+    def test_intersection(self):
+        a = BitVector.from_indices(15, [0, 1])
+        b = BitVector.from_indices(15, [1, 2])
+        assert (a & b).indices() == [1]
+
+    def test_difference(self):
+        a = BitVector.from_indices(15, [0, 1])
+        b = BitVector.from_indices(15, [1, 2])
+        assert (a - b).indices() == [0]
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(8).union(BitVector(15))
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            BitVector(8).union("not a vector")
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_indices(15, [3, 4])
+        b = BitVector.from_indices(15, [3, 4])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitVector.from_indices(15, [3])
+
+    def test_repr_mentions_width(self):
+        assert "width=15" in repr(BitVector(15))
+
+
+class TestProperties:
+    @given(st.integers(1, 64), st.data())
+    def test_popcount_matches_indices(self, width, data):
+        indices = data.draw(st.lists(st.integers(0, width - 1), unique=True))
+        vec = BitVector.from_indices(width, indices)
+        assert vec.popcount() == len(indices)
+        assert vec.indices() == sorted(indices)
+
+    @given(st.integers(1, 48), st.data())
+    def test_union_intersection_inclusion_exclusion(self, width, data):
+        a_idx = data.draw(st.lists(st.integers(0, width - 1), unique=True))
+        b_idx = data.draw(st.lists(st.integers(0, width - 1), unique=True))
+        a = BitVector.from_indices(width, a_idx)
+        b = BitVector.from_indices(width, b_idx)
+        assert (a | b).popcount() + (a & b).popcount() == a.popcount() + b.popcount()
+
+    @given(st.integers(1, 48), st.data())
+    def test_difference_disjoint_from_other(self, width, data):
+        a_idx = data.draw(st.lists(st.integers(0, width - 1), unique=True))
+        b_idx = data.draw(st.lists(st.integers(0, width - 1), unique=True))
+        a = BitVector.from_indices(width, a_idx)
+        b = BitVector.from_indices(width, b_idx)
+        assert not (a - b).intersection(b).any()
+
+    @given(st.integers(1, 48), st.integers(0, 2 ** 48 - 1))
+    def test_value_round_trip(self, width, value):
+        vec = BitVector(width, value)
+        assert BitVector(width, vec.value) == vec

@@ -1,0 +1,229 @@
+"""Tests for the SRAM cache substrate: replacement, caches, MSHRs, hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.mshr import MshrFile
+from repro.cache.replacement import LruPolicy, NruPolicy, RandomPolicy, make_policy
+from repro.cache.sram_cache import SetAssociativeCache
+from repro.config.system import SramCacheConfig, SystemConfig
+from repro.trace.record import AccessType, MemoryAccess
+
+
+class TestReplacementPolicies:
+    def test_lru_evicts_least_recent(self):
+        lru = LruPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        lru.on_access(0)
+        assert lru.victim([True] * 4) == 1
+
+    def test_lru_prefers_invalid_way(self):
+        lru = LruPolicy(4)
+        lru.on_fill(0)
+        assert lru.victim([True, False, True, True]) == 1
+
+    def test_lru_recency_order(self):
+        lru = LruPolicy(3)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        lru.on_fill(2)
+        lru.on_access(0)
+        assert lru.recency_order()[0] == 0
+
+    def test_nru_resets_when_all_referenced(self):
+        nru = NruPolicy(2)
+        nru.on_access(0)
+        nru.on_access(1)
+        # All referenced -> bits reset -> way 0 is evictable again.
+        assert nru.victim([True, True]) == 0
+
+    def test_random_is_deterministic_per_seed(self):
+        a = RandomPolicy(8, seed=3)
+        b = RandomPolicy(8, seed=3)
+        picks_a = [a.victim([True] * 8) for _ in range(10)]
+        picks_b = [b.victim([True] * 8) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("NRU", 4), NruPolicy)
+        assert isinstance(make_policy("random", 4), RandomPolicy)
+        with pytest.raises(ValueError):
+            make_policy("plru", 4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+
+@pytest.fixture
+def small_cache():
+    config = SramCacheConfig(name="test", size="16KB", associativity=4,
+                             hit_latency_cycles=2)
+    return SetAssociativeCache(config)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self, small_cache):
+        first = small_cache.access(100)
+        second = small_cache.access(100)
+        assert not first.hit
+        assert second.hit
+        assert small_cache.hits == 1
+        assert small_cache.misses == 1
+        assert small_cache.miss_ratio == 0.5
+
+    def test_contains_has_no_side_effects(self, small_cache):
+        small_cache.access(7)
+        hits_before = small_cache.hits
+        assert small_cache.contains(7)
+        assert not small_cache.contains(8)
+        assert small_cache.hits == hits_before
+
+    def test_dirty_eviction_produces_writeback(self, small_cache):
+        sets = small_cache.num_sets
+        base = 3
+        small_cache.access(base, is_write=True)
+        writebacks = []
+        # Fill the same set until the dirty block is evicted.
+        for i in range(1, small_cache.associativity + 1):
+            result = small_cache.access(base + i * sets)
+            if result.writeback_block is not None:
+                writebacks.append(result.writeback_block)
+        assert writebacks == [base]
+
+    def test_clean_eviction_has_no_writeback(self, small_cache):
+        sets = small_cache.num_sets
+        small_cache.access(0)
+        for i in range(1, small_cache.associativity + 1):
+            result = small_cache.access(i * sets)
+        assert small_cache.writebacks == 0
+        assert small_cache.evictions == 1
+
+    def test_invalidate(self, small_cache):
+        small_cache.access(42)
+        assert small_cache.invalidate(42)
+        assert not small_cache.contains(42)
+        assert not small_cache.invalidate(42)
+
+    def test_reset_stats_keeps_contents(self, small_cache):
+        small_cache.access(9)
+        small_cache.reset_stats()
+        assert small_cache.misses == 0
+        assert small_cache.access(9).hit
+
+    def test_negative_address_rejected(self, small_cache):
+        with pytest.raises(ValueError):
+            small_cache.access(-1)
+
+    def test_stats_group(self, small_cache):
+        small_cache.access(1)
+        small_cache.access(1)
+        stats = small_cache.stats()
+        assert stats.get("hits") == 1
+        assert stats.get("accesses") == 2
+
+    @given(st.lists(st.integers(0, 4000), min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_capacity_never_exceeded(self, addresses):
+        config = SramCacheConfig(name="prop", size="4KB", associativity=2)
+        cache = SetAssociativeCache(config)
+        for address in addresses:
+            cache.access(address)
+        resident = sum(1 for a in set(addresses) if cache.contains(a))
+        assert resident <= config.num_blocks
+        assert cache.hits + cache.misses == len(addresses)
+
+
+class TestMshrFile:
+    def test_primary_and_secondary_misses(self):
+        mshr = MshrFile(4)
+        assert mshr.allocate(10, now=0)
+        assert mshr.allocate(10, now=1)   # merged
+        assert mshr.occupancy == 1
+        assert mshr.merges == 1
+
+    def test_full_file_stalls(self):
+        mshr = MshrFile(2)
+        assert mshr.allocate(1, 0)
+        assert mshr.allocate(2, 0)
+        assert not mshr.allocate(3, 0)
+        assert mshr.stalls == 1
+        assert mshr.full
+
+    def test_release(self):
+        mshr = MshrFile(2)
+        mshr.allocate(5, 0, requestor=2)
+        entry = mshr.release(5)
+        assert entry.requestors == [2]
+        assert mshr.occupancy == 0
+        with pytest.raises(KeyError):
+            mshr.release(5)
+
+    def test_outstanding_blocks(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 0)
+        mshr.allocate(2, 0)
+        assert sorted(mshr.outstanding_blocks()) == [1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestCacheHierarchy:
+    def _make(self):
+        return CacheHierarchy(SystemConfig(num_cores=2))
+
+    def test_first_access_escapes_to_dram_cache(self):
+        hierarchy = self._make()
+        out = hierarchy.access(MemoryAccess(address=0x1000, pc=0x400000, core_id=0))
+        assert len(out) == 1
+        assert out[0].block_address == 0x1000 // 64
+
+    def test_repeat_access_filtered_by_l1(self):
+        hierarchy = self._make()
+        access = MemoryAccess(address=0x2000, pc=0x400000, core_id=1)
+        hierarchy.access(access)
+        assert hierarchy.access(access) == []
+
+    def test_l1_miss_l2_hit_filtered(self):
+        hierarchy = self._make()
+        access0 = MemoryAccess(address=0x3000, pc=0x400000, core_id=0)
+        access1 = MemoryAccess(address=0x3000, pc=0x400000, core_id=1)
+        hierarchy.access(access0)        # L2 fill
+        assert hierarchy.access(access1) == []  # other core hits in shared L2
+
+    def test_core_out_of_range(self):
+        hierarchy = self._make()
+        with pytest.raises(ValueError):
+            hierarchy.access(MemoryAccess(address=0, pc=0, core_id=5))
+
+    def test_filter_stream_reduces_volume(self, tiny_profile):
+        from repro.workloads.generator import SyntheticWorkload
+
+        hierarchy = CacheHierarchy(SystemConfig(num_cores=4))
+        raw = SyntheticWorkload(tiny_profile, num_cores=4, seed=1).generate(3000)
+        filtered = list(hierarchy.filter_stream(raw))
+        assert 0 < len(filtered) < len(raw)
+
+    def test_writebacks_preserve_write_type(self):
+        hierarchy = CacheHierarchy(SystemConfig(num_cores=1))
+        escaped_writes = []
+        # Touch many distinct dirty blocks to force L1/L2 dirty evictions.
+        for i in range(20000):
+            out = hierarchy.access(
+                MemoryAccess(address=i * 64 * 97 % (1 << 26), pc=0x400000,
+                             access_type=AccessType.WRITE, core_id=0)
+            )
+            escaped_writes.extend(a for a in out if a.is_write)
+        assert escaped_writes, "expected dirty writebacks to escape the L2"
+
+    def test_stats(self):
+        hierarchy = self._make()
+        hierarchy.access(MemoryAccess(address=0, pc=0, core_id=0))
+        stats = hierarchy.stats()
+        assert stats.get("requests") == 1
+        assert stats.get("l1d.misses") == 1

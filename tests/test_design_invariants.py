@@ -1,0 +1,115 @@
+"""Cross-design property tests.
+
+Every DRAM cache design must uphold a handful of invariants regardless of the
+request stream: statistics must add up, off-chip traffic must be attributable,
+latencies must be positive, and the functional contents must respect the
+configured capacity.  These properties are checked over randomized traces for
+all designs through the common :class:`DramCacheModel` interface.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.factory import make_design
+from repro.trace.record import AccessType, MemoryAccess
+
+DESIGNS = ("unison", "unison-dm", "unison-1984", "alloy", "footprint",
+           "ideal", "no_cache")
+
+
+def _random_trace(draw_data, max_blocks=4096, size=200):
+    blocks = draw_data.draw(
+        st.lists(st.integers(0, max_blocks), min_size=1, max_size=size)
+    )
+    pcs = draw_data.draw(
+        st.lists(st.integers(0, 15), min_size=len(blocks), max_size=len(blocks))
+    )
+    writes = draw_data.draw(
+        st.lists(st.booleans(), min_size=len(blocks), max_size=len(blocks))
+    )
+    return [
+        MemoryAccess(
+            address=block * 64,
+            pc=0x400000 + pc * 4,
+            access_type=AccessType.WRITE if write else AccessType.READ,
+            core_id=index % 4,
+            timestamp=index,
+        )
+        for index, (block, pc, write) in enumerate(zip(blocks, pcs, writes))
+    ]
+
+
+@pytest.mark.parametrize("design_name", DESIGNS)
+class TestDesignInvariants:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_accounting_invariants(self, design_name, data):
+        trace = _random_trace(data)
+        design = make_design(design_name, "128MB", scale=2048, num_cores=4)
+        results = [design.access(request) for request in trace]
+        stats = design.cache_stats
+
+        # Every request is accounted exactly once.
+        assert stats.accesses == len(trace)
+        assert stats.hits + stats.misses == len(trace)
+        assert stats.read_accesses + stats.write_accesses == len(trace)
+
+        # Ratios stay within [0, 1] and are consistent with each other.
+        assert 0.0 <= stats.miss_ratio <= 1.0
+        assert stats.miss_ratio + stats.hit_ratio == pytest.approx(
+            1.0 if stats.accesses else 0.0
+        )
+
+        # Latencies are non-negative, and every reported hit/miss latency sum
+        # matches what the per-access results said.
+        assert all(r.latency_cycles >= 0 for r in results)
+        assert stats.total_hit_latency == sum(
+            r.latency_cycles for r in results if r.hit
+        )
+        assert stats.total_miss_latency == sum(
+            r.latency_cycles for r in results if not r.hit
+        )
+
+        # Off-chip traffic reported by the memory device covers what the
+        # design claims to have fetched and written back.
+        if design_name != "ideal":
+            assert design.memory.blocks_read >= stats.offchip_demand_blocks
+        assert design.memory.blocks_written >= stats.offchip_writeback_blocks
+
+    @given(data=st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_warm_up_resets_only_statistics(self, design_name, data):
+        trace = _random_trace(data, size=100)
+        design = make_design(design_name, "128MB", scale=2048, num_cores=4)
+        design.warm_up(trace)
+        assert design.cache_stats.accesses == 0
+        # Re-running the same trace after warm-up can only improve (or keep)
+        # the hit ratio for caching designs, and keeps ratios well-formed.
+        design.run(trace)
+        assert design.cache_stats.accesses == len(trace)
+        assert 0.0 <= design.cache_stats.miss_ratio <= 1.0
+
+    def test_repeated_single_block_eventually_hits(self, design_name):
+        design = make_design(design_name, "128MB", scale=2048, num_cores=4)
+        request = MemoryAccess(address=64 * 123, pc=0x400010)
+        design.access(request)
+        second = design.access(request)
+        if design_name == "no_cache":
+            assert not second.hit
+        else:
+            assert second.hit
+
+    def test_determinism_across_instances(self, design_name):
+        trace = [
+            MemoryAccess(address=(i * 37 % 997) * 64, pc=0x400000 + (i % 5) * 4,
+                         core_id=i % 4, timestamp=i)
+            for i in range(300)
+        ]
+        a = make_design(design_name, "128MB", scale=2048, num_cores=4)
+        b = make_design(design_name, "128MB", scale=2048, num_cores=4)
+        a.run(trace)
+        b.run(list(trace))
+        assert a.cache_stats.miss_ratio == b.cache_stats.miss_ratio
+        assert a.cache_stats.offchip_total_blocks == b.cache_stats.offchip_total_blocks

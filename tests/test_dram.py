@@ -1,0 +1,227 @@
+"""Tests for the DRAM timing model: timings, banks, channels, controller."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.system import SystemConfig
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import Bank, BankState
+from repro.dram.channel import Channel
+from repro.dram.controller import DramController
+from repro.dram.timing import DramTimings
+
+
+@pytest.fixture
+def timings():
+    return DramTimings()
+
+
+class TestDramTimings:
+    def test_defaults_match_table_iii(self, timings):
+        assert timings.t_cas == 11
+        assert timings.t_rcd == 11
+        assert timings.t_rp == 11
+        assert timings.t_ras == 28
+        assert timings.t_rc == 39
+        assert timings.t_faw == 24
+
+    def test_from_channel_config(self):
+        stacked = SystemConfig().stacked_dram
+        timings = DramTimings.from_channel_config(stacked)
+        assert timings.bus_width_bits == 128
+        assert timings.frequency_mhz == 1600.0
+
+    def test_data_cycles(self, timings):
+        # 128-bit DDR bus: 32 bytes per bus cycle.
+        assert timings.data_cycles(64) == 2
+        assert timings.data_cycles(32) == 1
+        assert timings.data_cycles(1) == 1
+        assert timings.data_cycles(0) == 0
+
+    def test_burst_bytes(self, timings):
+        assert timings.burst_bytes == 128
+
+    def test_cpu_cycle_conversion(self, timings):
+        # 3 GHz CPU over 1.6 GHz DRAM: 1.875 CPU cycles per DRAM cycle.
+        assert timings.cpu_cycles(16, cpu_frequency_ghz=3.0) == 30
+
+    def test_invalid_trc(self):
+        with pytest.raises(ValueError):
+            DramTimings(t_rc=10, t_ras=28)
+
+    def test_invalid_bus_width(self):
+        with pytest.raises(ValueError):
+            DramTimings(bus_width_bits=12)
+
+
+class TestBank:
+    def test_first_access_is_row_miss(self, timings):
+        bank = Bank(timings)
+        result = bank.access(row=5, now=0)
+        assert not result.row_hit
+        assert not result.row_conflict
+        assert bank.state is BankState.ACTIVE
+        # Activate + CAS before data appears.
+        assert result.data_start_cycle >= timings.t_rcd + timings.t_cas
+
+    def test_second_access_same_row_hits(self, timings):
+        bank = Bank(timings)
+        first = bank.access(row=5, now=0)
+        second = bank.access(row=5, now=first.data_start_cycle + 4)
+        assert second.row_hit
+        assert second.data_start_cycle < first.data_start_cycle + 4 + timings.t_rcd + timings.t_cas
+
+    def test_conflict_requires_precharge(self, timings):
+        bank = Bank(timings)
+        bank.access(row=5, now=0)
+        later = 200
+        conflict = bank.access(row=9, now=later)
+        assert conflict.row_conflict
+        assert conflict.data_start_cycle >= later + timings.t_rp + timings.t_rcd + timings.t_cas
+
+    def test_activation_counting(self, timings):
+        bank = Bank(timings)
+        bank.access(row=1, now=0)
+        bank.access(row=1, now=100)
+        bank.access(row=2, now=400)
+        assert bank.activations == 2
+        assert bank.row_hits == 1
+        assert bank.row_conflicts == 1
+
+    def test_trc_enforced_between_activations(self, timings):
+        bank = Bank(timings)
+        first = bank.access(row=1, now=0)
+        conflict = bank.access(row=2, now=1)
+        # The second activation cannot complete before tRC from the first.
+        assert conflict.data_start_cycle >= timings.t_rc
+
+    def test_negative_row_rejected(self, timings):
+        with pytest.raises(ValueError):
+            Bank(timings).access(row=-1, now=0)
+
+    def test_is_row_open(self, timings):
+        bank = Bank(timings)
+        assert not bank.is_row_open(3)
+        bank.access(row=3, now=0)
+        assert bank.is_row_open(3)
+        assert not bank.is_row_open(4)
+
+
+class TestChannel:
+    def test_parallel_banks_independent_rows(self, timings):
+        channel = Channel(timings, num_banks=8)
+        a = channel.access(bank_index=0, row=1, num_bytes=64, now=0)
+        b = channel.access(bank_index=1, row=1, num_bytes=64, now=0)
+        # Bank 1's activate is delayed only by tRRD, not by a full access.
+        assert b.data_start_cycle - a.data_start_cycle <= timings.t_rrd + timings.data_cycles(64)
+
+    def test_faw_limits_burst_of_activates(self, timings):
+        channel = Channel(timings, num_banks=8)
+        results = [channel.access(bank_index=i, row=1, num_bytes=64, now=0)
+                   for i in range(5)]
+        # The fifth activate must wait for the tFAW window of the first four.
+        assert results[4].data_start_cycle >= timings.t_faw
+
+    def test_data_bus_serializes_transfers(self, timings):
+        channel = Channel(timings, num_banks=2)
+        first = channel.access(0, row=1, num_bytes=4096, now=0)
+        second = channel.access(1, row=1, num_bytes=64, now=0)
+        assert second.data_start_cycle >= first.completion_cycle
+
+    def test_row_buffer_hit_tracked(self, timings):
+        channel = Channel(timings, num_banks=1)
+        channel.access(0, row=7, num_bytes=64, now=0)
+        hit = channel.access(0, row=7, num_bytes=64, now=500)
+        assert hit.row_hit
+        assert channel.total_activations == 1
+
+    def test_statistics(self, timings):
+        channel = Channel(timings, num_banks=2)
+        channel.access(0, row=1, num_bytes=64, now=0)
+        channel.access(1, row=1, num_bytes=32, now=0, is_write=True)
+        assert channel.reads == 1
+        assert channel.writes == 1
+        assert channel.bytes_transferred == 96
+
+    def test_bad_bank_index(self, timings):
+        with pytest.raises(IndexError):
+            Channel(timings, num_banks=2).access(5, row=0, num_bytes=64, now=0)
+
+    def test_invalid_bank_count(self, timings):
+        with pytest.raises(ValueError):
+            Channel(timings, num_banks=0)
+
+
+class TestAddressMapping:
+    def test_decompose_fields_in_range(self):
+        mapping = AddressMapping(num_channels=4, banks_per_channel=8, row_bytes=8192)
+        coords = mapping.decompose(123456789)
+        assert 0 <= coords.channel < 4
+        assert 0 <= coords.bank < 8
+        assert 0 <= coords.column_byte < 8192
+
+    def test_consecutive_rows_interleave_channels(self):
+        mapping = AddressMapping(num_channels=4, banks_per_channel=8, row_bytes=8192)
+        channels = [mapping.decompose(i * 8192).channel for i in range(8)]
+        assert channels[:4] == [0, 1, 2, 3]
+
+    def test_row_base_address_inverse(self):
+        mapping = AddressMapping(num_channels=4, banks_per_channel=8, row_bytes=8192)
+        for address in (0, 8192, 5 * 8192, 1234 * 8192):
+            coords = mapping.decompose(address)
+            assert mapping.row_base_address(coords) == address
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AddressMapping(num_channels=0, banks_per_channel=8, row_bytes=8192)
+
+    @given(st.integers(0, 2 ** 45))
+    @settings(max_examples=50)
+    def test_property_round_trip(self, address):
+        mapping = AddressMapping(num_channels=4, banks_per_channel=8, row_bytes=8192)
+        coords = mapping.decompose(address)
+        assert mapping.row_base_address(coords) + coords.column_byte == address
+
+
+class TestDramController:
+    def test_latency_reasonable_for_stacked_dram(self):
+        controller = DramController(SystemConfig().stacked_dram)
+        result = controller.access(address=0, num_bytes=64, now_cpu=0)
+        # Row activation + CAS + transfer at 1.875 CPU cycles per DRAM cycle:
+        # roughly (11 + 11 + 2) * 1.875 = 45 CPU cycles.
+        assert 30 <= result.latency_cpu_cycles <= 70
+        assert result.activated
+
+    def test_row_hit_is_faster(self):
+        controller = DramController(SystemConfig().stacked_dram)
+        miss = controller.access(address=0, num_bytes=64, now_cpu=0)
+        hit = controller.access(address=64, num_bytes=64, now_cpu=1000)
+        assert hit.row_hit
+        assert hit.latency_cpu_cycles < miss.latency_cpu_cycles
+
+    def test_offchip_slower_than_stacked(self):
+        system = SystemConfig()
+        stacked = DramController(system.stacked_dram)
+        offchip = DramController(system.offchip_dram)
+        assert (offchip.access(0, 64, 0).latency_cpu_cycles
+                > stacked.access(0, 64, 0).latency_cpu_cycles)
+
+    def test_statistics_accumulate(self):
+        controller = DramController(SystemConfig().stacked_dram)
+        controller.access(0, 64, 0)
+        controller.access(8192, 64, 0, is_write=True)
+        stats = controller.stats()
+        assert stats.get("requests") == 2
+        assert stats.get("reads") == 1
+        assert stats.get("writes") == 1
+        assert stats.get("bytes_transferred") == 128
+
+    def test_row_of_distinguishes_rows(self):
+        controller = DramController(SystemConfig().stacked_dram)
+        assert controller.row_of(0) == controller.row_of(4096)
+        assert controller.row_of(0) != controller.row_of(8192)
+
+    def test_invalid_bytes(self):
+        controller = DramController(SystemConfig().stacked_dram)
+        with pytest.raises(ValueError):
+            controller.access(0, 0, 0)

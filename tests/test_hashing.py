@@ -1,0 +1,68 @@
+"""Tests for XOR folding and the deterministic mixer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import fold_xor, mix64
+
+
+class TestFoldXor:
+    def test_small_value_unchanged(self):
+        assert fold_xor(0x5, 12) == 0x5
+
+    def test_folding_is_xor_of_chunks(self):
+        # value = 0xABC123 folded to 12 bits -> 0xABC ^ 0x123
+        assert fold_xor(0xABC123, 12) == (0xABC ^ 0x123)
+
+    def test_zero(self):
+        assert fold_xor(0, 12) == 0
+
+    def test_result_fits_output_bits(self):
+        for value in (0, 1, 0xFFFF, 0x123456789ABCDEF):
+            assert 0 <= fold_xor(value, 12) < (1 << 12)
+
+    def test_invalid_output_bits(self):
+        with pytest.raises(ValueError):
+            fold_xor(5, 0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            fold_xor(-1, 12)
+
+    @given(st.integers(0, 2 ** 64 - 1), st.integers(1, 24))
+    def test_fold_is_deterministic_and_bounded(self, value, bits):
+        first = fold_xor(value, bits)
+        assert first == fold_xor(value, bits)
+        assert 0 <= first < (1 << bits)
+
+    @given(st.integers(0, 2 ** 24 - 1))
+    def test_identity_when_value_fits(self, value):
+        assert fold_xor(value, 24) == value
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_different_inputs_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_result_is_64_bit(self):
+        for value in (0, 1, 2 ** 63, 2 ** 64 - 1):
+            assert 0 <= mix64(value) < 2 ** 64
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    def test_output_range_property(self, value):
+        assert 0 <= mix64(value) < 2 ** 64
+
+    def test_avalanche_spreads_low_bits(self):
+        # Consecutive inputs should not produce consecutive outputs.
+        outputs = [mix64(i) for i in range(16)]
+        deltas = {b - a for a, b in zip(outputs, outputs[1:])}
+        assert len(deltas) > 1
+
+    def test_distribution_over_buckets(self):
+        buckets = [0] * 16
+        for i in range(4096):
+            buckets[mix64(i) % 16] += 1
+        assert min(buckets) > 150  # roughly uniform (expected 256 each)

@@ -1,0 +1,87 @@
+"""Tests for residue arithmetic and the block-address mapper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.residue import BlockLocation, ResidueMapper, mod_mersenne
+
+
+class TestModMersenne:
+    @pytest.mark.parametrize("value,n_bits", [
+        (0, 4), (14, 4), (15, 4), (16, 4), (12345, 4),
+        (0, 5), (31, 5), (62, 5), (10 ** 9, 5),
+    ])
+    def test_matches_builtin_modulo(self, value, n_bits):
+        modulus = (1 << n_bits) - 1
+        assert mod_mersenne(value, n_bits) == value % modulus
+
+    def test_invalid_n_bits(self):
+        with pytest.raises(ValueError):
+            mod_mersenne(10, 1)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            mod_mersenne(-1, 4)
+
+    @given(st.integers(0, 2 ** 60), st.integers(2, 16))
+    def test_property_matches_modulo(self, value, n_bits):
+        assert mod_mersenne(value, n_bits) == value % ((1 << n_bits) - 1)
+
+
+class TestResidueMapper:
+    def test_valid_construction_for_15_blocks(self):
+        mapper = ResidueMapper(blocks_per_page=15, num_sets=128)
+        assert mapper.n_bits == 4
+
+    def test_valid_construction_for_31_blocks(self):
+        mapper = ResidueMapper(blocks_per_page=31, num_sets=64)
+        assert mapper.n_bits == 5
+
+    @pytest.mark.parametrize("blocks", [4, 8, 10, 14, 16, 30])
+    def test_non_mersenne_block_counts_rejected(self, blocks):
+        with pytest.raises(ValueError):
+            ResidueMapper(blocks_per_page=blocks, num_sets=16)
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(ValueError):
+            ResidueMapper(blocks_per_page=15, num_sets=0)
+
+    def test_page_and_offset_decomposition(self):
+        mapper = ResidueMapper(blocks_per_page=15, num_sets=8)
+        assert mapper.page_of(0) == 0
+        assert mapper.page_of(14) == 0
+        assert mapper.page_of(15) == 1
+        assert mapper.block_offset(14) == 14
+        assert mapper.block_offset(15) == 0
+        assert mapper.block_offset(31) == 1
+
+    def test_set_mapping_wraps(self):
+        mapper = ResidueMapper(blocks_per_page=15, num_sets=8)
+        assert mapper.set_of_page(0) == 0
+        assert mapper.set_of_page(8) == 0
+        assert mapper.set_of_page(9) == 1
+
+    def test_locate_returns_consistent_location(self):
+        mapper = ResidueMapper(blocks_per_page=15, num_sets=8)
+        location = mapper.locate(1234)
+        assert isinstance(location, BlockLocation)
+        assert location.page_number == 1234 // 15
+        assert location.block_offset == 1234 % 15
+        assert location.set_index == (1234 // 15) % 8
+
+    def test_negative_addresses_rejected(self):
+        mapper = ResidueMapper(blocks_per_page=15, num_sets=8)
+        with pytest.raises(ValueError):
+            mapper.page_of(-1)
+        with pytest.raises(ValueError):
+            mapper.set_of_page(-1)
+
+    @given(st.integers(0, 2 ** 40), st.sampled_from([15, 31]), st.integers(1, 4096))
+    def test_locate_round_trip(self, block_address, blocks_per_page, num_sets):
+        mapper = ResidueMapper(blocks_per_page=blocks_per_page, num_sets=num_sets)
+        location = mapper.locate(block_address)
+        reconstructed = (location.page_number * blocks_per_page
+                         + location.block_offset)
+        assert reconstructed == block_address
+        assert 0 <= location.block_offset < blocks_per_page
+        assert 0 <= location.set_index < num_sets

@@ -1,0 +1,115 @@
+"""Tests for the Unison Cache DRAM row layout (Figures 2 and 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.cache_configs import UnisonCacheConfig
+from repro.core.row_layout import UnisonRowLayout
+
+
+@pytest.fixture
+def default_layout():
+    return UnisonRowLayout(UnisonCacheConfig(capacity=64 * 8192))
+
+
+class TestDefaultLayout:
+    def test_geometry_matches_figure_3(self, default_layout):
+        assert default_layout.pages_per_row == 8
+        assert default_layout.sets_per_row == 2
+        assert default_layout.page_data_bytes == 960
+        assert default_layout.data_blocks_per_row == 120
+
+    def test_presence_metadata_sizes(self, default_layout):
+        # Figure 2: 8 bytes of tag metadata per page; Figure 3: a 4-way set's
+        # tags transfer as a 32-byte burst.
+        assert default_layout.presence_bytes_per_page == 8
+        assert default_layout.presence_bytes_per_set == 32
+
+    def test_everything_fits_in_the_row(self, default_layout):
+        assert default_layout.unused_bytes_per_row >= 0
+        total = (default_layout.metadata_bytes_per_row
+                 + default_layout.data_bytes_per_row
+                 + default_layout.unused_bytes_per_row)
+        assert total == default_layout.row_bytes
+
+    def test_frame_indexing(self, default_layout):
+        assert default_layout.frame_index(0, 0) == 0
+        assert default_layout.frame_index(1, 3) == 7
+        assert default_layout.frame_row(0) == 0
+        assert default_layout.frame_row(8) == 1
+        assert default_layout.frame_slot(9) == 1
+
+    def test_block_offsets_disjoint_across_frames(self, default_layout):
+        seen = set()
+        for frame in range(default_layout.pages_per_row):
+            for block in range(15):
+                offset = default_layout.block_offset(frame, block)
+                span = range(offset, offset + 64)
+                assert offset + 64 <= default_layout.row_bytes
+                assert not (set(span) & seen)
+                seen.update(span)
+
+    def test_data_does_not_overlap_metadata(self, default_layout):
+        first_block = default_layout.block_offset(0, 0)
+        assert first_block >= default_layout.metadata_bytes_per_row
+
+    def test_metadata_offsets_within_metadata_region(self, default_layout):
+        for frame in range(default_layout.pages_per_row):
+            presence = default_layout.presence_metadata_offset(frame)
+            other = default_layout.other_metadata_offset(frame)
+            assert presence < default_layout.presence_bytes_per_row
+            assert (default_layout.presence_bytes_per_row <= other
+                    < default_layout.metadata_bytes_per_row)
+
+    def test_out_of_range_arguments(self, default_layout):
+        with pytest.raises(IndexError):
+            default_layout.block_offset(0, 15)
+        with pytest.raises(IndexError):
+            default_layout.frame_index(0, 4)
+        with pytest.raises(IndexError):
+            default_layout.frame_row(-1)
+
+    def test_describe_mentions_geometry(self, default_layout):
+        text = default_layout.describe()
+        assert "15 blocks/page" in text
+        assert "120 data blocks/row" in text
+
+
+class TestAlternativeOrganizations:
+    def test_1984_byte_pages(self):
+        layout = UnisonRowLayout(
+            UnisonCacheConfig(capacity=64 * 8192, blocks_per_page=31)
+        )
+        assert layout.pages_per_row == 4
+        assert layout.sets_per_row == 1
+        assert layout.data_blocks_per_row == 124
+        assert layout.unused_bytes_per_row >= 0
+
+    def test_direct_mapped(self):
+        layout = UnisonRowLayout(
+            UnisonCacheConfig(capacity=64 * 8192, associativity=1)
+        )
+        assert layout.sets_per_row == 8
+        assert layout.presence_bytes_per_set == 8
+
+    def test_32_way_spans_rows(self):
+        layout = UnisonRowLayout(
+            UnisonCacheConfig(capacity=64 * 8192, associativity=32)
+        )
+        assert layout.sets_per_row == 0
+        # Frames of one set span multiple rows but remain addressable.
+        rows = {layout.frame_row(layout.frame_index(0, way)) for way in range(32)}
+        assert len(rows) == 4
+
+    @given(st.sampled_from([15, 31]), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_property_blocks_always_inside_row(self, blocks_per_page, associativity):
+        config = UnisonCacheConfig(capacity=32 * 8192,
+                                   blocks_per_page=blocks_per_page,
+                                   associativity=associativity)
+        layout = UnisonRowLayout(config)
+        for frame in range(layout.pages_per_row):
+            for block in range(blocks_per_page):
+                offset = layout.block_offset(frame, block)
+                assert 0 <= offset
+                assert offset + 64 <= layout.row_bytes

@@ -1,0 +1,193 @@
+"""Tests for counters, ratios, groups, confidence intervals and histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.stats.counters import Counter, RatioStat, StatGroup
+from repro.stats.histogram import Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("hits").value == 0
+
+    def test_increment(self):
+        counter = Counter("hits")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("hits").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("hits")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_repr_includes_name(self):
+        assert "hits" in repr(Counter("hits"))
+
+
+class TestRatioStat:
+    def test_empty_ratio_is_zero(self):
+        assert RatioStat("acc").value == 0.0
+
+    def test_record(self):
+        ratio = RatioStat("acc")
+        ratio.record(True)
+        ratio.record(False)
+        ratio.record(True)
+        assert ratio.value == pytest.approx(2 / 3)
+        assert ratio.percent == pytest.approx(200 / 3)
+
+    def test_add(self):
+        ratio = RatioStat("acc")
+        ratio.add(9, 10)
+        assert ratio.value == pytest.approx(0.9)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RatioStat("acc").add(-1, 2)
+
+    def test_reset(self):
+        ratio = RatioStat("acc")
+        ratio.record(True)
+        ratio.reset()
+        assert ratio.denominator == 0
+        assert ratio.value == 0.0
+
+
+class TestStatGroup:
+    def test_set_get(self):
+        group = StatGroup("cache")
+        group.set("hits", 10)
+        assert group.get("hits") == 10
+        assert "hits" in group
+        assert len(group) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            StatGroup("cache").get("nope")
+
+    def test_merge_child_prefixes_names(self):
+        parent = StatGroup("system")
+        child = StatGroup("l2")
+        child.set("misses", 3)
+        parent.merge_child(child)
+        assert parent.get("l2.misses") == 3
+
+    def test_as_dict_is_copy(self):
+        group = StatGroup("cache")
+        group.set("hits", 1)
+        copy = group.as_dict()
+        copy["hits"] = 99
+        assert group.get("hits") == 1
+
+    def test_items_order(self):
+        group = StatGroup("cache")
+        group.set("a", 1)
+        group.set("b", 2)
+        assert [k for k, _ in group.items()] == ["a", "b"]
+
+
+class TestConfidence:
+    def test_single_sample_zero_width(self):
+        interval = mean_confidence_interval([5.0])
+        assert interval.mean == 5.0
+        assert interval.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_identical_samples_zero_width(self):
+        interval = mean_confidence_interval([2.0] * 10)
+        assert interval.half_width == pytest.approx(0.0)
+        assert interval.contains(2.0)
+
+    def test_known_small_sample(self):
+        # mean 3, sample std 1, n=5 -> half width = 2.776 / sqrt(5)
+        interval = mean_confidence_interval([2.0, 2.0, 3.0, 4.0, 4.0])
+        assert interval.mean == pytest.approx(3.0)
+        assert interval.half_width == pytest.approx(2.776 * 1.0 / 5 ** 0.5, rel=1e-3)
+
+    def test_bounds_and_containment(self):
+        interval = ConfidenceInterval(mean=10.0, half_width=2.0)
+        assert interval.lower == 8.0
+        assert interval.upper == 12.0
+        assert interval.contains(9.5)
+        assert not interval.contains(13.0)
+        assert interval.relative_error == pytest.approx(0.2)
+
+    def test_zero_mean_relative_error(self):
+        assert ConfidenceInterval(mean=0.0, half_width=1.0).relative_error == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_mean_always_inside_interval(self, samples):
+        interval = mean_confidence_interval(samples)
+        assert interval.lower <= interval.mean <= interval.upper
+
+    def test_more_samples_narrow_interval(self):
+        few = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        many = mean_confidence_interval([1.0, 2.0, 3.0, 4.0] * 10)
+        assert many.half_width < few.half_width
+
+
+class TestHistogram:
+    def test_record_and_count(self):
+        hist = Histogram("footprint")
+        hist.record(3)
+        hist.record(3, 2)
+        hist.record(7)
+        assert hist.count(3) == 3
+        assert hist.total == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").record(1, -1)
+
+    def test_mean(self):
+        hist = Histogram("h")
+        hist.record(2, 2)
+        hist.record(4, 2)
+        assert hist.mean() == pytest.approx(3.0)
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("h").mean() == 0.0
+
+    def test_percentile(self):
+        hist = Histogram("h")
+        for value in range(1, 11):
+            hist.record(value)
+        assert hist.percentile(0.5) == 5
+        assert hist.percentile(1.0) == 10
+
+    def test_percentile_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(0.5)
+
+    def test_percentile_bad_fraction(self):
+        hist = Histogram("h")
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_merge(self):
+        a = Histogram("a")
+        b = Histogram("b")
+        a.record(1)
+        b.record(1)
+        b.record(2)
+        a.merge(b)
+        assert a.count(1) == 2
+        assert a.count(2) == 1
+
+    def test_items_sorted(self):
+        hist = Histogram("h")
+        hist.record(5)
+        hist.record(1)
+        assert [v for v, _ in hist.items()] == [1, 5]

@@ -1,0 +1,143 @@
+"""Tests for trace records, trace file I/O, and stream filters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.filters import interleave_traces, limit_trace, split_warmup
+from repro.trace.io import format_access, parse_access, read_trace, write_trace
+from repro.trace.record import BLOCK_SIZE, AccessType, MemoryAccess
+
+
+class TestMemoryAccess:
+    def test_block_address(self):
+        access = MemoryAccess(address=130, pc=0x400000)
+        assert access.block_address == 2
+
+    def test_block_aligned(self):
+        access = MemoryAccess(address=130, pc=0x400000)
+        aligned = access.block_aligned()
+        assert aligned.address == 128
+        assert aligned.pc == access.pc
+
+    def test_block_aligned_noop_when_aligned(self):
+        access = MemoryAccess(address=128, pc=0x400000)
+        assert access.block_aligned() is access
+
+    def test_page_number_and_offset(self):
+        access = MemoryAccess(address=5000, pc=0)
+        assert access.page_number(4096) == 1
+        assert access.page_offset_blocks(4096) == (5000 - 4096) // BLOCK_SIZE
+
+    def test_page_offset_requires_block_multiple(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, pc=0).page_offset_blocks(100)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, pc=0).page_number(0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=-1, pc=0)
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, pc=0, core_id=-1)
+
+    def test_is_write(self):
+        read = MemoryAccess(address=0, pc=0, access_type=AccessType.READ)
+        write = MemoryAccess(address=0, pc=0, access_type=AccessType.WRITE)
+        assert not read.is_write
+        assert write.is_write
+
+
+class TestTraceIo:
+    def test_format_parse_round_trip(self):
+        access = MemoryAccess(address=0x1234, pc=0x400010,
+                              access_type=AccessType.WRITE, core_id=3,
+                              timestamp=42)
+        assert parse_access(format_access(access)) == access
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_access("1 2 R 0x10")
+
+    def test_parse_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_access("1 2 X 0x10 0x20")
+
+    def test_file_round_trip(self, tmp_path):
+        accesses = [
+            MemoryAccess(address=i * 64, pc=0x400000 + i * 4, core_id=i % 4,
+                         timestamp=i,
+                         access_type=AccessType.WRITE if i % 3 == 0 else AccessType.READ)
+            for i in range(50)
+        ]
+        path = tmp_path / "trace.txt"
+        count = write_trace(path, accesses)
+        assert count == 50
+        assert read_trace(path) == accesses
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0 0 R 0x400000 0x80\n")
+        loaded = read_trace(path)
+        assert len(loaded) == 1
+        assert loaded[0].address == 0x80
+
+    def test_writer_requires_context_manager(self, tmp_path):
+        from repro.trace.io import TraceWriter
+
+        writer = TraceWriter(tmp_path / "x.txt")
+        with pytest.raises(RuntimeError):
+            writer.write(MemoryAccess(address=0, pc=0))
+
+    @given(accesses=st.lists(
+        st.builds(
+            MemoryAccess,
+            address=st.integers(0, 2 ** 40),
+            pc=st.integers(0, 2 ** 48),
+            access_type=st.sampled_from(list(AccessType)),
+            core_id=st.integers(0, 15),
+            timestamp=st.integers(0, 2 ** 32),
+        ),
+        max_size=30,
+    ))
+    def test_property_line_round_trip(self, accesses):
+        for access in accesses:
+            assert parse_access(format_access(access)) == access
+
+
+class TestFilters:
+    def _trace(self, n, core=0, start=0):
+        return [MemoryAccess(address=i * 64, pc=0, core_id=core, timestamp=start + i)
+                for i in range(n)]
+
+    def test_limit_trace(self):
+        assert len(list(limit_trace(self._trace(10), 3))) == 3
+        assert len(list(limit_trace(self._trace(2), 10))) == 2
+
+    def test_limit_trace_negative(self):
+        with pytest.raises(ValueError):
+            list(limit_trace(self._trace(1), -1))
+
+    def test_split_warmup(self):
+        warm, measure = split_warmup(self._trace(9), 2 / 3)
+        assert len(warm) == 6
+        assert len(measure) == 3
+
+    def test_split_warmup_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_warmup(self._trace(3), 1.0)
+
+    def test_interleave_orders_by_timestamp(self):
+        a = [MemoryAccess(address=0, pc=0, core_id=0, timestamp=t) for t in (0, 4, 8)]
+        b = [MemoryAccess(address=64, pc=0, core_id=1, timestamp=t) for t in (1, 2, 9)]
+        merged = list(interleave_traces([a, b]))
+        timestamps = [m.timestamp for m in merged]
+        assert timestamps == sorted(timestamps)
+        assert len(merged) == 6
+
+    def test_interleave_empty_inputs(self):
+        assert list(interleave_traces([])) == []
+        assert list(interleave_traces([[], []])) == []

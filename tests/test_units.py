@@ -1,0 +1,85 @@
+"""Tests for capacity parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("0B", 0),
+        ("64B", 64),
+        ("1KB", 1024),
+        ("960B", 960),
+        ("1.5KB", 1536),
+        ("128MB", 128 * 1024 ** 2),
+        ("1GB", 1024 ** 3),
+        ("8GB", 8 * 1024 ** 3),
+        ("2TB", 2 * 1024 ** 4),
+        ("1GiB", 1024 ** 3),
+        ("1 gb", 1024 ** 3),
+    ])
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_integer_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_plain_number_string(self):
+        assert parse_size("4096") == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("3 parsecs")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("GB1")
+
+    def test_non_integral_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3B")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(3.5)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0B"),
+        (64, "64B"),
+        (1024, "1KB"),
+        (1536, "1.5KB"),
+        (128 * 1024 ** 2, "128MB"),
+        (1024 ** 3, "1GB"),
+        (8 * 1024 ** 3, "8GB"),
+        (1024 ** 4, "1TB"),
+    ])
+    def test_exact_values(self, value, expected):
+        assert format_size(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(0, 2 ** 50))
+    def test_round_trip_within_rounding(self, value):
+        formatted = format_size(value)
+        parsed = parse_size(formatted)
+        # Two-decimal formatting loses at most 1% of the magnitude.
+        assert abs(parsed - value) <= max(1, value * 0.01)
+
+    @given(st.sampled_from(["KB", "MB", "GB", "TB"]), st.integers(1, 512))
+    def test_exact_units_round_trip(self, unit, count):
+        text = f"{count}{unit}"
+        assert format_size(parse_size(text)) == text
