@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import pytest
 
@@ -30,6 +30,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.sim.executor import cached_baseline, cached_trace  # noqa: E402
 from repro.sim.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner  # noqa: E402
 from repro.workloads.profile import WorkloadProfile  # noqa: E402
 
@@ -63,24 +64,27 @@ def runner() -> ExperimentRunner:
 
 
 class TraceCache:
-    """Caches the per-(workload, capacity) traces so every design in a
-    comparison sees exactly the same request stream."""
+    """Runs designs over shared per-workload traces.
+
+    Backed by the sweep executor's process-wide trace cache, so benchmarks
+    using this helper and benchmarks declared as ``SweepSpec`` grids (fig6,
+    fig8) generate each workload trace exactly once per session.
+    """
 
     def __init__(self, experiment_runner: ExperimentRunner) -> None:
         self.runner = experiment_runner
-        self._traces: Dict[str, list] = {}
 
     def trace_for(self, profile: WorkloadProfile) -> list:
-        if profile.name not in self._traces:
-            self._traces[profile.name] = self.runner.build_trace(profile)
-        return self._traces[profile.name]
+        return cached_trace(self.runner, profile)
 
     def run(self, design: str, profile: WorkloadProfile, capacity,
             associativity=None) -> ExperimentResult:
+        trace = self.trace_for(profile)
         return self.runner.run_design(
             design, profile, capacity,
-            trace=self.trace_for(profile),
+            trace=trace,
             associativity=associativity,
+            baseline_stats=cached_baseline(self.runner, profile, trace),
         )
 
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import format_table, write_report
+from conftest import bench_config, format_table, write_report
 
+from repro.sim.executor import run_sweep
+from repro.sim.spec import SweepSpec
 from repro.workloads.cloudsuite import CLOUDSUITE_WORKLOADS, tpch_queries
 
 CLOUDSUITE_CAPACITIES = ("128MB", "256MB", "512MB", "1GB")
@@ -23,24 +25,28 @@ TPCH_CAPACITIES = ("1GB", "2GB", "4GB", "8GB")
 DESIGNS = ("alloy", "footprint", "unison")
 
 
-def _measure(trace_cache):
+def _measure():
+    # Two declarative grids (CloudSuite and TPC-H sweep different capacity
+    # ranges); the executor's shared cache generates each workload trace and
+    # no-cache baseline once, and every design replays the same trace.
+    sweeps = (
+        SweepSpec(designs=DESIGNS, workloads=CLOUDSUITE_WORKLOADS,
+                  capacities=CLOUDSUITE_CAPACITIES, config=bench_config()),
+        SweepSpec(designs=DESIGNS, workloads=(tpch_queries(),),
+                  capacities=TPCH_CAPACITIES, config=bench_config()),
+    )
     results = {}
-    for profile in CLOUDSUITE_WORKLOADS:
-        for capacity in CLOUDSUITE_CAPACITIES:
-            for design in DESIGNS:
-                result = trace_cache.run(design, profile, capacity)
-                results[(profile.name, capacity, design)] = result.miss_ratio
-    tpch = tpch_queries()
-    for capacity in TPCH_CAPACITIES:
-        for design in DESIGNS:
-            result = trace_cache.run(design, tpch, capacity)
-            results[(tpch.name, capacity, design)] = result.miss_ratio
+    for spec in sweeps:
+        for result in run_sweep(spec):
+            results[(result.workload, result.capacity, result.design)] = (
+                result.miss_ratio
+            )
     return results
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6_miss_ratio_comparison(benchmark, trace_cache, results_dir):
-    results = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+def test_fig6_miss_ratio_comparison(benchmark, results_dir):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
 
     workloads = [p.name for p in CLOUDSUITE_WORKLOADS] + [tpch_queries().name]
     rows = []

@@ -16,27 +16,28 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import format_table, write_report
+from conftest import bench_config, format_table, write_report
 
+from repro.sim.executor import run_sweep
+from repro.sim.spec import SweepSpec
 from repro.workloads.cloudsuite import tpch_queries
 
 CAPACITIES = ("1GB", "2GB", "4GB", "8GB")
 DESIGNS = ("alloy", "footprint", "unison", "ideal")
 
 
-def _measure(trace_cache):
-    profile = tpch_queries()
-    results = {}
-    for capacity in CAPACITIES:
-        for design in DESIGNS:
-            result = trace_cache.run(design, profile, capacity)
-            results[(capacity, design)] = result.speedup_vs_no_cache
-    return results
+def _measure():
+    spec = SweepSpec(designs=DESIGNS, workloads=(tpch_queries(),),
+                     capacities=CAPACITIES, config=bench_config())
+    return {
+        (result.capacity, result.design): result.speedup_vs_no_cache
+        for result in run_sweep(spec)
+    }
 
 
 @pytest.mark.benchmark(group="fig8")
-def test_fig8_tpch_scaling(benchmark, trace_cache, results_dir):
-    results = benchmark.pedantic(_measure, args=(trace_cache,), rounds=1, iterations=1)
+def test_fig8_tpch_scaling(benchmark, results_dir):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
 
     rows = [
         [capacity,

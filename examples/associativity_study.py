@@ -3,8 +3,10 @@
 
 Direct-mapped page-based caches suffer heavily from conflicts (the paper's
 analytical model puts the conflict probability ~500x higher than for a
-block-based cache of the same size).  This example quantifies, on a workload
-of your choice:
+block-based cache of the same size).  This example declares the sweep's
+associativity axis as :class:`repro.SweepSpec` *overrides* -- one grid cell
+per ways count, every cell replaying the same cached trace -- and
+quantifies, on a workload of your choice:
 
 * how the miss ratio changes from direct-mapped to 4-way to 32-way, and
 * what the way predictor contributes: its accuracy and how many extra cycles
@@ -23,7 +25,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import ExperimentConfig, ExperimentRunner, workload_by_name
+from repro import ExperimentConfig, SweepSpec, run_sweep
+
+ASSOCIATIVITIES = (1, 4, 32)
 
 
 def main() -> int:
@@ -32,24 +36,33 @@ def main() -> int:
     parser.add_argument("--capacity", default="1GB")
     parser.add_argument("--accesses", type=int, default=45_000)
     parser.add_argument("--scale", type=int, default=512)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
     args = parser.parse_args()
 
-    profile = workload_by_name(args.workload)
-    runner = ExperimentRunner(
-        ExperimentConfig(scale=args.scale, num_accesses=args.accesses)
+    spec = SweepSpec(
+        designs=("unison",),
+        workloads=(args.workload,),
+        capacities=(args.capacity,),
+        config=ExperimentConfig(scale=args.scale, num_accesses=args.accesses),
+        # Labels default to the canonical variant names (unison-dm, unison,
+        # unison-32way; unison-<N>way for anything else).
+        overrides=tuple({"associativity": ways} for ways in ASSOCIATIVITIES),
     )
+    profile = spec.workloads[0]
 
     print(f"Unison Cache associativity sweep -- {profile.name} @ {args.capacity} "
           f"(scale 1/{args.scale})\n")
-    results = runner.associativity_sweep(profile, args.capacity,
-                                         associativities=(1, 4, 32))
+    sweep = run_sweep(spec, workers=args.jobs)
+    results = dict(zip(ASSOCIATIVITIES, sweep))
 
-    print(f"{'ways':>5} {'miss%':>8} {'hit lat':>9} {'WP acc%':>9} {'speedup':>9}")
-    print("-" * 45)
+    print(f"{'ways':>5} {'design':>14} {'miss%':>8} {'hit lat':>9} "
+          f"{'WP acc%':>9} {'speedup':>9}")
+    print("-" * 60)
     for ways, result in sorted(results.items()):
         wp = (f"{100 * result.way_prediction_accuracy:>8.1f}%"
               if ways > 1 else "     n/a")
-        print(f"{ways:>5} {result.miss_ratio_percent:>7.1f}% "
+        print(f"{ways:>5} {result.design:>14} {result.miss_ratio_percent:>7.1f}% "
               f"{result.average_hit_latency:>9.1f} {wp} "
               f"{result.speedup_vs_no_cache:>8.2f}x")
 

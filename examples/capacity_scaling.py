@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Capacity scaling study: why DRAM-embedded tags matter (Figures 6-8).
 
-Sweeps the DRAM cache capacity from 128 MB to 8 GB for one workload and
-reports, per design, the miss ratio and the speedup over a no-DRAM-cache
-system.  The run illustrates the paper's central scalability argument:
+Declares one :class:`repro.SweepSpec` covering designs x capacities for a
+single workload, runs it through the sweep executor (use ``--jobs`` to fan
+trials out over worker processes; the per-workload trace and the no-cache
+baseline are generated once and shared by every cell), and reports the miss
+ratio and the speedup over a no-DRAM-cache system.  The run illustrates the
+paper's central scalability argument:
 
 * Footprint Cache's SRAM tag latency grows with capacity (Table IV), so its
   performance stops improving even though its hit rate keeps rising;
@@ -13,7 +16,7 @@ system.  The run illustrates the paper's central scalability argument:
 
 Usage::
 
-    python examples/capacity_scaling.py [--workload "TPC-H Queries"]
+    python examples/capacity_scaling.py [--workload "TPC-H Queries"] [--jobs 4]
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import ExperimentConfig, ExperimentRunner, workload_by_name
+from repro import ExperimentConfig, SweepSpec, run_sweep
 
 DEFAULT_CAPACITIES = ["128MB", "256MB", "512MB", "1GB", "2GB", "4GB", "8GB"]
 
@@ -37,31 +40,44 @@ def main() -> int:
     parser.add_argument("--capacities", nargs="+", default=DEFAULT_CAPACITIES)
     parser.add_argument("--accesses", type=int, default=45_000)
     parser.add_argument("--scale", type=int, default=512)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="optionally export the ResultSet as JSON")
     args = parser.parse_args()
 
-    profile = workload_by_name(args.workload)
-    runner = ExperimentRunner(
-        ExperimentConfig(scale=args.scale, num_accesses=args.accesses)
+    spec = SweepSpec(
+        designs=args.designs,
+        workloads=(args.workload,),
+        capacities=args.capacities,
+        config=ExperimentConfig(scale=args.scale, num_accesses=args.accesses),
     )
+    profile = spec.workloads[0]
 
     print(f"Capacity scaling for {profile.name} "
           f"(scale 1/{args.scale}, {args.accesses} accesses per point)\n")
+
+    results = run_sweep(spec, workers=args.jobs)
+
+    # spec.designs, not args.designs: the spec normalizes names, and result
+    # records carry the normalized form.
     header = f"{'capacity':<10}" + "".join(
         f"{design + ' miss%':>18}{design + ' speedup':>18}"
-        for design in args.designs
+        for design in spec.designs
     )
     print(header)
     print("-" * len(header))
-
-    for capacity in args.capacities:
-        # One shared trace per capacity so designs see identical requests.
-        trace = runner.build_trace(profile)
+    for capacity in spec.capacities:
         cells = [f"{capacity:<10}"]
-        for design in args.designs:
-            result = runner.run_design(design, profile, capacity, trace=trace)
+        for design in spec.designs:
+            result = results.filter(design=design, capacity=capacity)[0]
             cells.append(f"{result.miss_ratio_percent:>17.1f}%")
             cells.append(f"{result.speedup_vs_no_cache:>17.2f}x")
         print("".join(cells))
+
+    if args.json:
+        results.to_json(args.json)
+        print(f"\nResultSet exported to {args.json}")
 
     print("\nNote: Footprint Cache above 512MB requires an SRAM tag array of "
           "6-50MB (Table IV), which the paper deems impractical; those points "

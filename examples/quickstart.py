@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: compare Unison Cache against the baselines on one workload.
 
-Runs the four DRAM cache designs (Unison, Alloy, Footprint, Ideal) over the
-same synthetic Web Search trace at a scaled-down 1 GB design point and prints
-the metrics the paper's evaluation revolves around: miss ratio, average hit
-latency, off-chip traffic, and speedup over a system without a DRAM cache.
+Declares a one-workload :class:`repro.SweepSpec` over the four DRAM cache
+designs (Alloy, Footprint, Unison, Ideal), runs it through the sweep
+executor -- every design replays the *same* cached synthetic trace, so the
+comparison is fair by construction -- and prints the metrics the paper's
+evaluation revolves around: miss ratio, average hit latency, off-chip
+traffic, and speedup over a system without a DRAM cache.
 
 Usage::
 
-    python examples/quickstart.py [--accesses 60000] [--scale 512]
+    python examples/quickstart.py [--accesses 60000] [--scale 512] [--jobs 2]
 """
 
 from __future__ import annotations
@@ -19,7 +21,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import ExperimentConfig, ExperimentRunner, workload_by_name
+from repro import ExperimentConfig, SweepSpec, run_sweep
+
+DESIGNS = ("alloy", "footprint", "unison", "ideal")
 
 
 def main() -> int:
@@ -32,12 +36,17 @@ def main() -> int:
                         help="number of L2-miss requests to simulate")
     parser.add_argument("--scale", type=int, default=512,
                         help="capacity scale-down factor for tractable runs")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
     args = parser.parse_args()
 
-    profile = workload_by_name(args.workload)
-    runner = ExperimentRunner(
-        ExperimentConfig(scale=args.scale, num_accesses=args.accesses)
+    spec = SweepSpec(
+        designs=DESIGNS,
+        workloads=(args.workload,),
+        capacities=(args.capacity,),
+        config=ExperimentConfig(scale=args.scale, num_accesses=args.accesses),
     )
+    profile = spec.workloads[0]
 
     print(f"Workload : {profile.name} (working set {profile.working_set}, "
           f"scaled 1/{args.scale})")
@@ -45,23 +54,10 @@ def main() -> int:
     print(f"Accesses : {args.accesses} ({int(args.accesses / 3)} measured)")
     print()
 
-    header = (f"{'design':<12} {'miss%':>7} {'hit lat':>8} {'miss lat':>9} "
-              f"{'blk/acc':>8} {'speedup':>8}")
-    print(header)
-    print("-" * len(header))
+    results = run_sweep(spec, workers=args.jobs)
+    print(results.table())
 
-    results = runner.compare_designs(
-        ["unison", "alloy", "footprint", "ideal"], profile, args.capacity
-    )
-    for name in ("alloy", "footprint", "unison", "ideal"):
-        result = results[name]
-        print(f"{name:<12} {result.miss_ratio_percent:>6.1f}% "
-              f"{result.average_hit_latency:>8.1f} "
-              f"{result.average_miss_latency:>9.1f} "
-              f"{result.offchip_blocks_per_access:>8.2f} "
-              f"{result.speedup_vs_no_cache:>7.2f}x")
-
-    unison = results["unison"]
+    unison = results.filter(design="unison")[0]
     print()
     print(f"Unison way-prediction accuracy : {100 * unison.way_prediction_accuracy:.1f}%")
     print(f"Unison footprint accuracy      : {100 * unison.footprint_accuracy:.1f}%")

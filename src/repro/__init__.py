@@ -4,16 +4,39 @@ A from-scratch, trace-driven Python reproduction of *Unison Cache: A Scalable
 and Effective Die-Stacked DRAM Cache* (Jevdjic, Loh, Kaynak, Falsafi --
 MICRO 2014), including the Alloy Cache and Footprint Cache baselines, the
 DRAM timing and SRAM cache substrates, synthetic server-workload generators,
-and the experiment harness that regenerates every table and figure of the
-paper's evaluation.
+and a declarative experiment layer that regenerates every table and figure of
+the paper's evaluation.
 
-Quickstart::
+Quickstart -- declare a grid, run it (in parallel, if you like), query and
+persist the results::
+
+    from repro import ExperimentConfig, ResultSet, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        designs=("unison", "alloy", "footprint"),
+        workloads=("Web Search", "TPC-H Queries"),
+        capacities=("512MB", "1GB", "2GB"),
+        config=ExperimentConfig(scale=512, num_accesses=60_000),
+    )
+    results = run_sweep(spec, workers=4)   # ResultSet; workers=1 is serial
+
+    print(results.table())                 # fixed-width summary
+    unison = results.filter(design="unison", capacity="1GB")
+    print(unison.metric("miss_ratio"))
+    results.to_json("sweep.json")          # lossless; also .to_csv(...)
+    cached = ResultSet.from_json("sweep.json")
+
+The same sweep is available from the shell: ``python -m repro --designs
+unison alloy --capacities 512MB 1GB --jobs 4`` prints the table and exports
+JSON.  Designs are pluggable: every family registers a builder with
+:func:`repro.sim.registry.register_design`, and anything registered is
+immediately usable in specs, sweeps, and the CLI.  For one-off trials the
+lower-level :class:`ExperimentRunner` remains available::
 
     from repro import ExperimentRunner, ExperimentConfig, workload_by_name
 
     runner = ExperimentRunner(ExperimentConfig(scale=256, num_accesses=60_000))
     result = runner.run_design("unison", workload_by_name("Web Search"), "1GB")
-    print(result.miss_ratio, result.speedup_vs_no_cache)
 """
 
 from repro.baselines import AlloyCache, FootprintCache, IdealCache, NoDramCache
@@ -26,12 +49,20 @@ from repro.config import (
 from repro.core import UnisonCache, UnisonRowLayout
 from repro.sim import (
     DESIGN_NAMES,
+    DESIGNS,
+    DesignRegistry,
     ExperimentConfig,
     ExperimentResult,
     ExperimentRunner,
+    ExperimentSpec,
     PerformanceModel,
+    ResultSet,
     SamplingRunner,
+    SweepExecutor,
+    SweepSpec,
     make_design,
+    register_design,
+    run_sweep,
 )
 from repro.trace import AccessType, MemoryAccess
 from repro.workloads import (
@@ -42,7 +73,7 @@ from repro.workloads import (
     workload_by_name,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlloyCache",
@@ -56,10 +87,18 @@ __all__ = [
     "UnisonCacheConfig",
     "SystemConfig",
     "DESIGN_NAMES",
+    "DESIGNS",
+    "DesignRegistry",
+    "register_design",
     "make_design",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepExecutor",
+    "run_sweep",
+    "ResultSet",
     "PerformanceModel",
     "SamplingRunner",
     "AccessType",

@@ -25,6 +25,7 @@ from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.predictors.miss import MissPredictor
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
 
@@ -185,9 +186,24 @@ class AlloyCache(DramCacheModel):
             return 0.0
         return self.miss_predictor.false_misses / self.cache_stats.hits
 
+    def extra_metrics(self) -> "dict[str, float]":
+        """Miss-predictor metrics reported in Table V."""
+        return {
+            "miss_prediction_accuracy": self.miss_prediction_accuracy,
+            "miss_predictor_overfetch": self.miss_predictor_overfetch,
+        }
+
     def stats(self) -> StatGroup:
         """Design, predictor and device statistics."""
         group = super().stats()
         if self.miss_predictor is not None:
             group.merge_child(self.miss_predictor.stats())
         return group
+
+
+@register_design("alloy",
+                 description="direct-mapped tag-and-data block cache with a "
+                             "per-core miss predictor (Qureshi & Loh)")
+def _build_alloy(context: DesignBuildContext) -> AlloyCache:
+    return AlloyCache(AlloyCacheConfig(capacity=context.scaled_capacity_bytes),
+                      num_cores=context.num_cores)

@@ -15,12 +15,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cache.replacement import LruPolicy
-from repro.config.cache_configs import FootprintCacheConfig
+from repro.config.cache_configs import (
+    FootprintCacheConfig,
+    footprint_tag_array_for_capacity,
+)
 from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.predictors.footprint import FootprintPredictor
 from repro.predictors.singleton import SingletonTable
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
 from repro.utils.bitvector import BitVector
@@ -277,9 +281,31 @@ class FootprintCache(DramCacheModel):
         """Measured footprint overfetch ratio (Table V)."""
         return self.footprint_predictor.overfetch_ratio
 
+    def extra_metrics(self) -> Dict[str, float]:
+        """Footprint-predictor metrics reported in Table V."""
+        return {
+            "footprint_accuracy": self.footprint_accuracy,
+            "footprint_overfetch": self.footprint_overfetch,
+        }
+
     def stats(self) -> StatGroup:
         """Design, predictor and device statistics."""
         group = super().stats()
         group.merge_child(self.footprint_predictor.stats())
         group.merge_child(self.singleton_table.stats())
         return group
+
+
+@register_design("footprint",
+                 description="2KB pages with footprint prediction and SRAM "
+                             "tags whose latency grows with capacity "
+                             "(Jevdjic et al., ISCA'13)")
+def _build_footprint(context: DesignBuildContext) -> FootprintCache:
+    # The SRAM tag latency is dictated by the *paper* capacity (Table IV).
+    tag_latency = footprint_tag_array_for_capacity(
+        context.paper_capacity_bytes
+    ).lookup_latency_cycles
+    return FootprintCache(
+        FootprintCacheConfig(capacity=context.scaled_capacity_bytes),
+        tag_latency_cycles=tag_latency,
+    )

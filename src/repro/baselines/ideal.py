@@ -13,6 +13,7 @@ from typing import Optional
 from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.trace.record import MemoryAccess
 from repro.utils.units import parse_size, SizeLike
 
@@ -41,3 +42,10 @@ class IdealCache(DramCacheModel):
         latency = result.latency_cpu_cycles
         self.cache_stats.record_hit(latency, request.is_write)
         return DramCacheAccessResult(hit=True, latency_cycles=latency)
+
+
+@register_design("ideal",
+                 description="100% hit rate, zero tag overhead -- the "
+                             "latency-optimized reference point of Figs. 7-8")
+def _build_ideal(context: DesignBuildContext) -> IdealCache:
+    return IdealCache(capacity=context.scaled_capacity_bytes)

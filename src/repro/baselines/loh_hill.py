@@ -19,6 +19,7 @@ from repro.cache.replacement import LruPolicy
 from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
 from repro.utils.units import parse_size, SizeLike
@@ -157,3 +158,10 @@ class LohHillCache(DramCacheModel):
         group = super().stats()
         group.set("missmap_entries", len(self._missmap))
         return group
+
+
+@register_design("loh_hill",
+                 description="tags-in-DRAM block cache with a MissMap "
+                             "(Loh & Hill, MICRO'11; extension)")
+def _build_loh_hill(context: DesignBuildContext) -> LohHillCache:
+    return LohHillCache(capacity=context.scaled_capacity_bytes)

@@ -12,6 +12,7 @@ from typing import Optional
 from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.trace.record import MemoryAccess
 
 
@@ -39,3 +40,10 @@ class NoDramCache(DramCacheModel):
             offchip_blocks_fetched=0 if request.is_write else 1,
             offchip_blocks_written=1 if request.is_write else 0,
         )
+
+
+@register_design("no_cache",
+                 description="no stacked-DRAM cache; every request goes "
+                             "off-chip (the speedup baseline)")
+def _build_no_cache(context: DesignBuildContext) -> NoDramCache:
+    return NoDramCache()

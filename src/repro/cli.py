@@ -1,0 +1,162 @@
+"""Command-line sweep runner: ``python -m repro`` (or the ``repro`` script).
+
+Builds a :class:`repro.sim.spec.SweepSpec` from the command line, runs it
+through the (optionally parallel) sweep executor, prints the result table,
+and exports the :class:`repro.sim.resultset.ResultSet` as JSON (and
+optionally CSV) so figures can be regenerated without re-simulating.
+
+Examples::
+
+    python -m repro                               # small default sweep
+    python -m repro --designs unison alloy footprint \
+                    --workloads "Web Search" "TPC-H Queries" \
+                    --capacities 512MB 1GB 2GB --jobs 4
+    python -m repro --list-designs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.executor import run_sweep
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.factory import design_names
+from repro.sim.registry import DESIGNS
+from repro.sim.spec import ExperimentSpec, SweepSpec
+from repro.workloads.cloudsuite import ALL_WORKLOADS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run a DRAM-cache design sweep (Jevdjic et al., MICRO'14 "
+                    "reproduction) and export the results.",
+    )
+    parser.add_argument("--designs", nargs="+", default=["unison", "alloy"],
+                        metavar="NAME",
+                        help="registered design names (default: unison alloy; "
+                             "see --list-designs)")
+    parser.add_argument("--workloads", nargs="+", default=["Web Search"],
+                        metavar="NAME",
+                        help="workload names (default: 'Web Search'; "
+                             "see --list-workloads)")
+    parser.add_argument("--capacities", nargs="+", default=["256MB", "1GB"],
+                        metavar="SIZE",
+                        help="paper-scale capacities (default: 256MB 1GB)")
+    parser.add_argument("--scale", type=int, default=2048,
+                        help="capacity scale-down factor (default: 2048)")
+    parser.add_argument("--accesses", type=int, default=12_000,
+                        help="accesses per trial, warm-up included "
+                             "(default: 12000)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="interleaved cores in the synthetic trace "
+                             "(default: 4)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload generator seed (default: 1)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; 1 = serial, 0 = one per CPU "
+                             "(default: 1)")
+    parser.add_argument("--json", default="sweep_results.json", metavar="PATH",
+                        help="JSON export path (default: sweep_results.json; "
+                             "'-' disables)")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="optional CSV export path")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the result table")
+    parser.add_argument("--list-designs", action="store_true",
+                        help="list registered designs and exit")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="list available workloads and exit")
+    return parser
+
+
+def _list_designs() -> int:
+    names = design_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        entry = DESIGNS.resolve(name)
+        print(f"{name:<{width}}  {entry.description}")
+    return 0
+
+
+def _list_workloads() -> int:
+    width = max(len(p.name) for p in ALL_WORKLOADS)
+    for profile in ALL_WORKLOADS:
+        print(f"{profile.name:<{width}}  working set {profile.working_set}, "
+              f"{profile.l2_mpki:g} L2 MPKI")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_designs:
+        return _list_designs()
+    if args.list_workloads:
+        return _list_workloads()
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+
+    try:
+        spec = SweepSpec(
+            designs=args.designs,
+            workloads=args.workloads,
+            capacities=args.capacities,
+            config=ExperimentConfig(
+                scale=args.scale,
+                num_accesses=args.accesses,
+                num_cores=args.cores,
+                seed=args.seed,
+            ),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        workers_note = "serial" if args.jobs == 1 else (
+            f"{args.jobs} workers" if args.jobs else "one worker per CPU")
+        print(f"Sweep: {spec.describe()}")
+        print(f"Executor: {workers_note}")
+        print()
+
+    def progress(index: int, total: int, trial: ExperimentSpec) -> None:
+        if not args.quiet:
+            print(f"[{index + 1}/{total}] {trial.describe()}", file=sys.stderr)
+
+    results = run_sweep(spec, workers=args.jobs or None, progress=progress)
+
+    if not args.quiet:
+        print()
+    print(results.table())
+
+    if args.json != "-":
+        results.to_json(args.json)
+        if not args.quiet:
+            print(f"\nJSON export: {args.json}")
+    if args.csv is not None:
+        results.to_csv(args.csv)
+        if not args.quiet:
+            print(f"CSV export: {args.csv}")
+    return 0
+
+
+def run() -> "None":
+    """Console-script wrapper: ``main`` plus graceful SIGPIPE handling."""
+    import os
+
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``repro --list-designs | head``) closed
+        # the pipe; suppress the shutdown-time flush error too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

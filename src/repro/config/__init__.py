@@ -22,6 +22,7 @@ from repro.config.cache_configs import (
     UnisonCacheConfig,
     footprint_tag_array_for_capacity,
     FootprintTagArrayModel,
+    scaled_capacity,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "UnisonCacheConfig",
     "footprint_tag_array_for_capacity",
     "FootprintTagArrayModel",
+    "scaled_capacity",
 ]

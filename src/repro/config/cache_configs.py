@@ -361,3 +361,18 @@ def footprint_tag_array_for_capacity(
         tag_bytes=tag_bytes,
         lookup_latency_cycles=latency,
     )
+
+
+def scaled_capacity(paper_capacity: SizeLike, scale: int) -> int:
+    """Scaled-down simulated capacity for a *paper* capacity.
+
+    The experiment harness shrinks every structure by ``scale`` while keeping
+    the row organization intact: the result is rounded down to a whole number
+    of :data:`ROW_BUFFER_SIZE` rows and never collapses below a handful of
+    rows.
+    """
+    capacity = parse_size(paper_capacity)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    scaled = capacity // scale
+    return max(ROW_BUFFER_SIZE * 4, (scaled // ROW_BUFFER_SIZE) * ROW_BUFFER_SIZE)

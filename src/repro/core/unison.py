@@ -35,6 +35,7 @@ from repro.mem.stacked import StackedDram
 from repro.predictors.footprint import FootprintPredictor
 from repro.predictors.singleton import SingletonTable
 from repro.predictors.way import WayPredictor
+from repro.sim.registry import DesignBuildContext, register_design
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
 from repro.utils.bitvector import BitVector
@@ -379,6 +380,14 @@ class UnisonCache(DramCacheModel):
         """Measured footprint overfetch ratio (Table V)."""
         return self.footprint_predictor.overfetch_ratio
 
+    def extra_metrics(self) -> Dict[str, float]:
+        """Predictor accuracies reported in Table V."""
+        return {
+            "footprint_accuracy": self.footprint_accuracy,
+            "footprint_overfetch": self.footprint_overfetch,
+            "way_prediction_accuracy": self.way_prediction_accuracy,
+        }
+
     def stats(self) -> StatGroup:
         """Design, predictor and device statistics."""
         group = super().stats()
@@ -387,3 +396,37 @@ class UnisonCache(DramCacheModel):
         if self.way_predictor is not None:
             group.merge_child(self.way_predictor.stats())
         return group
+
+
+# --------------------------------------------------------------------- #
+# Registry integration: one builder shared by all Unison variants.
+# --------------------------------------------------------------------- #
+@register_design("unison", supports_associativity=True,
+                 description="960B pages, 4-way, way prediction "
+                             "(the main design point)",
+                 blocks_per_page=15, default_associativity=4)
+@register_design("unison-1984", supports_associativity=True,
+                 description="1984B pages, 4-way",
+                 blocks_per_page=31, default_associativity=4)
+@register_design("unison-dm", supports_associativity=True,
+                 description="960B pages, direct-mapped",
+                 blocks_per_page=15, default_associativity=1)
+@register_design("unison-32way", supports_associativity=True,
+                 description="960B pages, 32-way "
+                             "(Figure 5's associativity sweep)",
+                 blocks_per_page=15, default_associativity=32)
+def _build_unison(context: DesignBuildContext, *, blocks_per_page: int = 15,
+                  default_associativity: int = 4) -> UnisonCache:
+    associativity = (context.associativity if context.associativity is not None
+                     else default_associativity)
+    config = UnisonCacheConfig(
+        capacity=context.scaled_capacity_bytes,
+        blocks_per_page=blocks_per_page,
+        associativity=associativity,
+        use_way_prediction=associativity > 1,
+        # The way predictor is sized for the *paper* capacity (Section IV).
+        way_predictor_index_bits=(
+            16 if context.paper_capacity_bytes > 4 * 1024 ** 3 else 12
+        ),
+    )
+    return UnisonCache(config)

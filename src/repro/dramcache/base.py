@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Dict, Iterable
 
 from repro.dramcache.stats import DramCacheStats
 from repro.mem.main_memory import MainMemory
@@ -95,6 +95,16 @@ class DramCacheModel(abc.ABC):
     def miss_ratio(self) -> float:
         """Convenience accessor for the measured miss ratio."""
         return self.cache_stats.miss_ratio
+
+    def extra_metrics(self) -> Dict[str, float]:
+        """Design-specific metrics beyond the uniform cache statistics.
+
+        Keys that match an :class:`repro.sim.experiment.ExperimentResult`
+        metric field (e.g. ``footprint_accuracy``) populate that field; any
+        other key lands in ``ExperimentResult.extra``.  The base design has
+        none; predictor-equipped designs override this.
+        """
+        return {}
 
     def stats(self) -> StatGroup:
         """Design statistics plus the underlying device statistics."""

@@ -1,0 +1,171 @@
+"""Sweep execution: serial or process-parallel, with shared caches.
+
+The executor turns a :class:`repro.sim.spec.SweepSpec` into a
+:class:`repro.sim.resultset.ResultSet`.  Two properties make large grids
+tractable:
+
+* **Trace/baseline reuse.**  Synthetic traces are deterministic functions of
+  ``(profile, scale, num_cores, seed, num_accesses)`` and the no-DRAM-cache
+  baseline replay depends only on the trace and the warm-up split, so both
+  are cached process-wide under those keys.  An N-cell grid that shares
+  workloads and configurations pays for each distinct trace and baseline
+  once, not N times -- and because every design in a cell group replays the
+  *same* cached trace, comparisons stay fair automatically.
+
+* **Deterministic parallelism.**  ``workers > 1`` fans trials out to a
+  ``ProcessPoolExecutor``.  Each trial is self-contained (its spec carries
+  the full configuration, and per-trial seeding is derived from the spec,
+  never from process state), so the parallel path produces *bit-identical*
+  results to the serial path, in the same deterministic trial order.
+  Before forking, the parent pre-builds every distinct trace and baseline
+  the grid needs, so workers inherit populated caches and spend their time
+  simulating designs, not regenerating traces.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dramcache.stats import DramCacheStats
+from repro.sim.experiment import ExperimentResult, ExperimentRunner
+from repro.sim.resultset import ResultSet
+from repro.sim.spec import ExperimentSpec, SweepSpec
+from repro.trace.record import MemoryAccess
+from repro.workloads.profile import WorkloadProfile
+
+#: Cache key of a materialized trace (see module docstring).
+TraceKey = Tuple[WorkloadProfile, int, int, int, int]
+
+# Process-wide caches.  Worker processes get their own copies (pre-seeded by
+# fork with the parent's contents); entries are deterministic in the key, so
+# sharing across sweeps and processes never changes results.
+_TRACE_CACHE: Dict[TraceKey, List[MemoryAccess]] = {}
+_BASELINE_CACHE: Dict[Tuple[TraceKey, float], DramCacheStats] = {}
+
+
+def trace_key(profile: WorkloadProfile,
+              config) -> TraceKey:
+    """The identity of a materialized trace."""
+    return (profile, config.scale, config.num_cores, config.seed,
+            config.num_accesses)
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and baselines (mainly for tests)."""
+    _TRACE_CACHE.clear()
+    _BASELINE_CACHE.clear()
+
+
+def cached_trace(runner: ExperimentRunner,
+                 profile: WorkloadProfile) -> List[MemoryAccess]:
+    """The trace for (profile, runner.config), built once per process."""
+    key = trace_key(profile, runner.config)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = runner.build_trace(profile)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def cached_baseline(runner: ExperimentRunner, profile: WorkloadProfile,
+                    trace: Sequence[MemoryAccess]) -> DramCacheStats:
+    """The no-cache baseline for (profile, runner.config), replayed once."""
+    key = (trace_key(profile, runner.config), runner.config.warmup_fraction)
+    baseline = _BASELINE_CACHE.get(key)
+    if baseline is None:
+        _, measure = runner.split_trace(trace)
+        baseline = runner.no_cache_baseline(measure)
+        _BASELINE_CACHE[key] = baseline
+    return baseline
+
+
+def _warm_caches(trials: Sequence[ExperimentSpec]) -> None:
+    """Build every distinct trace and baseline the trials need, in-process.
+
+    Called before forking a worker pool so the workers inherit fully
+    populated caches and never duplicate trace generation (the dominant
+    per-trial cost).
+    """
+    seen = set()
+    for trial in trials:
+        key = (trace_key(trial.workload, trial.config),
+               trial.config.warmup_fraction)
+        if key in seen:
+            continue
+        seen.add(key)
+        runner = ExperimentRunner(trial.config, system=trial.system)
+        cached_baseline(runner, trial.workload,
+                        cached_trace(runner, trial.workload))
+
+
+def run_trial(trial: ExperimentSpec) -> ExperimentResult:
+    """Run one trial, reusing the process-wide trace/baseline caches."""
+    runner = ExperimentRunner(trial.config, system=trial.system)
+    trace = cached_trace(runner, trial.workload)
+    baseline = cached_baseline(runner, trial.workload, trace)
+    return runner.run_design(
+        trial.design, trial.workload, trial.capacity,
+        trace=trace,
+        associativity=trial.associativity,
+        label=trial.label,
+        baseline_stats=baseline,
+    )
+
+
+class SweepExecutor:
+    """Runs every trial of a sweep, optionally across worker processes.
+
+    ``workers=1`` (the default) runs in-process and is the reference
+    semantics; ``workers > 1`` distributes trials over a process pool and is
+    guaranteed to produce identical results.  ``workers=None`` picks
+    ``os.cpu_count()``.
+    """
+
+    def __init__(self, workers: Optional[int] = 1,
+                 progress: Optional[Callable[[int, int, ExperimentSpec], None]] = None,
+                 ) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive (or None for auto)")
+        self.workers = workers
+        self.progress = progress
+
+    def run(self, spec: SweepSpec) -> ResultSet:
+        """Execute all trials of ``spec`` in deterministic grid order."""
+        trials = spec.trials()
+        workers = self.workers
+        if workers is None:
+            import os
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(trials)) or 1
+
+        if workers == 1:
+            results = []
+            for index, trial in enumerate(trials):
+                if self.progress is not None:
+                    self.progress(index, len(trials), trial)
+                results.append(run_trial(trial))
+            return ResultSet(results)
+
+        # Pre-build every distinct trace/baseline in the parent so forked
+        # workers inherit them instead of regenerating per worker.
+        _warm_caches(trials)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_trial, trial) for trial in trials]
+            results = []
+            for index, (trial, future) in enumerate(zip(trials, futures)):
+                if self.progress is not None:
+                    self.progress(index, len(trials), trial)
+                results.append(future.result())
+        return ResultSet(results)
+
+
+def run_sweep(spec: SweepSpec, workers: Optional[int] = 1,
+              progress: Optional[Callable[[int, int, ExperimentSpec], None]] = None,
+              ) -> ResultSet:
+    """Convenience wrapper: ``SweepExecutor(workers).run(spec)``."""
+    return SweepExecutor(workers=workers, progress=progress).run(spec)
+
+
+__all__ = ["SweepExecutor", "run_sweep", "run_trial", "cached_trace",
+           "cached_baseline", "trace_key", "clear_caches", "TraceKey"]

@@ -14,8 +14,10 @@ The runner reproduces the paper's methodology at laptop scale:
    the speedup over a no-DRAM-cache system computed by the analytic
    performance model.
 
-Every benchmark under ``benchmarks/`` and every example is a thin wrapper
-around this runner.
+This is the single-trial layer.  Grids of trials are declared with
+:class:`repro.sim.spec.SweepSpec` and executed -- serially or across worker
+processes, with trace/baseline reuse -- by :mod:`repro.sim.executor`; the
+benchmarks and examples build on those.
 """
 
 from __future__ import annotations
@@ -23,12 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.baselines.alloy import AlloyCache
 from repro.baselines.no_cache import NoDramCache
 from repro.config.system import SystemConfig
-from repro.core.unison import UnisonCache
 from repro.dramcache.base import DramCacheModel
-from repro.sim.factory import make_design
+from repro.dramcache.stats import DramCacheStats
+from repro.sim.factory import make_design, unison_design_for_ways
 from repro.sim.performance import PerformanceModel
 from repro.trace.record import MemoryAccess
 from repro.utils.units import format_size, parse_size, SizeLike
@@ -96,6 +97,16 @@ class ExperimentResult:
 
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: Optional-metric fields that designs populate through
+    #: :meth:`repro.dramcache.base.DramCacheModel.extra_metrics`.
+    METRIC_FIELDS = (
+        "footprint_accuracy",
+        "footprint_overfetch",
+        "way_prediction_accuracy",
+        "miss_prediction_accuracy",
+        "miss_predictor_overfetch",
+    )
+
     @property
     def miss_ratio_percent(self) -> float:
         """Miss ratio in percent, as plotted in Figures 5 and 6."""
@@ -126,9 +137,13 @@ class ExperimentRunner:
         )
         return workload.generate(self.config.num_accesses)
 
-    def _split(self, trace: Sequence[MemoryAccess]) -> "tuple[Sequence[MemoryAccess], Sequence[MemoryAccess]]":
+    def split_trace(self, trace: Sequence[MemoryAccess]) -> "tuple[Sequence[MemoryAccess], Sequence[MemoryAccess]]":
+        """Split a trace into its (warm-up, measurement) portions."""
         split = int(len(trace) * self.config.warmup_fraction)
         return trace[:split], trace[split:]
+
+    # Backwards-compatible alias (pre-sweep-API name).
+    _split = split_trace
 
     # ------------------------------------------------------------------ #
     # Running designs
@@ -136,11 +151,21 @@ class ExperimentRunner:
     def run_design(self, design_name: str, profile: WorkloadProfile,
                    capacity: SizeLike,
                    trace: Optional[Sequence[MemoryAccess]] = None,
-                   associativity: Optional[int] = None) -> ExperimentResult:
-        """Run one design over one workload at one (paper) capacity."""
+                   associativity: Optional[int] = None,
+                   label: Optional[str] = None,
+                   baseline_stats: Optional[DramCacheStats] = None,
+                   ) -> ExperimentResult:
+        """Run one design over one workload at one (paper) capacity.
+
+        ``label`` overrides the design name recorded in the result (used when
+        a variant is built from a base entry with overrides, e.g.
+        ``unison-8way``).  ``baseline_stats`` injects a pre-computed no-cache
+        baseline over the same measurement window, letting sweep executors
+        replay the baseline once per trace instead of once per cell.
+        """
         if trace is None:
             trace = self.build_trace(profile)
-        warmup, measure = self._split(trace)
+        warmup, measure = self.split_trace(trace)
 
         design = make_design(
             design_name, capacity, scale=self.config.scale,
@@ -151,21 +176,23 @@ class ExperimentRunner:
                               design.stacked.row_activations)
         design.run(measure)
 
-        baseline = self._run_no_cache_baseline(measure)
+        if baseline_stats is None:
+            baseline_stats = self.no_cache_baseline(measure)
         speedup = self.performance.speedup(
-            design.cache_stats, baseline.cache_stats, profile
+            design.cache_stats, baseline_stats, profile
         )
         estimate = self.performance.estimate(design.cache_stats, profile)
 
         return self._result_from(
-            design, design_name, profile, capacity, len(measure),
+            design, label or design_name, profile, capacity, len(measure),
             activations_before, speedup, estimate.user_ipc,
         )
 
-    def _run_no_cache_baseline(self, measure: Iterable[MemoryAccess]) -> NoDramCache:
+    def no_cache_baseline(self, measure: Iterable[MemoryAccess]) -> DramCacheStats:
+        """Replay ``measure`` through a no-DRAM-cache system (speedup baseline)."""
         baseline = NoDramCache()
         baseline.run(measure)
-        return baseline
+        return baseline.cache_stats
 
     def _result_from(self, design: DramCacheModel, design_name: str,
                      profile: WorkloadProfile, capacity: SizeLike,
@@ -198,16 +225,11 @@ class ExperimentRunner:
             user_ipc=user_ipc,
         )
 
-        if isinstance(design, UnisonCache):
-            result.footprint_accuracy = design.footprint_accuracy
-            result.footprint_overfetch = design.footprint_overfetch
-            result.way_prediction_accuracy = design.way_prediction_accuracy
-        elif hasattr(design, "footprint_accuracy"):
-            result.footprint_accuracy = design.footprint_accuracy
-            result.footprint_overfetch = design.footprint_overfetch
-        if isinstance(design, AlloyCache):
-            result.miss_prediction_accuracy = design.miss_prediction_accuracy
-            result.miss_predictor_overfetch = design.miss_predictor_overfetch
+        for key, value in design.extra_metrics().items():
+            if key in ExperimentResult.METRIC_FIELDS:
+                setattr(result, key, value)
+            else:
+                result.extra[key] = float(value)
         return result
 
     # ------------------------------------------------------------------ #
@@ -239,8 +261,9 @@ class ExperimentRunner:
         trace = self.build_trace(profile)
         results: Dict[int, ExperimentResult] = {}
         for ways in associativities:
-            name = {1: "unison-dm", 4: "unison", 32: "unison-32way"}.get(ways, "unison")
+            name, label = unison_design_for_ways(ways)
             results[ways] = self.run_design(
-                name, profile, capacity, trace=trace, associativity=ways
+                name, profile, capacity, trace=trace, associativity=ways,
+                label=label,
             )
         return results

@@ -1,69 +1,93 @@
-"""Design factory.
+"""Design factory: thin, backwards-compatible front end to the registry.
 
-One place to construct every evaluated DRAM cache design with consistent
-parameters, including the scaled-down-capacity mode the experiment harness
-uses (see :mod:`repro.sim.experiment`): structural parameters (page size,
-associativity, row organization) always match the paper; only the number of
-sets shrinks with the scale factor, while latency parameters that depend on
-the *paper* capacity (Footprint Cache's SRAM tag latency, Unison Cache's way
-predictor sizing) are derived from the unscaled capacity.
+Construction logic lives with the designs themselves: each family registers a
+builder in :data:`repro.sim.registry.DESIGNS` (see ``core/unison.py`` and
+``baselines/*.py``).  :func:`make_design` resolves a name in that registry and
+:data:`DESIGN_NAMES` is derived from it, so this module contains no
+design-specific branches.
+
+Capacity semantics (shared by every design, see
+:func:`repro.config.cache_configs.scaled_capacity`): structural parameters
+(page size, associativity, row organization) always match the paper; only the
+number of sets shrinks with the scale factor, while latency parameters that
+depend on the *paper* capacity (Footprint Cache's SRAM tag latency, Unison
+Cache's way predictor sizing) are derived from the unscaled capacity.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines.alloy import AlloyCache
-from repro.baselines.footprint import FootprintCache
-from repro.baselines.ideal import IdealCache
-from repro.baselines.loh_hill import LohHillCache
-from repro.baselines.no_cache import NoDramCache
-from repro.config.cache_configs import (
-    AlloyCacheConfig,
-    FootprintCacheConfig,
-    UnisonCacheConfig,
-    footprint_tag_array_for_capacity,
-)
-from repro.core.unison import UnisonCache
+# Importing the design modules is what populates the registry.  They are
+# imported for their registration side effects only.
+import repro.baselines.alloy  # noqa: F401
+import repro.baselines.footprint  # noqa: F401
+import repro.baselines.ideal  # noqa: F401
+import repro.baselines.loh_hill  # noqa: F401
+import repro.baselines.no_cache  # noqa: F401
+import repro.core.unison  # noqa: F401
 from repro.dramcache.base import DramCacheModel
-from repro.utils.units import parse_size, SizeLike
+from repro.sim.registry import DESIGNS
+from repro.utils.units import SizeLike
 
-#: Names accepted by :func:`make_design`.
-DESIGN_NAMES = (
-    "unison",          # 960B pages, 4-way, way prediction (the main design point)
-    "unison-1984",     # 1984B pages, 4-way
-    "unison-dm",       # 960B pages, direct-mapped
-    "unison-32way",    # 960B pages, 32-way (Figure 5's associativity sweep)
+#: Presentation order for the names the seed shipped with; freshly registered
+#: designs append after these in registration order.
+_LEGACY_ORDER = (
+    "unison",
+    "unison-1984",
+    "unison-dm",
+    "unison-32way",
     "alloy",
     "footprint",
-    "loh_hill",        # extension: Loh & Hill MICRO'11 tags-in-DRAM design
+    "loh_hill",
     "ideal",
     "no_cache",
 )
 
-#: Row-buffer size shared by every design (Table III).
-_ROW_BYTES = 8 * 1024
+
+def design_names() -> "tuple[str, ...]":
+    """All currently-registered design names (live view of the registry)."""
+    registered = DESIGNS.names()
+    legacy = [name for name in _LEGACY_ORDER if name in registered]
+    extra = [name for name in registered if name not in _LEGACY_ORDER]
+    return tuple(legacy + extra)
 
 
-def _scaled_capacity(paper_capacity: SizeLike, scale: int) -> int:
-    capacity = parse_size(paper_capacity)
-    if scale <= 0:
-        raise ValueError("scale must be positive")
-    scaled = capacity // scale
-    # Keep a whole number of rows and never collapse below a handful of rows.
-    scaled = max(_ROW_BYTES * 4, (scaled // _ROW_BYTES) * _ROW_BYTES)
-    return scaled
+#: Names accepted by :func:`make_design` -- a snapshot of
+#: :func:`design_names` taken at import time, kept for backwards
+#: compatibility.  Designs registered after import are still buildable by
+#: name; call :func:`design_names` for an up-to-date listing.
+DESIGN_NAMES = design_names()
+
+#: Canonical Unison variant name per associativity (Figure 5's sweep points).
+_UNISON_WAYS_NAMES = {1: "unison-dm", 4: "unison", 32: "unison-32way"}
+
+
+def unison_design_for_ways(ways: int) -> "tuple[str, str]":
+    """(constructible design name, reporting label) for a ways count.
+
+    The three associativities evaluated in Figure 5 map to their canonical
+    registered variants; any other value is built from the base ``unison``
+    entry with an associativity override and labelled ``unison-<N>way`` so
+    results never masquerade as the 4-way design point.
+    """
+    if ways <= 0:
+        raise ValueError("ways must be positive")
+    name = _UNISON_WAYS_NAMES.get(ways)
+    if name is not None:
+        return name, name
+    return "unison", f"unison-{ways}way"
 
 
 def make_design(name: str, capacity: SizeLike, scale: int = 1,
                 num_cores: int = 16,
                 associativity: Optional[int] = None) -> DramCacheModel:
-    """Construct a DRAM cache design.
+    """Construct a DRAM cache design by registered name.
 
     Parameters
     ----------
     name:
-        One of :data:`DESIGN_NAMES`.
+        One of :data:`DESIGN_NAMES` (or any later-registered design).
     capacity:
         The *paper* capacity (e.g. ``"1GB"``).  Latency parameters that grow
         with capacity are derived from this value.
@@ -73,45 +97,9 @@ def make_design(name: str, capacity: SizeLike, scale: int = 1,
     num_cores:
         Core count (sizes the Alloy miss predictor).
     associativity:
-        Optional associativity override for the Unison variants.
+        Optional associativity override.  Only designs registered with
+        ``supports_associativity=True`` (the Unison variants) accept one;
+        passing it for any other design raises ``ValueError``.
     """
-    paper_capacity = parse_size(capacity)
-    scaled = _scaled_capacity(paper_capacity, scale)
-    key = name.lower()
-
-    if key in ("unison", "unison-dm", "unison-32way", "unison-1984"):
-        blocks_per_page = 31 if key == "unison-1984" else 15
-        if associativity is None:
-            if key == "unison-dm":
-                associativity = 1
-            elif key == "unison-32way":
-                associativity = 32
-            else:
-                associativity = 4
-        config = UnisonCacheConfig(
-            capacity=scaled,
-            blocks_per_page=blocks_per_page,
-            associativity=associativity,
-            use_way_prediction=associativity > 1,
-            way_predictor_index_bits=16 if paper_capacity > 4 * 1024 ** 3 else 12,
-        )
-        return UnisonCache(config)
-
-    if key == "alloy":
-        return AlloyCache(AlloyCacheConfig(capacity=scaled), num_cores=num_cores)
-
-    if key == "footprint":
-        tag_latency = footprint_tag_array_for_capacity(paper_capacity).lookup_latency_cycles
-        config = FootprintCacheConfig(capacity=scaled)
-        return FootprintCache(config, tag_latency_cycles=tag_latency)
-
-    if key == "loh_hill":
-        return LohHillCache(capacity=scaled)
-
-    if key == "ideal":
-        return IdealCache(capacity=scaled)
-
-    if key == "no_cache":
-        return NoDramCache()
-
-    raise ValueError(f"unknown design {name!r}; options: {DESIGN_NAMES}")
+    return DESIGNS.build(name, capacity, scale=scale, num_cores=num_cores,
+                         associativity=associativity)

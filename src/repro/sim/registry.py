@@ -1,0 +1,191 @@
+"""Design registry: pluggable construction of DRAM cache designs.
+
+Every design family registers a *builder* under one or more public names with
+the :func:`register_design` decorator, typically at the bottom of the module
+that defines the design class::
+
+    @register_design("alloy", description="direct-mapped TAD cache")
+    def _build_alloy(ctx: DesignBuildContext) -> AlloyCache:
+        return AlloyCache(AlloyCacheConfig(capacity=ctx.scaled_capacity_bytes),
+                          num_cores=ctx.num_cores)
+
+The registry replaces the old hard-coded ``if/elif`` chain in
+:mod:`repro.sim.factory`: ``make_design`` is now a thin lookup, and new
+designs (in this repository or in downstream code) become available to every
+sweep, benchmark, and the ``python -m repro`` CLI simply by registering.
+
+Builders receive a :class:`DesignBuildContext` carrying both the *paper*
+capacity (which sizes latency parameters such as the Footprint Cache SRAM tag
+latency or the Unison way-predictor index) and the *scaled* capacity actually
+simulated, plus any keyword defaults supplied at registration time (used by
+the Unison variants to share one builder).
+
+This module is intentionally a leaf: it imports nothing from the design
+modules, so designs can import it without circularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, TYPE_CHECKING
+
+from repro.config.cache_configs import scaled_capacity
+from repro.utils.units import parse_size, SizeLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.dramcache.base import DramCacheModel
+
+
+@dataclass(frozen=True)
+class DesignBuildContext:
+    """Everything a design builder needs to construct one design instance."""
+
+    #: The *paper* capacity in bytes (sizes capacity-dependent latencies).
+    paper_capacity_bytes: int
+    #: The scaled-down capacity in bytes actually simulated.
+    scaled_capacity_bytes: int
+    #: Capacity scale-down factor (``paper / scale``, row-rounded).
+    scale: int
+    #: Core count (sizes per-core structures such as Alloy's miss predictor).
+    num_cores: int
+    #: Optional associativity override; ``None`` means the variant's default.
+    associativity: Optional[int] = None
+
+
+#: A builder constructs one design instance from a build context.  Extra
+#: keyword arguments are the defaults captured at registration time.
+DesignBuilder = Callable[..., "DramCacheModel"]
+
+
+@dataclass(frozen=True)
+class DesignEntry:
+    """One registered design variant."""
+
+    name: str
+    builder: DesignBuilder
+    description: str = ""
+    #: Whether the design accepts an ``associativity`` override.
+    supports_associativity: bool = False
+    #: Keyword defaults forwarded to the builder (variant parameters).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, context: DesignBuildContext) -> "DramCacheModel":
+        return self.builder(context, **dict(self.params))
+
+
+class DesignRegistry:
+    """Name -> :class:`DesignEntry` mapping with construction helpers."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, DesignEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, builder: DesignBuilder, *,
+                 description: str = "",
+                 supports_associativity: bool = False,
+                 replace: bool = False,
+                 **params: Any) -> DesignEntry:
+        """Register ``builder`` under ``name`` (case-insensitive lookup)."""
+        key = name.lower()
+        if not replace and key in self._entries:
+            raise ValueError(f"design {name!r} is already registered")
+        entry = DesignEntry(
+            name=key,
+            builder=builder,
+            description=description,
+            supports_associativity=supports_associativity,
+            params=dict(params),
+        )
+        self._entries[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def resolve(self, name: str) -> DesignEntry:
+        """Return the entry for ``name`` or raise a helpful ``ValueError``."""
+        entry = self._entries.get(name.lower())
+        if entry is None:
+            raise ValueError(
+                f"unknown design {name!r}; options: {self.names()}"
+            )
+        return entry
+
+    def names(self) -> "tuple[str, ...]":
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    def describe(self) -> "list[tuple[str, str]]":
+        """(name, description) pairs for listings (CLI ``--list-designs``)."""
+        return [(e.name, e.description) for e in self._entries.values()]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def build(self, name: str, capacity: SizeLike, scale: int = 1,
+              num_cores: int = 16,
+              associativity: Optional[int] = None) -> "DramCacheModel":
+        """Construct design ``name`` at a (possibly scaled-down) capacity."""
+        entry = self.resolve(name)
+        if associativity is not None and not entry.supports_associativity:
+            raise ValueError(
+                f"design {name!r} does not take an associativity override "
+                f"(its geometry is fixed); only designs with "
+                f"supports_associativity=True accept one"
+            )
+        paper_capacity = parse_size(capacity)
+        context = DesignBuildContext(
+            paper_capacity_bytes=paper_capacity,
+            scaled_capacity_bytes=scaled_capacity(paper_capacity, scale),
+            scale=scale,
+            num_cores=num_cores,
+            associativity=associativity,
+        )
+        return entry.build(context)
+
+
+#: The process-wide default registry used by ``make_design`` and the sweeps.
+DESIGNS = DesignRegistry()
+
+
+def register_design(name: str, *, description: str = "",
+                    supports_associativity: bool = False,
+                    registry: Optional[DesignRegistry] = None,
+                    **params: Any) -> Callable[[DesignBuilder], DesignBuilder]:
+    """Decorator registering a builder in ``registry`` (default: global).
+
+    Stackable: apply it several times to one builder to register multiple
+    variants with different keyword defaults (see the Unison variants).
+    """
+
+    def decorator(builder: DesignBuilder) -> DesignBuilder:
+        (registry if registry is not None else DESIGNS).register(
+            name, builder,
+            description=description,
+            supports_associativity=supports_associativity,
+            **params,
+        )
+        return builder
+
+    return decorator
+
+
+__all__ = [
+    "DesignBuildContext",
+    "DesignBuilder",
+    "DesignEntry",
+    "DesignRegistry",
+    "DESIGNS",
+    "register_design",
+]

@@ -1,0 +1,291 @@
+"""ResultSet: a queryable, serializable container of experiment results.
+
+A :class:`ResultSet` wraps an ordered list of
+:class:`repro.sim.experiment.ExperimentResult` records and provides
+
+* **querying** -- :meth:`filter` by field values or predicate,
+  :meth:`group_by` one or more fields, :meth:`metric` extraction,
+  :meth:`best_by` selection;
+* **presentation** -- :meth:`table` renders the fixed-width summary the CLI
+  and the examples print;
+* **persistence** -- :meth:`to_json`/:meth:`from_json` and
+  :meth:`to_csv`/:meth:`from_csv` round-trip *losslessly* (floats survive via
+  ``repr``), so every benchmark figure can be regenerated from cached results
+  without re-running a sweep.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union,
+)
+
+from repro.sim.experiment import ExperimentResult
+
+#: Schema tag embedded in JSON exports (bump on incompatible field changes).
+JSON_SCHEMA = "repro.resultset/v1"
+
+# Field typing for lossless CSV round-trips.  Every ExperimentResult field
+# must appear in exactly one of these groups (checked at import time below).
+_STR_FIELDS = ("design", "workload", "capacity")
+_INT_FIELDS = (
+    "scale", "accesses_measured",
+    "offchip_demand_blocks", "offchip_prefetch_blocks",
+    "offchip_writeback_blocks", "offchip_row_activations",
+    "stacked_row_activations",
+)
+_FLOAT_FIELDS = (
+    "miss_ratio", "hit_ratio",
+    "average_hit_latency", "average_miss_latency", "average_access_latency",
+    "offchip_blocks_per_access",
+)
+_OPTIONAL_FLOAT_FIELDS = (
+    "footprint_accuracy", "footprint_overfetch", "way_prediction_accuracy",
+    "miss_prediction_accuracy", "miss_predictor_overfetch",
+    "speedup_vs_no_cache", "user_ipc",
+)
+_CSV_FIELDS = _STR_FIELDS + _INT_FIELDS + _FLOAT_FIELDS + _OPTIONAL_FLOAT_FIELDS
+#: Prefix of the flattened ``extra`` columns in CSV exports.
+_EXTRA_PREFIX = "extra:"
+
+_RESULT_FIELD_NAMES = tuple(f.name for f in fields(ExperimentResult))
+assert set(_CSV_FIELDS) == set(_RESULT_FIELD_NAMES) - {"extra"}, (
+    "resultset.py field groups are out of sync with ExperimentResult"
+)
+
+
+def _format_cell(value: Union[None, int, float, str]) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)  # round-trips exactly in Python 3
+    return str(value)
+
+
+class ResultSet:
+    """Ordered collection of :class:`ExperimentResult` records."""
+
+    def __init__(self, results: Iterable[ExperimentResult] = ()) -> None:
+        self._results: List[ExperimentResult] = list(results)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._results[index])
+        return self._results[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._results)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._results == other._results
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._results)} results)"
+
+    def append(self, result: ExperimentResult) -> None:
+        self._results.append(result)
+
+    def extend(self, results: Iterable[ExperimentResult]) -> None:
+        self._results.extend(results)
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Optional[Callable[[ExperimentResult], bool]] = None,
+               **field_equals) -> "ResultSet":
+        """Results matching the predicate and/or exact field values.
+
+        ``rs.filter(design="unison", capacity="1GB")`` selects one design at
+        one capacity across all workloads.
+        """
+        unknown = set(field_equals) - set(_RESULT_FIELD_NAMES)
+        if unknown:
+            raise ValueError(f"unknown result fields: {sorted(unknown)}")
+
+        def matches(result: ExperimentResult) -> bool:
+            if predicate is not None and not predicate(result):
+                return False
+            return all(getattr(result, name) == value
+                       for name, value in field_equals.items())
+
+        return ResultSet(r for r in self._results if matches(r))
+
+    def group_by(self, *field_names: str) -> "Dict[object, ResultSet]":
+        """Group into {key: ResultSet}, insertion-ordered.
+
+        A single field yields its value as the key; several fields yield a
+        tuple key.
+        """
+        if not field_names:
+            raise ValueError("group_by needs at least one field name")
+        unknown = set(field_names) - set(_RESULT_FIELD_NAMES)
+        if unknown:
+            raise ValueError(f"unknown result fields: {sorted(unknown)}")
+        groups: Dict[object, ResultSet] = {}
+        for result in self._results:
+            key_parts = tuple(getattr(result, name) for name in field_names)
+            key = key_parts[0] if len(field_names) == 1 else key_parts
+            groups.setdefault(key, ResultSet()).append(result)
+        return groups
+
+    def metric(self, name: str) -> List[float]:
+        """The values of one metric, in result order."""
+        if name not in _RESULT_FIELD_NAMES:
+            raise ValueError(f"unknown result field {name!r}")
+        return [getattr(r, name) for r in self._results]
+
+    def best_by(self, metric: str, minimize: bool = True) -> ExperimentResult:
+        """The result with the smallest (or largest) value of ``metric``."""
+        if not self._results:
+            raise ValueError("ResultSet is empty")
+        values = self.metric(metric)
+        if any(v is None for v in values):
+            raise ValueError(f"metric {metric!r} is unset for some results")
+        chooser = min if minimize else max
+        return chooser(self._results, key=lambda r: getattr(r, metric))
+
+    @property
+    def designs(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.design for r in self._results))
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.workload for r in self._results))
+
+    @property
+    def capacities(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(r.capacity for r in self._results))
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    #: Default table columns: (header, formatter).
+    _TABLE_COLUMNS: Sequence[Tuple[str, Callable[[ExperimentResult], str]]] = (
+        ("design", lambda r: r.design),
+        ("workload", lambda r: r.workload),
+        ("capacity", lambda r: r.capacity),
+        ("miss%", lambda r: f"{r.miss_ratio_percent:.1f}"),
+        ("hit lat", lambda r: f"{r.average_hit_latency:.1f}"),
+        ("miss lat", lambda r: f"{r.average_miss_latency:.1f}"),
+        ("blk/acc", lambda r: f"{r.offchip_blocks_per_access:.2f}"),
+        ("speedup", lambda r: ("" if r.speedup_vs_no_cache is None
+                               else f"{r.speedup_vs_no_cache:.2f}x")),
+    )
+
+    def table(self) -> str:
+        """Fixed-width summary table of the headline metrics."""
+        header = [name for name, _ in self._TABLE_COLUMNS]
+        rows = [[fmt(r) for _, fmt in self._TABLE_COLUMNS]
+                for r in self._results]
+        widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+                  if rows else len(header[i])
+                  for i in range(len(header))]
+        lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_records(self) -> List[dict]:
+        """Plain-dict form of every result (JSON-ready)."""
+        return [asdict(r) for r in self._results]
+
+    def to_json(self, path: Optional[Union[str, Path]] = None,
+                indent: int = 2) -> str:
+        """Serialize to JSON; also write to ``path`` when given."""
+        text = json.dumps(
+            {"schema": JSON_SCHEMA, "results": self.to_records()},
+            indent=indent,
+        )
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ResultSet":
+        """Load from a JSON string or a path to a JSON file."""
+        if isinstance(source, Path) or (isinstance(source, str)
+                                        and not source.lstrip().startswith(("{", "["))):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        payload = json.loads(text)
+        records = payload["results"] if isinstance(payload, dict) else payload
+        return cls(ExperimentResult(**record) for record in records)
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize to CSV; also write to ``path`` when given.
+
+        ``extra`` metrics are flattened into ``extra:<key>`` columns (the
+        union of keys across all results).
+        """
+        extra_keys = sorted({key for r in self._results for key in r.extra})
+        header = list(_CSV_FIELDS) + [_EXTRA_PREFIX + k for k in extra_keys]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(header)
+        for result in self._results:
+            row = [_format_cell(getattr(result, name)) for name in _CSV_FIELDS]
+            row += [_format_cell(result.extra.get(k)) for k in extra_keys]
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_csv(cls, source: Union[str, Path]) -> "ResultSet":
+        """Load from a CSV string or a path to a CSV file."""
+        if isinstance(source, Path) or (isinstance(source, str)
+                                        and "\n" not in source):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        reader = csv.reader(io.StringIO(text))
+        rows = list(reader)
+        if not rows:
+            return cls()
+        header, data_rows = rows[0], rows[1:]
+        results = []
+        for row in data_rows:
+            kwargs: Dict[str, object] = {}
+            extra: Dict[str, float] = {}
+            for name, cell in zip(header, row):
+                if name.startswith(_EXTRA_PREFIX):
+                    if cell != "":
+                        extra[name[len(_EXTRA_PREFIX):]] = float(cell)
+                elif name in _STR_FIELDS:
+                    kwargs[name] = cell
+                elif name in _INT_FIELDS:
+                    kwargs[name] = int(cell)
+                elif name in _FLOAT_FIELDS:
+                    kwargs[name] = float(cell)
+                elif name in _OPTIONAL_FLOAT_FIELDS:
+                    kwargs[name] = None if cell == "" else float(cell)
+                else:
+                    raise ValueError(f"unknown CSV column {name!r}")
+            results.append(ExperimentResult(extra=extra, **kwargs))
+        return cls(results)
+
+
+__all__ = ["ResultSet", "JSON_SCHEMA"]

@@ -1,0 +1,214 @@
+"""Declarative experiment descriptions.
+
+An :class:`ExperimentSpec` names one trial -- one (design, workload, capacity)
+cell plus the run configuration -- and a :class:`SweepSpec` names a whole
+grid: ``designs x workloads x capacities x overrides``.  Both validate at
+construction time (unknown designs, unknown workloads, unparsable capacities,
+and illegal overrides all fail *before* any simulation runs), so a multi-hour
+sweep can never die on a typo in its last cell.
+
+Specs are plain frozen dataclasses: picklable (the parallel executor ships
+them to worker processes), hashable-free-of-surprises, and independent of any
+runner state.  Execution lives in :mod:`repro.sim.executor`.
+
+Example::
+
+    from repro import SweepSpec, ExperimentConfig, run_sweep
+
+    spec = SweepSpec(
+        designs=("unison", "alloy"),
+        workloads=("Web Search", "Data Serving"),
+        capacities=("512MB", "1GB"),
+        config=ExperimentConfig(scale=1024, num_accesses=30_000),
+    )
+    results = run_sweep(spec, workers=4)
+    print(results.table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config.system import SystemConfig
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.registry import DESIGNS
+from repro.sim.factory import unison_design_for_ways  # also ensures registration
+from repro.utils.units import format_size, parse_size, SizeLike
+from repro.workloads.cloudsuite import workload_by_name
+from repro.workloads.profile import WorkloadProfile
+
+#: A workload may be given as a profile or by its paper name ("Web Search").
+WorkloadLike = Union[WorkloadProfile, str]
+
+#: Override keys that do not map onto :class:`ExperimentConfig` fields.
+_TRIAL_OVERRIDE_KEYS = ("associativity", "label")
+
+
+def _coerce_workload(workload: WorkloadLike) -> WorkloadProfile:
+    if isinstance(workload, WorkloadProfile):
+        return workload
+    try:
+        return workload_by_name(workload)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-specified trial, validated at construction."""
+
+    design: str
+    workload: WorkloadProfile
+    #: Paper capacity, normalized to its canonical string form ("1GB").
+    capacity: str
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    #: Optional associativity override (Unison variants only).
+    associativity: Optional[int] = None
+    #: Name recorded in the result; defaults to ``design``.
+    label: Optional[str] = None
+    #: Optional architectural configuration; ``None`` means the paper's.
+    system: Optional[SystemConfig] = None
+
+    def __post_init__(self) -> None:
+        entry = DESIGNS.resolve(self.design)  # raises for unknown designs
+        object.__setattr__(self, "design", entry.name)
+        object.__setattr__(self, "workload", _coerce_workload(self.workload))
+        object.__setattr__(
+            self, "capacity", format_size(parse_size(self.capacity))
+        )
+        if self.associativity is not None:
+            if not entry.supports_associativity:
+                raise ValueError(
+                    f"design {self.design!r} does not take an associativity "
+                    f"override"
+                )
+            if self.associativity <= 0:
+                raise ValueError("associativity must be positive")
+
+    @property
+    def result_label(self) -> str:
+        """The design name this trial reports under."""
+        return self.label or self.design
+
+    def describe(self) -> str:
+        """Compact one-line description for logs and progress output."""
+        return (f"{self.result_label} / {self.workload.name} @ {self.capacity} "
+                f"(scale 1/{self.config.scale}, seed {self.config.seed})")
+
+
+_CONFIG_FIELDS = tuple(f.name for f in fields(ExperimentConfig))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid: designs x workloads x capacities x overrides.
+
+    ``overrides`` is an extra grid axis of keyword dictionaries.  Each
+    dictionary may set per-trial knobs (``associativity``, ``label``) and/or
+    any :class:`ExperimentConfig` field (``seed``, ``scale``,
+    ``num_accesses``, ...); one empty dictionary -- the default -- means the
+    plain grid.  The full trial list is materialized and validated when the
+    spec is constructed.
+    """
+
+    designs: Sequence[str]
+    workloads: Sequence[WorkloadLike]
+    capacities: Sequence[SizeLike]
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    overrides: Sequence[Mapping[str, object]] = (
+        # one no-op override == the plain designs x workloads x capacities grid
+        {},
+    )
+    system: Optional[SystemConfig] = None
+
+    def __post_init__(self) -> None:
+        for axis in ("designs", "workloads", "capacities", "overrides"):
+            if not tuple(getattr(self, axis)):
+                raise ValueError(f"SweepSpec.{axis} must not be empty")
+        # Normalize design names through the registry (also validates them
+        # eagerly, and keeps ``spec.designs`` usable as ResultSet filter keys
+        # regardless of the caller's capitalization).
+        object.__setattr__(
+            self, "designs",
+            tuple(DESIGNS.resolve(d).name for d in self.designs),
+        )
+        object.__setattr__(
+            self, "workloads",
+            tuple(_coerce_workload(w) for w in self.workloads),
+        )
+        object.__setattr__(
+            self, "capacities",
+            tuple(format_size(parse_size(c)) for c in self.capacities),
+        )
+        object.__setattr__(
+            self, "overrides", tuple(dict(o) for o in self.overrides)
+        )
+        for override in self.overrides:
+            unknown = [k for k in override
+                       if k not in _TRIAL_OVERRIDE_KEYS
+                       and k not in _CONFIG_FIELDS]
+            if unknown:
+                raise ValueError(
+                    f"unknown override keys {unknown}; allowed: "
+                    f"{list(_TRIAL_OVERRIDE_KEYS) + list(_CONFIG_FIELDS)}"
+                )
+        # Materialize eagerly: every cell is validated here, at construction.
+        object.__setattr__(self, "_trials", self._build_trials())
+
+    # ------------------------------------------------------------------ #
+    def _build_trials(self) -> Tuple[ExperimentSpec, ...]:
+        trials = []
+        for design in self.designs:
+            for workload in self.workloads:
+                for capacity in self.capacities:
+                    for override in self.overrides:
+                        trials.append(self._trial(design, workload, capacity,
+                                                  override))
+        return tuple(trials)
+
+    def _trial(self, design: str, workload: WorkloadProfile, capacity: str,
+               override: Mapping[str, object]) -> ExperimentSpec:
+        config_kwargs = {k: v for k, v in override.items()
+                         if k in _CONFIG_FIELDS}
+        config = (replace(self.config, **config_kwargs) if config_kwargs
+                  else self.config)
+        associativity = override.get("associativity")
+        label = override.get("label")
+        if label is None and associativity is not None:
+            if design == "unison":
+                # Canonical Figure 5 names (unison-dm/unison/unison-32way)
+                # so overridden and plain grids report consistently.
+                label = unison_design_for_ways(associativity)[1]
+            else:
+                label = f"{design}-{associativity}way"
+        return ExperimentSpec(
+            design=design,
+            workload=workload,
+            capacity=capacity,
+            config=config,
+            associativity=associativity,
+            label=label,
+            system=self.system,
+        )
+
+    # ------------------------------------------------------------------ #
+    def trials(self) -> Tuple[ExperimentSpec, ...]:
+        """All cells of the grid, in deterministic nested order."""
+        return self._trials
+
+    def __len__(self) -> int:
+        return len(self._trials)
+
+    def describe(self) -> str:
+        """Human-readable summary of the grid shape."""
+        return (
+            f"{len(self.designs)} designs x {len(self.workloads)} workloads "
+            f"x {len(self.capacities)} capacities x "
+            f"{len(self.overrides)} overrides = {len(self)} trials "
+            f"(scale 1/{self.config.scale}, "
+            f"{self.config.num_accesses} accesses each)"
+        )
+
+
+__all__ = ["ExperimentSpec", "SweepSpec", "WorkloadLike"]

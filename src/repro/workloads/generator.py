@@ -17,13 +17,17 @@ model the Footprint Cache / Unison Cache papers use:
 * the streams of all cores are interleaved round-robin, which is what the
   DRAM cache controller observes.
 
-Every random decision is drawn from a seeded ``random.Random`` instance so a
-given (profile, seed, num_cores) triple always produces the same trace.
+Every random decision is drawn from a seeded ``random.Random`` instance whose
+seed mixes the run seed with a *stable* hash of the workload name, so a given
+(profile, seed, num_cores) triple produces the same trace in every process
+and on every run -- the property the sweep executor's trace cache and the
+parallel/serial equivalence guarantee rely on.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
@@ -55,7 +59,11 @@ class SyntheticWorkload:
         self.profile = profile
         self.num_cores = num_cores
         self.seed = seed
-        self._rng = random.Random(mix64(seed) ^ mix64(hash(profile.name) & 0xFFFF_FFFF))
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make traces -- and therefore every
+        # benchmark figure -- differ from run to run and process to process.
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
+        self._rng = random.Random(mix64(seed) ^ mix64(name_hash))
         # Per-core state: pending accesses of the in-flight traversal and the
         # current code site with its remaining run length.
         self._pending: List[Deque[MemoryAccess]] = [deque() for _ in range(num_cores)]
