@@ -15,6 +15,13 @@ Fidelity knobs (environment variables):
 Raising the access count and lowering the scale factor improves fidelity at
 the cost of run time; the defaults regenerate every table and figure in
 roughly ten minutes on a laptop.
+
+Trace generation goes through the executor's caches, whose bottom layer is
+the persistent on-disk :class:`repro.trace.store.TraceStore`
+(``~/.cache/repro/traces``; relocate or disable via ``REPRO_TRACE_STORE``).
+A second benchmark session with the same fidelity knobs therefore replays
+every workload trace from disk instead of regenerating it -- and CI caches
+the store directory between runs, keyed on the generator version.
 """
 
 from __future__ import annotations
@@ -66,9 +73,11 @@ def runner() -> ExperimentRunner:
 class TraceCache:
     """Runs designs over shared per-workload traces.
 
-    Backed by the sweep executor's process-wide trace cache, so benchmarks
-    using this helper and benchmarks declared as ``SweepSpec`` grids (fig6,
-    fig8) generate each workload trace exactly once per session.
+    Backed by the sweep executor's process-wide trace cache (and, beneath
+    it, the persistent on-disk trace store), so benchmarks using this
+    helper and benchmarks declared as ``SweepSpec`` grids (fig6, fig8)
+    generate each workload trace at most once per session -- and not at
+    all when a previous session already stored it.
     """
 
     def __init__(self, experiment_runner: ExperimentRunner) -> None:

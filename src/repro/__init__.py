@@ -64,11 +64,20 @@ from repro.sim import (
     register_design,
     run_sweep,
 )
-from repro.trace import AccessType, MemoryAccess
+from repro.trace import (
+    AccessType,
+    FileSource,
+    MemoryAccess,
+    SyntheticSource,
+    TraceFormatError,
+    TraceSource,
+    TraceStore,
+)
 from repro.workloads import (
     ALL_WORKLOADS,
     CLOUDSUITE_WORKLOADS,
     SyntheticWorkload,
+    TraceFileWorkload,
     WorkloadProfile,
     workload_by_name,
 )
@@ -103,8 +112,14 @@ __all__ = [
     "SamplingRunner",
     "AccessType",
     "MemoryAccess",
+    "TraceFormatError",
+    "TraceSource",
+    "FileSource",
+    "SyntheticSource",
+    "TraceStore",
     "WorkloadProfile",
     "SyntheticWorkload",
+    "TraceFileWorkload",
     "ALL_WORKLOADS",
     "CLOUDSUITE_WORKLOADS",
     "workload_by_name",

@@ -1,9 +1,14 @@
-"""Command-line sweep runner: ``python -m repro`` (or the ``repro`` script).
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Builds a :class:`repro.sim.spec.SweepSpec` from the command line, runs it
-through the (optionally parallel) sweep executor, prints the result table,
-and exports the :class:`repro.sim.resultset.ResultSet` as JSON (and
-optionally CSV) so figures can be regenerated without re-simulating.
+Two entry points share the program:
+
+* **Sweeps** (the default, also available as ``repro sweep``): build a
+  :class:`repro.sim.spec.SweepSpec` from the command line, run it through the
+  (optionally parallel) sweep executor, print the result table, and export
+  the :class:`repro.sim.resultset.ResultSet` as JSON (and optionally CSV) so
+  figures can be regenerated without re-simulating.
+* **Trace tools** (``repro trace ...``): generate, inspect, and convert
+  trace files in any format the :mod:`repro.trace` subsystem understands.
 
 Examples::
 
@@ -12,6 +17,12 @@ Examples::
                     --workloads "Web Search" "TPC-H Queries" \
                     --capacities 512MB 1GB 2GB --jobs 4
     python -m repro --list-designs
+
+    python -m repro trace gen --workload "Web Search" --accesses 100000 \
+                              --out websearch.rptr
+    python -m repro trace info websearch.rptr
+    python -m repro trace convert llc_misses.csv llc_misses.rptr
+    python -m repro trace formats
 """
 
 from __future__ import annotations
@@ -21,11 +32,11 @@ import sys
 from typing import List, Optional
 
 from repro.sim.executor import run_sweep
-from repro.sim.experiment import ExperimentConfig
+from repro.sim.experiment import ExperimentConfig, ExperimentRunner
 from repro.sim.factory import design_names
 from repro.sim.registry import DESIGNS
 from repro.sim.spec import ExperimentSpec, SweepSpec
-from repro.workloads.cloudsuite import ALL_WORKLOADS
+from repro.workloads.cloudsuite import ALL_WORKLOADS, workload_by_name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +100,188 @@ def _list_workloads() -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# repro trace ...
+# --------------------------------------------------------------------- #
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Generate, inspect, and convert memory-access traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "gen", help="generate a synthetic workload trace file",
+        description="Stream a synthetic workload trace to disk (chunked; "
+                    "the trace never has to fit in memory).")
+    gen.add_argument("--workload", default="Web Search", metavar="NAME",
+                     help="workload name (default: 'Web Search')")
+    gen.add_argument("--accesses", type=int, default=100_000,
+                     help="number of accesses to generate (default: 100000)")
+    gen.add_argument("--cores", type=int, default=16,
+                     help="interleaved cores (default: 16)")
+    gen.add_argument("--seed", type=int, default=1,
+                     help="generator seed (default: 1)")
+    gen.add_argument("--scale", type=int, default=1,
+                     help="working-set scale-down factor, matching the "
+                          "sweep executor's scaling (default: 1 = unscaled)")
+    gen.add_argument("--out", "-o", required=True, metavar="PATH",
+                     help="output trace file")
+    gen.add_argument("--format", default="auto",
+                     help="output format (default: auto-detect from suffix; "
+                          ".rptr/.bin = binary, else text)")
+
+    info = sub.add_parser(
+        "info", help="describe trace files",
+        description="Print format, core count, and access count for each "
+                    "trace file (binary headers are read without "
+                    "decompressing the payload).")
+    info.add_argument("paths", nargs="+", metavar="PATH")
+    info.add_argument("--count", action="store_true",
+                      help="scan non-binary traces to count accesses "
+                           "(may be slow for huge files)")
+
+    convert = sub.add_parser(
+        "convert", help="convert a trace between formats",
+        description="Stream a trace from one format into another "
+                    "(text/binary/ChampSim-style/CSV in, text/binary out).")
+    convert.add_argument("src", metavar="SRC")
+    convert.add_argument("dst", metavar="DST")
+    convert.add_argument("--in-format", default="auto",
+                         help="input format (default: auto-detect)")
+    convert.add_argument("--out-format", default="auto",
+                         help="output format (default: auto-detect from "
+                              "DST suffix)")
+    convert.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="convert only the first N accesses")
+
+    sub.add_parser("formats", help="list known trace formats",
+                   description="List every registered trace format.")
+    return parser
+
+
+def _trace_gen(args: argparse.Namespace) -> int:
+    from repro.trace.adapters import resolve_format
+
+    try:
+        profile = workload_by_name(args.workload)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.accesses <= 0 or args.cores <= 0 or args.scale <= 0:
+        print("error: --accesses, --cores, and --scale must be positive",
+              file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(ExperimentConfig(
+        scale=args.scale, num_accesses=args.accesses, num_cores=args.cores,
+        seed=args.seed,
+    ))
+    fmt_name = None if args.format == "auto" else args.format
+    try:
+        fmt = resolve_format(fmt_name, args.out, for_writing=True)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stream = (access for chunk in runner.iter_trace_chunks(profile)
+              for access in chunk)
+    count = fmt.writer(args.out, stream, args.cores)
+    print(f"wrote {count} accesses to {args.out} ({fmt.name})")
+    return 0
+
+
+def _trace_info(args: argparse.Namespace) -> int:
+    from repro.trace.adapters import detect_format, open_trace
+    from repro.trace.binfmt import read_header
+    from repro.trace.errors import TraceFormatError
+    from pathlib import Path
+
+    status = 0
+    for path in args.paths:
+        if not Path(path).is_file():
+            print(f"{path}: not a file", file=sys.stderr)
+            status = 1
+            continue
+        fmt = detect_format(path)
+        size = Path(path).stat().st_size
+        if fmt == "binary":
+            try:
+                header = read_header(path)
+            except TraceFormatError as error:
+                print(f"{path}: corrupt binary trace: {error}",
+                      file=sys.stderr)
+                status = 1
+                continue
+            count = ("unknown" if header.access_count is None
+                     else header.access_count)
+            compression = "gzip" if header.compressed else "none"
+            print(f"{path}: format=binary v{header.version} "
+                  f"compression={compression} cores={header.num_cores} "
+                  f"accesses={count} bytes={size}")
+        else:
+            line = f"{path}: format={fmt} bytes={size}"
+            if args.count:
+                try:
+                    total = sum(1 for _ in open_trace(path, fmt))
+                except TraceFormatError as error:
+                    print(f"{path}: {error}", file=sys.stderr)
+                    status = 1
+                    continue
+                line += f" accesses={total}"
+            print(line)
+    return status
+
+
+def _trace_convert(args: argparse.Namespace) -> int:
+    from repro.trace.adapters import convert_trace
+    from repro.trace.errors import TraceFormatError
+
+    in_format = None if args.in_format == "auto" else args.in_format
+    out_format = None if args.out_format == "auto" else args.out_format
+    try:
+        count = convert_trace(args.src, args.dst, in_format=in_format,
+                              out_format=out_format, limit=args.limit)
+    except (TraceFormatError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {count} accesses to {args.dst}")
+    return 0
+
+
+def _trace_formats() -> int:
+    from repro.trace.adapters import FORMATS
+
+    width = max(len(name) for name in FORMATS)
+    for name in sorted(FORMATS):
+        fmt = FORMATS[name]
+        mode = "read/write" if fmt.writable else "read-only"
+        suffixes = " ".join(fmt.suffixes) or "(by content)"
+        print(f"{name:<{width}}  {mode:<10}  {fmt.description}  "
+              f"[{suffixes}]")
+    return 0
+
+
+def trace_main(argv: List[str]) -> int:
+    """Entry point of the ``repro trace`` subcommands."""
+    args = build_trace_parser().parse_args(argv)
+    if args.command == "gen":
+        return _trace_gen(args)
+    if args.command == "info":
+        return _trace_info(args)
+    if args.command == "convert":
+        return _trace_convert(args)
+    return _trace_formats()
+
+
+# --------------------------------------------------------------------- #
+# repro [sweep] ...
+# --------------------------------------------------------------------- #
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        argv = argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_designs:

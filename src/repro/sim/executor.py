@@ -10,7 +10,13 @@ tractable:
   are cached process-wide under those keys.  An N-cell grid that shares
   workloads and configurations pays for each distinct trace and baseline
   once, not N times -- and because every design in a cell group replays the
-  *same* cached trace, comparisons stay fair automatically.
+  *same* cached trace, comparisons stay fair automatically.  Behind the
+  in-memory layer sits the persistent on-disk
+  :class:`repro.trace.store.TraceStore`: a generated trace is streamed into
+  the store as it is produced and replayed from there by every later
+  process, sweep, and benchmark run with the same key, so each distinct
+  trace is generated once *ever* (disable or relocate via the
+  ``REPRO_TRACE_STORE`` environment variable).
 
 * **Deterministic parallelism.**  ``workers > 1`` fans trials out to a
   ``ProcessPoolExecutor``.  Each trial is self-contained (its spec carries
@@ -25,17 +31,19 @@ tractable:
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dramcache.stats import DramCacheStats
-from repro.sim.experiment import ExperimentResult, ExperimentRunner
+from repro.sim.experiment import ExperimentResult, ExperimentRunner, Workload
 from repro.sim.resultset import ResultSet
 from repro.sim.spec import ExperimentSpec, SweepSpec
 from repro.trace.record import MemoryAccess
+from repro.trace.store import TraceStore, configured_root
 from repro.workloads.profile import WorkloadProfile
 
 #: Cache key of a materialized trace (see module docstring).
-TraceKey = Tuple[WorkloadProfile, int, int, int, int]
+TraceKey = Tuple[Workload, int, int, int, int]
 
 # Process-wide caches.  Worker processes get their own copies (pre-seeded by
 # fork with the parent's contents); entries are deterministic in the key, so
@@ -43,8 +51,27 @@ TraceKey = Tuple[WorkloadProfile, int, int, int, int]
 _TRACE_CACHE: Dict[TraceKey, List[MemoryAccess]] = {}
 _BASELINE_CACHE: Dict[Tuple[TraceKey, float], DramCacheStats] = {}
 
+# The process-wide on-disk trace store (see repro.trace.store).  Rebuilt
+# lazily whenever REPRO_TRACE_STORE changes, so tests and callers can point
+# the executor at a different directory -- or disable it -- at any time.
+_TRACE_STORE: Optional[TraceStore] = None
+_TRACE_STORE_ROOT: Optional[Path] = None
 
-def trace_key(profile: WorkloadProfile,
+
+def get_trace_store() -> Optional[TraceStore]:
+    """The on-disk store shared by all sweeps; ``None`` when disabled."""
+    global _TRACE_STORE, _TRACE_STORE_ROOT
+    root = configured_root()
+    if root is None:
+        _TRACE_STORE = None
+        _TRACE_STORE_ROOT = None
+    elif _TRACE_STORE is None or root != _TRACE_STORE_ROOT:
+        _TRACE_STORE = TraceStore(root=root)
+        _TRACE_STORE_ROOT = root
+    return _TRACE_STORE
+
+
+def trace_key(profile: Workload,
               config) -> TraceKey:
     """The identity of a materialized trace."""
     return (profile, config.scale, config.num_cores, config.seed,
@@ -52,23 +79,54 @@ def trace_key(profile: WorkloadProfile,
 
 
 def clear_caches() -> None:
-    """Drop all cached traces and baselines (mainly for tests)."""
+    """Drop the in-memory trace/baseline caches (mainly for tests).
+
+    The on-disk :class:`TraceStore` is persistent by design and is *not*
+    touched; use ``get_trace_store().clear()`` for that.
+    """
     _TRACE_CACHE.clear()
     _BASELINE_CACHE.clear()
 
 
 def cached_trace(runner: ExperimentRunner,
-                 profile: WorkloadProfile) -> List[MemoryAccess]:
-    """The trace for (profile, runner.config), built once per process."""
+                 profile: Workload) -> List[MemoryAccess]:
+    """The trace for (profile, runner.config), built once per process.
+
+    Lookup order: the in-memory cache, then the on-disk trace store
+    (shared across processes and runs), then generation -- which streams
+    chunk-by-chunk into the store while materializing, so a synthetic trace
+    is generated once *ever* per distinct key rather than once per process.
+    Trace-file workloads are simply loaded (they are already on disk).
+    """
     key = trace_key(profile, runner.config)
     trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return trace
+
+    store = get_trace_store() if isinstance(profile, WorkloadProfile) else None
+    if store is not None:
+        config = runner.config
+        store_key = store.key(profile, config.scale, config.num_cores,
+                              config.seed, config.num_accesses)
+        try:
+            trace = store.load(store_key)
+            if trace is None:
+                trace = store.put_chunks(
+                    store_key, runner.iter_trace_chunks(profile),
+                    num_cores=config.num_cores, collect=True,
+                )
+        except OSError:
+            # Unreadable/unwritable store directory must never break a
+            # sweep; fall back to plain in-memory generation.
+            trace = None
+
     if trace is None:
         trace = runner.build_trace(profile)
-        _TRACE_CACHE[key] = trace
+    _TRACE_CACHE[key] = trace
     return trace
 
 
-def cached_baseline(runner: ExperimentRunner, profile: WorkloadProfile,
+def cached_baseline(runner: ExperimentRunner, profile: Workload,
                     trace: Sequence[MemoryAccess]) -> DramCacheStats:
     """The no-cache baseline for (profile, runner.config), replayed once."""
     key = (trace_key(profile, runner.config), runner.config.warmup_fraction)
@@ -168,4 +226,5 @@ def run_sweep(spec: SweepSpec, workers: Optional[int] = 1,
 
 
 __all__ = ["SweepExecutor", "run_sweep", "run_trial", "cached_trace",
-           "cached_baseline", "trace_key", "clear_caches", "TraceKey"]
+           "cached_baseline", "trace_key", "clear_caches", "TraceKey",
+           "get_trace_store"]

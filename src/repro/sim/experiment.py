@@ -23,7 +23,7 @@ benchmarks and examples build on those.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.baselines.no_cache import NoDramCache
 from repro.config.system import SystemConfig
@@ -31,10 +31,15 @@ from repro.dramcache.base import DramCacheModel
 from repro.dramcache.stats import DramCacheStats
 from repro.sim.factory import make_design, unison_design_for_ways
 from repro.sim.performance import PerformanceModel
+from repro.trace.pipeline import FileSource
 from repro.trace.record import MemoryAccess
 from repro.utils.units import format_size, parse_size, SizeLike
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.profile import WorkloadProfile
+from repro.workloads.tracefile import TraceFileWorkload
+
+#: Anything an experiment can replay: a synthetic profile or a trace file.
+Workload = Union[WorkloadProfile, TraceFileWorkload]
 
 
 @dataclass(frozen=True)
@@ -125,17 +130,42 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Trace construction
     # ------------------------------------------------------------------ #
-    def build_trace(self, profile: WorkloadProfile) -> List[MemoryAccess]:
-        """Materialize the scaled workload trace for this experiment."""
-        scaled_profile = profile.scaled(
-            max(profile.region_size * 64, profile.working_set_bytes // self.config.scale)
+    def scaled_profile(self, profile: WorkloadProfile) -> WorkloadProfile:
+        """The profile with its working set scaled down by ``config.scale``."""
+        return profile.scaled(
+            max(profile.region_size * 64,
+                profile.working_set_bytes // self.config.scale)
         )
+
+    def iter_trace_chunks(self, profile: WorkloadProfile,
+                          ) -> Iterator[List[MemoryAccess]]:
+        """Generate the scaled workload trace as a stream of chunks.
+
+        This is the streaming core of :meth:`build_trace`: the trace store
+        writes these chunks to disk as they are produced, so a trace never
+        has to be fully materialized just to be persisted.
+        """
         workload = SyntheticWorkload(
-            scaled_profile,
+            self.scaled_profile(profile),
             num_cores=self.config.num_cores,
             seed=self.config.seed,
         )
-        return workload.generate(self.config.num_accesses)
+        return workload.iter_chunks(self.config.num_accesses)
+
+    def build_trace(self, profile: Workload) -> List[MemoryAccess]:
+        """Materialize the workload trace for this experiment.
+
+        Synthetic profiles are generated at the scaled working set; trace
+        file workloads are streamed from disk, truncated to
+        ``config.num_accesses``.
+        """
+        if isinstance(profile, TraceFileWorkload):
+            source = FileSource(profile.path, fmt=profile.format or None)
+            return source.limit(self.config.num_accesses).materialize()
+        trace: List[MemoryAccess] = []
+        for chunk in self.iter_trace_chunks(profile):
+            trace.extend(chunk)
+        return trace
 
     def split_trace(self, trace: Sequence[MemoryAccess]) -> "tuple[Sequence[MemoryAccess], Sequence[MemoryAccess]]":
         """Split a trace into its (warm-up, measurement) portions."""
@@ -148,7 +178,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Running designs
     # ------------------------------------------------------------------ #
-    def run_design(self, design_name: str, profile: WorkloadProfile,
+    def run_design(self, design_name: str, profile: Workload,
                    capacity: SizeLike,
                    trace: Optional[Sequence[MemoryAccess]] = None,
                    associativity: Optional[int] = None,

@@ -28,29 +28,39 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config.system import SystemConfig
-from repro.sim.experiment import ExperimentConfig
+from repro.sim.experiment import ExperimentConfig, Workload
 from repro.sim.registry import DESIGNS
 from repro.sim.factory import unison_design_for_ways  # also ensures registration
 from repro.utils.units import format_size, parse_size, SizeLike
 from repro.workloads.cloudsuite import workload_by_name
 from repro.workloads.profile import WorkloadProfile
+from repro.workloads.tracefile import TraceFileWorkload
 
-#: A workload may be given as a profile or by its paper name ("Web Search").
-WorkloadLike = Union[WorkloadProfile, str]
+#: A workload may be a profile, a trace-file workload, a paper name
+#: ("Web Search"), or a trace-file reference ("trace:/path/to/file.rptr" --
+#: a bare path to an existing trace file also works).
+WorkloadLike = Union[WorkloadProfile, TraceFileWorkload, str]
 
 #: Override keys that do not map onto :class:`ExperimentConfig` fields.
 _TRIAL_OVERRIDE_KEYS = ("associativity", "label")
 
 
-def _coerce_workload(workload: WorkloadLike) -> WorkloadProfile:
-    if isinstance(workload, WorkloadProfile):
+def _coerce_workload(workload: WorkloadLike) -> Workload:
+    if isinstance(workload, (WorkloadProfile, TraceFileWorkload)):
         return workload
+    if workload.startswith("trace:"):
+        return TraceFileWorkload(path=workload[len("trace:"):])
     try:
         return workload_by_name(workload)
     except KeyError as exc:
+        # Not a known workload name: accept a bare path to an existing
+        # trace file, otherwise report the name error.
+        if Path(workload).is_file():
+            return TraceFileWorkload(path=workload)
         raise ValueError(exc.args[0]) from None
 
 
@@ -59,7 +69,7 @@ class ExperimentSpec:
     """One fully-specified trial, validated at construction."""
 
     design: str
-    workload: WorkloadProfile
+    workload: Workload
     #: Paper capacity, normalized to its canonical string form ("1GB").
     capacity: str
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
@@ -167,7 +177,7 @@ class SweepSpec:
                                                   override))
         return tuple(trials)
 
-    def _trial(self, design: str, workload: WorkloadProfile, capacity: str,
+    def _trial(self, design: str, workload: Workload, capacity: str,
                override: Mapping[str, object]) -> ExperimentSpec:
         config_kwargs = {k: v for k, v in override.items()
                          if k in _CONFIG_FIELDS}
@@ -211,4 +221,4 @@ class SweepSpec:
         )
 
 
-__all__ = ["ExperimentSpec", "SweepSpec", "WorkloadLike"]
+__all__ = ["ExperimentSpec", "SweepSpec", "Workload", "WorkloadLike"]

@@ -1,0 +1,358 @@
+"""Compact struct-packed binary trace format with streaming access.
+
+This is the format the :class:`repro.trace.store.TraceStore` persists traces
+in.  Design goals, in order: (1) traces far larger than memory stream through
+fixed-size chunks in both directions, (2) loading is bounded by record
+*construction*, not parsing -- decoding combines
+:meth:`struct.Struct.iter_unpack` with direct ``tuple.__new__`` construction
+(see :func:`_decode_records`), which makes it several times faster than the
+text codec -- and (3) the file is
+self-describing: a fixed-size **uncompressed** header precedes the (optionally
+gzip-compressed) record payload, so ``repro trace info`` can report version,
+core count, and access count without decompressing anything.
+
+Layout::
+
+    offset 0: HEADER  = magic b"RPTR" | version u16 | flags u16
+                        | num_cores u32 | access_count u64     (20 bytes, LE)
+    offset 20: PAYLOAD = access_count x RECORD, gzip-wrapped when
+                         flags & FLAG_GZIP
+
+    RECORD = address u64 | pc u64 | timestamp u64
+             | core_id u16 | access_type u8                    (27 bytes, LE)
+
+``access_count`` is written as :data:`UNKNOWN_COUNT` while a stream is being
+produced and patched in place when the writer closes (the header is outside
+the gzip member precisely so this seek-back works for compressed traces too;
+on a non-seekable target the sentinel simply remains).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.trace.errors import TraceFormatError
+from repro.trace.record import AccessType, MemoryAccess
+
+PathLike = Union[str, Path]
+
+#: First four bytes of every binary trace file ("RePro TRace").
+MAGIC = b"RPTR"
+#: Current format version.
+VERSION = 1
+#: Header flag: the record payload is a gzip member.
+FLAG_GZIP = 0x0001
+#: ``access_count`` value meaning "stream was not finalized".
+UNKNOWN_COUNT = 2 ** 64 - 1
+
+HEADER = struct.Struct("<4sHHIQ")
+RECORD = struct.Struct("<QQQHB")
+
+#: Records per streaming chunk (~432 KB of packed payload).
+DEFAULT_CHUNK_RECORDS = 16384
+
+_TYPE_FROM_CODE = (AccessType.READ, AccessType.WRITE)
+
+_MAX_U64 = 2 ** 64 - 1
+_MAX_U16 = 2 ** 16 - 1
+
+
+def _decode_records(blob: bytes) -> List[MemoryAccess]:
+    """Decode a whole-record payload slice into MemoryAccess objects.
+
+    This is the hottest loop of the trace subsystem (a million-access trace
+    is a million constructions), so it bypasses the validating constructor:
+    ``tuple.__new__`` on the namedtuple subclass, with fields already
+    range-guaranteed by the unsigned struct encoding.  Positional indexing
+    into the unpacked record measures slightly faster than tuple unpacking.
+    """
+    tuple_new = tuple.__new__
+    cls = MemoryAccess
+    types = _TYPE_FROM_CODE
+    return [
+        tuple_new(cls, (r[0], r[1], types[r[4]], r[3], r[2]))
+        for r in RECORD.iter_unpack(blob)
+    ]
+
+
+@dataclass(frozen=True)
+class BinaryTraceInfo:
+    """Decoded header of a binary trace file."""
+
+    path: str
+    version: int
+    compressed: bool
+    num_cores: int
+    #: ``None`` when the stream was never finalized (:data:`UNKNOWN_COUNT`).
+    access_count: Optional[int]
+    file_bytes: int
+
+
+def is_binary_trace(path: PathLike) -> bool:
+    """True when ``path`` starts with the binary trace magic."""
+    try:
+        with Path(path).open("rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def read_header(path: PathLike) -> BinaryTraceInfo:
+    """Read and validate the fixed header of a binary trace file."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        blob = handle.read(HEADER.size)
+    if len(blob) < HEADER.size:
+        raise TraceFormatError(
+            f"file too short for a binary trace header "
+            f"({len(blob)} < {HEADER.size} bytes)", path=path,
+        )
+    magic, version, flags, num_cores, count = HEADER.unpack(blob)
+    if magic != MAGIC:
+        raise TraceFormatError(
+            f"bad magic {magic!r} (expected {MAGIC!r}); not a binary trace",
+            path=path,
+        )
+    if version > VERSION:
+        raise TraceFormatError(
+            f"unsupported binary trace version {version} "
+            f"(this reader understands <= {VERSION})", path=path,
+        )
+    return BinaryTraceInfo(
+        path=str(path),
+        version=version,
+        compressed=bool(flags & FLAG_GZIP),
+        num_cores=num_cores,
+        access_count=None if count == UNKNOWN_COUNT else count,
+        file_bytes=path.stat().st_size,
+    )
+
+
+class BinaryTraceWriter:
+    """Stream accesses into a binary trace file; a context manager.
+
+    Parameters
+    ----------
+    path:
+        Destination file.
+    num_cores:
+        Core count recorded in the header (0 = unspecified).
+    compress:
+        Gzip the record payload (the header stays uncompressed).
+    compresslevel:
+        zlib level for ``compress=True``; the default 6 trades a slightly
+        slower write for ~15% smaller files than level 1.
+    """
+
+    def __init__(self, path: PathLike, num_cores: int = 0,
+                 compress: bool = True, compresslevel: int = 6) -> None:
+        if num_cores < 0:
+            raise ValueError("num_cores must be non-negative")
+        self._path = Path(path)
+        self._num_cores = num_cores
+        self._compress = compress
+        self._compresslevel = compresslevel
+        self._raw: Optional[IO[bytes]] = None
+        self._payload: Optional[IO[bytes]] = None
+        self._buffer: List[bytes] = []
+        self._count = 0
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        self._raw = self._path.open("wb")
+        self._raw.write(self._header(UNKNOWN_COUNT))
+        if self._compress:
+            self._payload = gzip.GzipFile(
+                fileobj=self._raw, mode="wb",
+                compresslevel=self._compresslevel, mtime=0,
+            )
+        else:
+            self._payload = self._raw
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Only finalize the header on a clean exit: an aborted stream keeps
+        # the UNKNOWN_COUNT sentinel, so a partially-written file can never
+        # pass for a complete trace (``trace info`` reports it as
+        # non-finalized).
+        self.close(finalize=exc_type is None)
+
+    def _header(self, count: int) -> bytes:
+        flags = FLAG_GZIP if self._compress else 0
+        return HEADER.pack(MAGIC, VERSION, flags, self._num_cores, count)
+
+    def write(self, access: MemoryAccess) -> None:
+        """Append one access."""
+        if self._payload is None:
+            raise RuntimeError(
+                "BinaryTraceWriter must be used as a context manager"
+            )
+        if not (0 <= access.address <= _MAX_U64
+                and 0 <= access.pc <= _MAX_U64
+                and 0 <= access.timestamp <= _MAX_U64):
+            raise TraceFormatError(
+                f"field outside the unsigned 64-bit range, not "
+                f"representable: {access!r}", path=self._path,
+            )
+        if not 0 <= access.core_id <= _MAX_U16:
+            raise TraceFormatError(
+                f"core_id {access.core_id} outside the unsigned 16-bit "
+                f"range", path=self._path,
+            )
+        self._buffer.append(RECORD.pack(
+            access.address, access.pc, access.timestamp, access.core_id,
+            1 if access.access_type is AccessType.WRITE else 0,
+        ))
+        self._count += 1
+        if len(self._buffer) >= DEFAULT_CHUNK_RECORDS:
+            self._flush()
+
+    def write_all(self, accesses: Iterable[MemoryAccess]) -> None:
+        """Append every access from an iterable, chunk by chunk."""
+        for access in accesses:
+            self.write(access)
+
+    @property
+    def count(self) -> int:
+        """Number of accesses written so far."""
+        return self._count
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._payload.write(b"".join(self._buffer))
+            self._buffer.clear()
+
+    def close(self, finalize: bool = True) -> None:
+        """Finish the payload and patch the final access count in place.
+
+        With ``finalize=False`` the header keeps the :data:`UNKNOWN_COUNT`
+        sentinel, marking the stream as aborted/incomplete.
+        """
+        if self._raw is None:
+            return
+        self._flush()
+        if self._payload is not self._raw:
+            self._payload.close()  # ends the gzip member
+        if finalize and self._raw.seekable():
+            self._raw.seek(0)
+            self._raw.write(self._header(self._count))
+        self._raw.close()
+        self._raw = None
+        self._payload = None
+
+
+class BinaryTraceReader:
+    """Iterate over a binary trace file; re-iterable and streaming.
+
+    Iterating never materializes more than one chunk
+    (:data:`DEFAULT_CHUNK_RECORDS` records) at a time.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def info(self) -> BinaryTraceInfo:
+        """The decoded file header."""
+        return read_header(self._path)
+
+    def _open_payload(self) -> "tuple[IO[bytes], IO[bytes]]":
+        """Open the record payload; returns ``(payload, raw)`` for closing."""
+        info = read_header(self._path)  # validates magic/version
+        raw = self._path.open("rb")
+        raw.seek(HEADER.size)
+        if info.compressed:
+            return gzip.GzipFile(fileobj=raw, mode="rb"), raw
+        return raw, raw
+
+    def iter_chunks(self, chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                    ) -> Iterator[List[MemoryAccess]]:
+        """Yield the trace as lists of at most ``chunk_records`` accesses."""
+        if chunk_records <= 0:
+            raise ValueError("chunk_records must be positive")
+        chunk_bytes = chunk_records * RECORD.size
+        payload, raw = self._open_payload()
+        try:
+            pending = b""
+            while True:
+                blob = payload.read(chunk_bytes)
+                if not blob:
+                    break
+                if pending:
+                    blob = pending + blob
+                    pending = b""
+                trailing = len(blob) % RECORD.size
+                if trailing:
+                    pending = blob[-trailing:]
+                    blob = blob[:-trailing]
+                yield _decode_records(blob)
+            if pending:
+                raise TraceFormatError(
+                    f"truncated binary trace: {len(pending)} trailing bytes "
+                    f"do not form a whole {RECORD.size}-byte record",
+                    path=self._path,
+                )
+        finally:
+            payload.close()
+            raw.close()
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+    def read_all(self) -> List[MemoryAccess]:
+        """Read the whole trace into a list.
+
+        Decodes the payload in one pass (a transient second copy of the
+        packed bytes, ~27 MB per million accesses); use :meth:`iter_chunks`
+        when even that must not be held at once.
+        """
+        payload, raw = self._open_payload()
+        try:
+            blob = payload.read()
+        finally:
+            payload.close()
+            raw.close()
+        if len(blob) % RECORD.size:
+            raise TraceFormatError(
+                f"truncated binary trace: {len(blob) % RECORD.size} trailing "
+                f"bytes do not form a whole {RECORD.size}-byte record",
+                path=self._path,
+            )
+        return _decode_records(blob)
+
+
+def write_trace_bin(path: PathLike, accesses: Iterable[MemoryAccess],
+                    num_cores: int = 0, compress: bool = True) -> int:
+    """Write all accesses to ``path`` in binary form; returns the count."""
+    with BinaryTraceWriter(path, num_cores=num_cores,
+                           compress=compress) as writer:
+        writer.write_all(accesses)
+        return writer.count
+
+
+def read_trace_bin(path: PathLike) -> List[MemoryAccess]:
+    """Read a whole binary trace from ``path``."""
+    return BinaryTraceReader(path).read_all()
+
+
+__all__ = [
+    "BinaryTraceInfo",
+    "BinaryTraceReader",
+    "BinaryTraceWriter",
+    "DEFAULT_CHUNK_RECORDS",
+    "FLAG_GZIP",
+    "MAGIC",
+    "UNKNOWN_COUNT",
+    "VERSION",
+    "is_binary_trace",
+    "read_header",
+    "read_trace_bin",
+    "write_trace_bin",
+]

@@ -1,0 +1,34 @@
+"""Errors shared by the trace codecs and ingestion adapters.
+
+:class:`TraceFormatError` subclasses :class:`ValueError` so existing callers
+that caught ``ValueError`` for malformed trace data keep working, while new
+code can catch the precise type and report *where* a trace is broken.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TraceFormatError(ValueError):
+    """A trace file (text, binary, or external format) is malformed.
+
+    Carries the offending file ``path`` and 1-based ``line`` number when
+    known, and includes both in the rendered message.
+    """
+
+    def __init__(self, message: str, path: Optional[object] = None,
+                 line: Optional[int] = None) -> None:
+        self.path = str(path) if path is not None else None
+        self.line = line
+        location = ""
+        if self.path is not None and line is not None:
+            location = f"{self.path}:{line}: "
+        elif self.path is not None:
+            location = f"{self.path}: "
+        elif line is not None:
+            location = f"line {line}: "
+        super().__init__(f"{location}{message}")
+
+
+__all__ = ["TraceFormatError"]

@@ -13,13 +13,20 @@ from repro.trace.record import MemoryAccess
 
 
 def limit_trace(trace: Iterable[MemoryAccess], max_accesses: int) -> Iterator[MemoryAccess]:
-    """Yield at most ``max_accesses`` accesses from ``trace``."""
+    """Yield at most ``max_accesses`` accesses from ``trace``.
+
+    Never pulls more than ``max_accesses`` items from the underlying
+    iterable, so a limited pipeline stops generation work exactly at the
+    limit.
+    """
     if max_accesses < 0:
         raise ValueError("max_accesses must be non-negative")
-    for index, access in enumerate(trace):
+    if max_accesses == 0:
+        return
+    for index, access in enumerate(trace, start=1):
+        yield access
         if index >= max_accesses:
             return
-        yield access
 
 
 def split_warmup(

@@ -1,22 +1,58 @@
 """Reading and writing traces in a simple line-oriented text format.
 
 Each line is ``timestamp core_id access_type pc address`` with addresses and
-PCs in hexadecimal.  Lines starting with ``#`` are comments.  The format is
-deliberately trivial so traces can be produced or inspected with standard
-text tools.
+PCs in hexadecimal.  Lines starting with ``#`` are comments; blank lines and
+trailing whitespace are ignored, and the ``R``/``W`` access-type codes are
+accepted in either case.  The format is deliberately trivial so traces can be
+produced or inspected with standard text tools.  Paths ending in ``.gz``
+(or files starting with the gzip magic) are compressed/decompressed
+transparently.
+
+Malformed lines raise :class:`repro.trace.errors.TraceFormatError` carrying
+the file name and line number.  For the compact binary format used by the
+trace store see :mod:`repro.trace.binfmt`.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
+from repro.trace.errors import TraceFormatError
 from repro.trace.record import AccessType, MemoryAccess
 
 PathLike = Union[str, Path]
 
 _TYPE_TO_CODE = {AccessType.READ: "R", AccessType.WRITE: "W"}
-_CODE_TO_TYPE = {"R": AccessType.READ, "W": AccessType.WRITE}
+_CODE_TO_TYPE = {
+    "R": AccessType.READ, "W": AccessType.WRITE,
+    "r": AccessType.READ, "w": AccessType.WRITE,
+}
+
+#: Two-byte magic prefix of gzip streams.
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+def is_gzip_path(path: PathLike) -> bool:
+    """True when ``path`` holds (or, by suffix, should hold) gzip data."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return True
+    try:
+        with path.open("rb") as handle:
+            return handle.read(2) == GZIP_MAGIC
+    except OSError:
+        return False
+
+
+def open_text(path: PathLike, mode: str = "r") -> IO[str]:
+    """Open a possibly-gzipped file in text mode."""
+    path = Path(path)
+    compressed = path.suffix == ".gz" if "w" in mode else is_gzip_path(path)
+    if compressed:
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def format_access(access: MemoryAccess) -> str:
@@ -28,24 +64,39 @@ def format_access(access: MemoryAccess) -> str:
     )
 
 
-def parse_access(line: str) -> MemoryAccess:
+def parse_access(line: str, path: Optional[PathLike] = None,
+                 line_number: Optional[int] = None) -> MemoryAccess:
     """Parse one trace line back into a :class:`MemoryAccess`.
 
-    Raises ``ValueError`` for malformed lines.
+    Raises :class:`TraceFormatError` (a ``ValueError``) for malformed lines,
+    naming ``path`` and ``line_number`` when provided.
     """
     parts = line.split()
     if len(parts) != 5:
-        raise ValueError(f"malformed trace line (expected 5 fields): {line!r}")
+        raise TraceFormatError(
+            f"malformed trace line (expected 5 fields, got {len(parts)}): "
+            f"{line.strip()!r}", path=path, line=line_number,
+        )
     timestamp_str, core_str, code, pc_str, addr_str = parts
-    if code not in _CODE_TO_TYPE:
-        raise ValueError(f"unknown access type code {code!r} in line {line!r}")
-    return MemoryAccess(
-        timestamp=int(timestamp_str),
-        core_id=int(core_str),
-        access_type=_CODE_TO_TYPE[code],
-        pc=int(pc_str, 16),
-        address=int(addr_str, 16),
-    )
+    access_type = _CODE_TO_TYPE.get(code)
+    if access_type is None:
+        raise TraceFormatError(
+            f"unknown access type code {code!r} (expected R or W) in line "
+            f"{line.strip()!r}", path=path, line=line_number,
+        )
+    try:
+        return MemoryAccess(
+            timestamp=int(timestamp_str),
+            core_id=int(core_str),
+            access_type=access_type,
+            pc=int(pc_str, 16),
+            address=int(addr_str, 16),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"bad field in trace line {line.strip()!r}: {exc}",
+            path=path, line=line_number,
+        ) from None
 
 
 class TraceWriter:
@@ -53,11 +104,11 @@ class TraceWriter:
 
     def __init__(self, path: PathLike) -> None:
         self._path = Path(path)
-        self._handle = None
+        self._handle: Optional[IO[str]] = None
         self._count = 0
 
     def __enter__(self) -> "TraceWriter":
-        self._handle = self._path.open("w", encoding="utf-8")
+        self._handle = open_text(self._path, "w")
         self._handle.write("# repro trace v1: timestamp core type pc address\n")
         return self
 
@@ -89,18 +140,19 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Iterate over the accesses stored in a trace file."""
+    """Iterate over the accesses stored in a (possibly gzipped) trace file."""
 
     def __init__(self, path: PathLike) -> None:
         self._path = Path(path)
 
     def __iter__(self) -> Iterator[MemoryAccess]:
-        with self._path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+        with open_text(self._path, "r") as handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
-                yield parse_access(line)
+                yield parse_access(line, path=self._path,
+                                   line_number=line_number)
 
     def read_all(self) -> List[MemoryAccess]:
         """Read the whole trace into a list."""

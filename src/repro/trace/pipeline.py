@@ -1,0 +1,291 @@
+"""Composable, lazily-evaluated trace pipelines.
+
+A :class:`TraceSource` is a *re-iterable* stream of
+:class:`~repro.trace.record.MemoryAccess` records with chainable transforms.
+Nothing is computed until the source is iterated, and every transform returns
+a new source, so multi-million-access pipelines never materialize
+intermediate lists::
+
+    from repro.trace.pipeline import FileSource
+
+    source = (FileSource("cloudsuite.rptr")
+              .window(1_000_000, 2_000_000)   # slice out a steady-state region
+              .cores(0, 1, 2, 3)              # keep four cores' streams
+              .remap_addresses(lambda a: a % (1 << 32))
+              .downsample(0.1, seed=7))       # deterministic 10% sample
+    for access in source:                     # streams chunk by chunk
+        ...
+    source.write("sampled.rptr")              # or persist, still streaming
+
+Sources
+-------
+* :class:`FileSource` -- any on-disk trace; the format (binary, text,
+  ChampSim-style, CSV; each optionally gzipped) is auto-detected through
+  :mod:`repro.trace.adapters`.
+* :class:`SyntheticSource` -- a deterministic synthetic workload
+  (:class:`~repro.workloads.generator.SyntheticWorkload`); every iteration
+  replays the identical stream.
+* :class:`IterableSource` -- wraps an in-memory sequence or a zero-argument
+  iterator factory.
+
+Transforms compose with the plain generator functions in
+:mod:`repro.trace.filters` through :meth:`TraceSource.transform`, which
+accepts any ``fn(iterable, *args, **kwargs) -> iterator``::
+
+    from repro.trace.filters import limit_trace
+    source.transform(limit_trace, 50_000)     # same as source.limit(50_000)
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+from typing import (Callable, Iterable, Iterator, List, Optional, Sequence,
+                    Union)
+
+from repro.trace import adapters
+from repro.trace.filters import interleave_traces, limit_trace
+from repro.trace.record import MemoryAccess
+from repro.utils.hashing import mix64
+
+PathLike = Union[str, Path]
+
+#: A transform maps one access stream to another.
+Transform = Callable[..., Iterator[MemoryAccess]]
+
+
+class TraceSource:
+    """Base class: a re-iterable access stream with lazy combinators.
+
+    Subclasses implement :meth:`__iter__`; everything else chains.
+    Iterating the same source twice must yield the identical stream (all
+    built-in sources guarantee this; it is what lets the executor replay a
+    pipeline for warm-up and measurement without buffering).
+    """
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Composable transforms (each returns a new lazy source)
+    # ------------------------------------------------------------------ #
+    def transform(self, fn: Transform, *args, **kwargs) -> "TraceSource":
+        """Apply any ``fn(iterable, *args, **kwargs) -> iterator`` lazily.
+
+        This is the extension point that lets the plain generator functions
+        in :mod:`repro.trace.filters` (and user code) plug into a pipeline.
+        """
+        return _TransformedSource(self, fn, args, kwargs)
+
+    def limit(self, max_accesses: int) -> "TraceSource":
+        """Keep at most the first ``max_accesses`` accesses."""
+        return self.transform(limit_trace, max_accesses)
+
+    def window(self, start: int, stop: Optional[int] = None) -> "TraceSource":
+        """Slice the stream by position: accesses ``[start, stop)``."""
+        if start < 0 or (stop is not None and stop < start):
+            raise ValueError("window needs 0 <= start <= stop")
+        return self.transform(
+            lambda stream: itertools.islice(stream, start, stop)
+        )
+
+    def filter(self, predicate: Callable[[MemoryAccess], bool],
+               ) -> "TraceSource":
+        """Keep only accesses for which ``predicate`` is true."""
+        return self.transform(
+            lambda stream: (a for a in stream if predicate(a))
+        )
+
+    def map(self, fn: Callable[[MemoryAccess], MemoryAccess],
+            ) -> "TraceSource":
+        """Apply ``fn`` to every access."""
+        return self.transform(lambda stream: (fn(a) for a in stream))
+
+    def remap_addresses(self, fn: Callable[[int], int]) -> "TraceSource":
+        """Rewrite every address through ``fn`` (e.g. fold, offset, mask)."""
+        return self.map(lambda a: a._replace(address=fn(a.address)))
+
+    def cores(self, *core_ids: int) -> "TraceSource":
+        """Keep only the streams of the given cores."""
+        keep = frozenset(core_ids)
+        return self.filter(lambda a: a.core_id in keep)
+
+    def downsample(self, fraction: float, seed: int = 0) -> "TraceSource":
+        """Keep a deterministic pseudo-random ``fraction`` of the stream.
+
+        The keep/drop decision hashes ``(seed, position)``, so the same
+        source downsampled twice with the same arguments yields the same
+        sample, and a sample is always a subsequence of the original.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        threshold = int(fraction * (1 << 64))
+
+        def sample(stream: Iterable[MemoryAccess]) -> Iterator[MemoryAccess]:
+            for position, access in enumerate(stream):
+                if mix64(seed * 0x9E3779B97F4A7C15 + position) < threshold:
+                    yield access
+
+        return self.transform(sample)
+
+    @staticmethod
+    def interleave(sources: Sequence["TraceSource"]) -> "TraceSource":
+        """Merge several sources into one stream ordered by timestamp.
+
+        Uses the deterministic heap merge of
+        :func:`repro.trace.filters.interleave_traces` (ties break by source
+        position), i.e. the multiplexing of per-core miss streams at the
+        DRAM cache controller.
+        """
+        sources = tuple(sources)
+        return _InterleavedSource(sources)
+
+    # ------------------------------------------------------------------ #
+    # Terminals
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> List[MemoryAccess]:
+        """Evaluate the pipeline into a list."""
+        return list(self)
+
+    def count(self) -> int:
+        """Number of accesses in the stream (consumes one iteration)."""
+        return sum(1 for _ in self)
+
+    def write(self, path: PathLike, fmt: Optional[str] = None,
+              num_cores: int = 0) -> int:
+        """Stream the pipeline into a trace file; returns the count written.
+
+        ``fmt`` is a :data:`repro.trace.adapters.FORMATS` name, defaulting
+        to auto-detection from the suffix (binary for ``.rptr``/``.bin``).
+        ``num_cores`` is recorded in a binary destination's header; when
+        omitted, the core count of the pipeline's root :class:`FileSource`
+        (if any) carries over.
+        """
+        out = adapters.resolve_format(fmt, path, for_writing=True)
+        if not num_cores:
+            num_cores = self._source_num_cores()
+        return out.writer(path, self, num_cores)
+
+    def _source_num_cores(self) -> int:
+        """Core-count metadata of the pipeline's root source (0 = unknown)."""
+        return 0
+
+
+class IterableSource(TraceSource):
+    """A source over an in-memory sequence or an iterator factory.
+
+    ``accesses`` may be a sequence (re-iterated directly) or a zero-argument
+    callable returning a fresh iterator (for generator-backed streams).
+    """
+
+    def __init__(self, accesses: Union[Sequence[MemoryAccess],
+                                       Callable[[], Iterable[MemoryAccess]]],
+                 ) -> None:
+        if callable(accesses):
+            self._factory = accesses
+        else:
+            self._factory = lambda: iter(accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._factory())
+
+
+class FileSource(TraceSource):
+    """A source streaming from an on-disk trace in any readable format."""
+
+    def __init__(self, path: PathLike, fmt: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.format = adapters.resolve_format(fmt, path).name
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(adapters.open_trace(self.path, self.format))
+
+    def _source_num_cores(self) -> int:
+        if self.format == "binary":
+            from repro.trace.binfmt import read_header
+
+            return read_header(self.path).num_cores
+        return 0
+
+    def __repr__(self) -> str:
+        return f"FileSource({str(self.path)!r}, format={self.format!r})"
+
+
+class SyntheticSource(TraceSource):
+    """A deterministic synthetic workload as a re-iterable source.
+
+    Every iteration constructs a fresh
+    :class:`~repro.workloads.generator.SyntheticWorkload`, so the stream is
+    identical each time (and the source stays picklable/cheap to ship to
+    worker processes -- only the profile and scalars travel).
+    """
+
+    def __init__(self, profile, count: int, num_cores: int = 16,
+                 seed: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.profile = profile
+        self.count_target = count
+        self.num_cores = num_cores
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        from repro.workloads.generator import SyntheticWorkload
+
+        workload = SyntheticWorkload(self.profile, num_cores=self.num_cores,
+                                     seed=self.seed)
+        return workload.accesses(self.count_target)
+
+    def _source_num_cores(self) -> int:
+        return self.num_cores
+
+    def __repr__(self) -> str:
+        return (f"SyntheticSource({self.profile.name!r}, "
+                f"count={self.count_target}, num_cores={self.num_cores}, "
+                f"seed={self.seed})")
+
+
+class _TransformedSource(TraceSource):
+    """A source with one lazy transform applied on every iteration."""
+
+    def __init__(self, parent: TraceSource, fn: Transform, args, kwargs,
+                 ) -> None:
+        self._parent = parent
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._fn(self._parent, *self._args, **self._kwargs))
+
+    def _source_num_cores(self) -> int:
+        return self._parent._source_num_cores()
+
+
+class _InterleavedSource(TraceSource):
+    """Timestamp-ordered merge of several sources."""
+
+    def __init__(self, sources: Sequence[TraceSource]) -> None:
+        self._sources = tuple(sources)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return interleave_traces(self._sources)
+
+
+def as_source(trace: Union[TraceSource, Sequence[MemoryAccess], PathLike],
+              ) -> TraceSource:
+    """Coerce a source, an in-memory trace, or a path into a TraceSource."""
+    if isinstance(trace, TraceSource):
+        return trace
+    if isinstance(trace, (str, Path)):
+        return FileSource(trace)
+    return IterableSource(trace)
+
+
+__all__ = [
+    "FileSource",
+    "IterableSource",
+    "SyntheticSource",
+    "TraceSource",
+    "as_source",
+]

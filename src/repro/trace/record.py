@@ -4,12 +4,20 @@ A :class:`MemoryAccess` describes one L2-miss request as seen by the
 die-stacked DRAM cache controller: the physical block address, whether it is
 a read or a write(-back), the program counter of the triggering instruction
 (needed by the footprint predictor), and the issuing core.
+
+``MemoryAccess`` is a :func:`collections.namedtuple` subclass rather than a
+dataclass: trace replay creates tens of millions of these records (the
+synthetic generator, the binary trace reader, and every ingestion adapter are
+all bounded by construction rate), and tuple allocation is roughly twice as
+fast as a ``__dict__``-backed dataclass while keeping the records immutable,
+hashable, and picklable.  Field order is part of the binary trace format's
+contract (see :mod:`repro.trace.binfmt`) and must not change.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from collections import namedtuple
 
 #: Block size in bytes assumed throughout the paper and this reproduction.
 BLOCK_SIZE = 64
@@ -27,8 +35,12 @@ class AccessType(enum.Enum):
         return self is AccessType.WRITE
 
 
-@dataclass(frozen=True)
-class MemoryAccess:
+_MemoryAccessBase = namedtuple(
+    "MemoryAccess", ("address", "pc", "access_type", "core_id", "timestamp")
+)
+
+
+class MemoryAccess(_MemoryAccessBase):
     """One request arriving at the DRAM cache controller.
 
     Attributes
@@ -49,19 +61,20 @@ class MemoryAccess:
         Monotonically non-decreasing within a trace.
     """
 
-    address: int
-    pc: int
-    access_type: AccessType = AccessType.READ
-    core_id: int = 0
-    timestamp: int = 0
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.address < 0:
-            raise ValueError(f"address must be non-negative, got {self.address}")
-        if self.pc < 0:
-            raise ValueError(f"pc must be non-negative, got {self.pc}")
-        if self.core_id < 0:
-            raise ValueError(f"core_id must be non-negative, got {self.core_id}")
+    def __new__(cls, address: int, pc: int,
+                access_type: AccessType = AccessType.READ,
+                core_id: int = 0, timestamp: int = 0) -> "MemoryAccess":
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        if pc < 0:
+            raise ValueError(f"pc must be non-negative, got {pc}")
+        if core_id < 0:
+            raise ValueError(f"core_id must be non-negative, got {core_id}")
+        return _MemoryAccessBase.__new__(
+            cls, address, pc, access_type, core_id, timestamp
+        )
 
     @property
     def is_write(self) -> bool:
@@ -78,13 +91,7 @@ class MemoryAccess:
         aligned = self.block_address * BLOCK_SIZE
         if aligned == self.address:
             return self
-        return MemoryAccess(
-            address=aligned,
-            pc=self.pc,
-            access_type=self.access_type,
-            core_id=self.core_id,
-            timestamp=self.timestamp,
-        )
+        return self._replace(address=aligned)
 
     def page_number(self, page_size: int) -> int:
         """Page number for a given page size in bytes."""

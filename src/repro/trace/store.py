@@ -1,0 +1,297 @@
+"""On-disk trace store: generate every synthetic trace once, ever.
+
+A :class:`TraceStore` is a content-addressed directory of binary traces
+(:mod:`repro.trace.binfmt`) keyed by the full identity of a synthetic trace:
+``(profile, scale, num_cores, seed, num_accesses)`` plus the generator
+algorithm version (:data:`repro.workloads.generator.GENERATOR_VERSION`).
+Because synthetic traces are deterministic functions of that key, a store
+entry is interchangeable with regeneration -- so sweeps, ProcessPool workers,
+benchmark sessions, and CI runs all share one copy per distinct trace instead
+of regenerating it (generation dominates sweep wall-clock; loading the binary
+form is several times faster).
+
+Layout and lifecycle:
+
+* Location: the ``REPRO_TRACE_STORE`` environment variable, else
+  ``$XDG_CACHE_HOME/repro/traces`` (``~/.cache/repro/traces``).  Setting
+  ``REPRO_TRACE_STORE`` to ``off``/``none``/``0`` disables the store
+  (the executor then falls back to in-memory generation only).
+* Writes are atomic (temp file + :func:`os.replace`), so concurrent sweeps
+  and worker pools can share a store directory without coordination; when
+  two processes race to create the same entry, both write identical bytes
+  and the last rename wins.
+* Keys embed a hash of every profile field and the generator version, so a
+  change to a workload's statistics or to the generator algorithm can never
+  replay a stale trace.
+* Optional ``max_bytes`` budget: least-recently-*used* entries (load hits
+  refresh an entry's mtime) are evicted after each write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.trace.binfmt import (BinaryTraceReader, BinaryTraceWriter,
+                                read_header)
+from repro.trace.errors import TraceFormatError
+from repro.trace.record import MemoryAccess
+from repro.utils.units import parse_size
+from repro.workloads.generator import GENERATOR_VERSION
+from repro.workloads.profile import WorkloadProfile
+
+PathLike = Union[str, Path]
+
+#: ``REPRO_TRACE_STORE`` values that disable the store entirely.
+DISABLE_VALUES = frozenset({"off", "none", "0", "disabled", "no"})
+
+#: Environment variable overriding the store directory (or disabling it).
+ENV_VAR = "REPRO_TRACE_STORE"
+
+_SUFFIX = ".rptr"
+
+
+def default_root() -> Path:
+    """The default store directory (XDG cache convention)."""
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def configured_root() -> Optional[Path]:
+    """The store directory per the environment; ``None`` when disabled."""
+    value = os.environ.get(ENV_VAR, "").strip()
+    if value.lower() in DISABLE_VALUES and value != "":
+        return None
+    if value:
+        return Path(value)
+    return default_root()
+
+
+def trace_key_string(profile: WorkloadProfile, scale: int, num_cores: int,
+                     seed: int, num_accesses: int) -> str:
+    """The canonical, human-readable identity string of a synthetic trace.
+
+    Every profile field participates (sizes normalized to bytes), plus the
+    generator version and the run parameters; the store key is a hash of
+    this string.
+    """
+    parts = [f"generator=v{GENERATOR_VERSION}"]
+    for field in dataclasses.fields(profile):
+        value = getattr(profile, field.name)
+        if field.name == "working_set":
+            value = parse_size(value)
+        parts.append(f"{field.name}={value!r}")
+    parts.append(f"scale={scale}")
+    parts.append(f"num_cores={num_cores}")
+    parts.append(f"seed={seed}")
+    parts.append(f"num_accesses={num_accesses}")
+    return "|".join(parts)
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`TraceStore` instance's activity."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+
+class TraceStore:
+    """A directory of binary traces shared across processes and runs.
+
+    Parameters
+    ----------
+    root:
+        Store directory; defaults to :func:`configured_root` (and raises
+        ``ValueError`` if the environment disabled the store).
+    max_bytes:
+        Optional size budget; exceeding it after a write evicts
+        least-recently-used entries until back under budget.
+    compress:
+        Gzip new entries (recommended; ~6x smaller).
+    """
+
+    def __init__(self, root: Optional[PathLike] = None,
+                 max_bytes: Optional[int] = None,
+                 compress: bool = True) -> None:
+        if root is None:
+            root = configured_root()
+            if root is None:
+                raise ValueError(
+                    f"trace store disabled via {ENV_VAR}; pass an explicit "
+                    f"root to force one"
+                )
+        self.root = Path(root)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.compress = compress
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    def key(self, profile: WorkloadProfile, scale: int, num_cores: int,
+            seed: int, num_accesses: int) -> str:
+        """The store key (filename stem) for one synthetic trace identity."""
+        identity = trace_key_string(profile, scale, num_cores, seed,
+                                    num_accesses)
+        digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:32]
+        slug = re.sub(r"[^a-z0-9]+", "-", profile.name.lower()).strip("-")
+        return f"{slug or 'trace'}-{digest}"
+
+    def path_for(self, key: str) -> Path:
+        """The file a given key is (or would be) stored at."""
+        return self.root / f"{key}{_SUFFIX}"
+
+    def contains(self, key: str) -> bool:
+        """True when the store holds an entry for ``key``."""
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def open_reader(self, key: str) -> Optional[BinaryTraceReader]:
+        """A streaming reader for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency (LRU eviction order).
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            read_header(path)  # reject corrupt/foreign files up front
+        except TraceFormatError:
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        os.utime(path)
+        return BinaryTraceReader(path)
+
+    def load(self, key: str) -> Optional[List[MemoryAccess]]:
+        """Materialize the trace stored under ``key``; ``None`` on a miss.
+
+        An entry whose *payload* turns out to be corrupt (truncated gzip
+        stream, garbage record bytes -- e.g. a partially copied store
+        directory) is quarantined like a header-level corruption: the file
+        is dropped and the lookup counts as a miss, so callers regenerate
+        instead of crashing.
+        """
+        reader = self.open_reader(key)
+        if reader is None:
+            return None
+        try:
+            return reader.read_all()
+        except (OSError, EOFError, ValueError, IndexError, zlib.error):
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.path_for(key).unlink(missing_ok=True)
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def put_chunks(self, key: str,
+                   chunks: Iterable[List[MemoryAccess]],
+                   num_cores: int = 0,
+                   collect: bool = False) -> Optional[List[MemoryAccess]]:
+        """Stream chunked accesses into the store entry for ``key``.
+
+        The entry is written to a temp file and atomically renamed, so
+        readers never observe partial traces.  With ``collect=True`` the
+        written accesses are also accumulated and returned (the executor's
+        write-through path: one pass generates, persists, and materializes).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        tmp = final.with_suffix(f"{_SUFFIX}.tmp.{os.getpid()}")
+        collected: Optional[List[MemoryAccess]] = [] if collect else None
+        try:
+            with BinaryTraceWriter(tmp, num_cores=num_cores,
+                                   compress=self.compress) as writer:
+                for chunk in chunks:
+                    writer.write_all(chunk)
+                    if collected is not None:
+                        collected.extend(chunk)
+            os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stats.writes += 1
+        self._evict_over_budget(protect=final)
+        return collected
+
+    def put(self, key: str, accesses: Iterable[MemoryAccess],
+            num_cores: int = 0) -> Path:
+        """Store a whole access stream under ``key``; returns its path."""
+        self.put_chunks(key, [list(accesses)], num_cores=num_cores)
+        return self.path_for(key)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Path]:
+        """All store entries, least recently used first."""
+        if not self.root.exists():
+            return []
+        files = [p for p in self.root.glob(f"*{_SUFFIX}") if p.is_file()]
+        return sorted(files, key=lambda p: (p.stat().st_mtime, p.name))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by store entries."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def _evict_over_budget(self, protect: Optional[Path] = None) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self.entries()
+        total = sum(p.stat().st_size for p in entries)
+        for path in entries:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            total -= path.stat().st_size
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+
+    def evict_to(self, max_bytes: int) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``."""
+        previous = self.max_bytes
+        self.max_bytes = max_bytes
+        try:
+            self._evict_over_budget()
+        finally:
+            self.max_bytes = previous
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+__all__ = [
+    "DISABLE_VALUES",
+    "ENV_VAR",
+    "StoreStats",
+    "TraceStore",
+    "configured_root",
+    "default_root",
+    "trace_key_string",
+]

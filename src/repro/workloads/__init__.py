@@ -19,7 +19,8 @@ the paper's qualitative results.
 """
 
 from repro.workloads.profile import WorkloadProfile
-from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.generator import GENERATOR_VERSION, SyntheticWorkload
+from repro.workloads.tracefile import TraceFileWorkload
 from repro.workloads.cloudsuite import (
     CLOUDSUITE_WORKLOADS,
     ALL_WORKLOADS,
@@ -35,6 +36,8 @@ from repro.workloads.cloudsuite import (
 __all__ = [
     "WorkloadProfile",
     "SyntheticWorkload",
+    "TraceFileWorkload",
+    "GENERATOR_VERSION",
     "CLOUDSUITE_WORKLOADS",
     "ALL_WORKLOADS",
     "data_analytics",

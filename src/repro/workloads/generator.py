@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 import zlib
 from collections import deque
+from itertools import islice
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.trace.record import AccessType, MemoryAccess
@@ -37,6 +38,16 @@ from repro.workloads.profile import WorkloadProfile
 
 #: Base value for generated program counters; gives PCs a realistic text-segment look.
 _PC_BASE = 0x0000_0000_0040_0000
+
+#: Version of the trace-generation algorithm.  Bump whenever a change to this
+#: module (or to :mod:`repro.workloads.profile` scaling) alters the stream a
+#: given (profile, num_cores, seed) produces: the on-disk
+#: :class:`repro.trace.store.TraceStore` and the CI trace cache key their
+#: entries on it, so stale traces are never replayed after such a change.
+GENERATOR_VERSION = 1
+
+#: Accesses per chunk yielded by :meth:`SyntheticWorkload.iter_chunks`.
+DEFAULT_CHUNK_SIZE = 16384
 
 
 class SyntheticWorkload:
@@ -99,6 +110,24 @@ class SyntheticWorkload:
             yield queue.popleft()
             produced += 1
             core = (core + 1) % self.num_cores
+
+    def iter_chunks(self, count: int,
+                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    ) -> Iterator[List[MemoryAccess]]:
+        """Yield the next ``count`` accesses as lists of ``chunk_size``.
+
+        Chunked generation is what lets the trace store and the executor
+        stream a multi-million-access trace to disk while it is being
+        produced, instead of materializing one giant list first.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        stream = self.accesses(count)
+        while True:
+            chunk = list(islice(stream, chunk_size))
+            if not chunk:
+                return
+            yield chunk
 
     def generate(self, count: int) -> List[MemoryAccess]:
         """Materialize the next ``count`` accesses as a list."""

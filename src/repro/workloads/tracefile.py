@@ -1,0 +1,57 @@
+"""External trace files as first-class workloads.
+
+A :class:`TraceFileWorkload` points one experiment cell at an on-disk trace
+(any format :mod:`repro.trace.adapters` can read: repro binary/text,
+ChampSim-style, CSV, each optionally gzipped) instead of a synthetic
+:class:`~repro.workloads.profile.WorkloadProfile`.  This is how real
+application traces -- e.g. converted CloudSuite or gem5 dumps -- replay
+through the same sweep machinery as the synthetic workloads::
+
+    spec = SweepSpec(
+        designs=("unison", "alloy"),
+        workloads=("Web Search", "trace:/data/specjbb.rptr"),
+        capacities=("1GB",),
+    )
+
+The ``l2_mpki`` knob feeds the analytic performance model (trace files carry
+no instruction counts); leave the default when only miss ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class TraceFileWorkload:
+    """A workload whose access stream is replayed from a trace file.
+
+    Hashable and picklable: sweep executors key their trace caches on it and
+    ship it to worker processes.
+    """
+
+    path: str
+    #: Name reported in results; defaults to the file stem.
+    name: str = ""
+    #: L2 misses per kilo-instruction assumed by the performance model.
+    l2_mpki: float = 20.0
+    #: Optional trace format override (an :data:`repro.trace.adapters.FORMATS`
+    #: name); empty string = auto-detect.
+    format: str = field(default="")
+
+    def __post_init__(self) -> None:
+        path = Path(self.path)
+        if not path.is_file():
+            raise ValueError(f"trace file not found: {self.path}")
+        object.__setattr__(self, "path", str(path))
+        if not self.name:
+            stem = path.name
+            for suffix in reversed(path.suffixes):
+                stem = stem[: -len(suffix)]
+            object.__setattr__(self, "name", stem or path.name)
+        if self.l2_mpki <= 0:
+            raise ValueError("l2_mpki must be positive")
+
+
+__all__ = ["TraceFileWorkload"]

@@ -7,6 +7,8 @@ code paths the full-scale experiments use.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config.cache_configs import (
@@ -17,6 +19,24 @@ from repro.config.cache_configs import (
 from repro.trace.record import AccessType, MemoryAccess
 from repro.workloads.generator import SyntheticWorkload
 from repro.workloads.profile import WorkloadProfile
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_store(tmp_path_factory):
+    """Point the on-disk trace store at a per-session temp directory.
+
+    Unit tests must not read from or write into the user's persistent
+    ``~/.cache/repro/traces`` (a stale entry there could mask a generator
+    change; writes would pollute it with tiny test traces).
+    """
+    root = tmp_path_factory.mktemp("trace-store")
+    previous = os.environ.get("REPRO_TRACE_STORE")
+    os.environ["REPRO_TRACE_STORE"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_TRACE_STORE", None)
+    else:
+        os.environ["REPRO_TRACE_STORE"] = previous
 
 
 @pytest.fixture

@@ -1,0 +1,212 @@
+"""Tests for TraceSource pipelines and transform composition."""
+
+import pytest
+
+from repro.trace.binfmt import write_trace_bin
+from repro.trace.filters import limit_trace
+from repro.trace.io import write_trace
+from repro.trace.pipeline import (
+    FileSource,
+    IterableSource,
+    SyntheticSource,
+    TraceSource,
+    as_source,
+)
+from repro.trace.record import AccessType, MemoryAccess
+
+
+def make_trace(n, cores=4):
+    return [
+        MemoryAccess(address=i * 64, pc=0x400000 + (i % 8) * 4,
+                     core_id=i % cores, timestamp=i,
+                     access_type=AccessType.WRITE if i % 5 == 0
+                     else AccessType.READ)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def trace100():
+    return make_trace(100)
+
+
+@pytest.fixture
+def source100(trace100):
+    return IterableSource(trace100)
+
+
+class TestSources:
+    def test_iterable_source_reiterates(self, source100, trace100):
+        assert source100.materialize() == trace100
+        assert source100.materialize() == trace100
+
+    def test_iterable_source_from_factory(self, trace100):
+        source = IterableSource(lambda: iter(trace100))
+        assert source.materialize() == source.materialize() == trace100
+
+    def test_file_source_binary_autodetect(self, tmp_path, trace100):
+        path = tmp_path / "t.dat"  # deliberately uninformative suffix
+        write_trace_bin(path, trace100)
+        source = FileSource(path)
+        assert source.format == "binary"
+        assert source.materialize() == trace100
+
+    def test_file_source_text_autodetect(self, tmp_path, trace100):
+        path = tmp_path / "t.trace"
+        write_trace(path, trace100)
+        source = FileSource(path)
+        assert source.format == "text"
+        assert source.materialize() == trace100
+
+    def test_synthetic_source_deterministic(self, tiny_profile):
+        a = SyntheticSource(tiny_profile, 500, num_cores=4, seed=3)
+        b = SyntheticSource(tiny_profile, 500, num_cores=4, seed=3)
+        assert a.materialize() == b.materialize()
+        assert a.materialize() == a.materialize()
+
+    def test_synthetic_source_matches_generator(self, tiny_profile):
+        from repro.workloads.generator import SyntheticWorkload
+
+        source = SyntheticSource(tiny_profile, 300, num_cores=4, seed=7)
+        direct = SyntheticWorkload(tiny_profile, num_cores=4, seed=7)
+        assert source.materialize() == direct.generate(300)
+
+    def test_as_source_coercions(self, tmp_path, trace100):
+        assert isinstance(as_source(trace100), IterableSource)
+        path = tmp_path / "t.rptr"
+        write_trace_bin(path, trace100)
+        assert isinstance(as_source(path), FileSource)
+        source = IterableSource(trace100)
+        assert as_source(source) is source
+
+
+class TestTransforms:
+    def test_limit(self, source100, trace100):
+        assert source100.limit(10).materialize() == trace100[:10]
+
+    def test_limit_composes_to_minimum(self, source100):
+        assert (source100.limit(50).limit(10).materialize()
+                == source100.limit(10).limit(50).materialize()
+                == source100.limit(10).materialize())
+
+    def test_window_is_slice(self, source100, trace100):
+        assert source100.window(20, 30).materialize() == trace100[20:30]
+        assert source100.window(90).materialize() == trace100[90:]
+
+    def test_window_composition(self, source100):
+        # window(a, b) then window(c, d) == window(a+c, min(b, a+d))
+        composed = source100.window(10, 60).window(5, 20).materialize()
+        direct = source100.window(15, 30).materialize()
+        assert composed == direct
+
+    def test_window_rejects_bad_bounds(self, source100):
+        with pytest.raises(ValueError):
+            source100.window(-1)
+        with pytest.raises(ValueError):
+            source100.window(10, 5)
+
+    def test_filter_and_map(self, source100, trace100):
+        writes = source100.filter(lambda a: a.is_write).materialize()
+        assert writes == [a for a in trace100 if a.is_write]
+        bumped = source100.map(
+            lambda a: a._replace(timestamp=a.timestamp + 1)
+        ).materialize()
+        assert [a.timestamp for a in bumped] == [a.timestamp + 1
+                                                 for a in trace100]
+
+    def test_remap_addresses(self, source100, trace100):
+        remapped = source100.remap_addresses(lambda a: a % 1024).materialize()
+        assert [a.address for a in remapped] == [a.address % 1024
+                                                 for a in trace100]
+        # everything else untouched
+        assert [a.pc for a in remapped] == [a.pc for a in trace100]
+
+    def test_cores_select(self, source100, trace100):
+        only = source100.cores(1, 3).materialize()
+        assert only == [a for a in trace100 if a.core_id in (1, 3)]
+
+    def test_downsample_deterministic_subsequence(self, source100, trace100):
+        a = source100.downsample(0.3, seed=11).materialize()
+        b = source100.downsample(0.3, seed=11).materialize()
+        assert a == b
+        # a subsequence of the original, in order
+        it = iter(trace100)
+        assert all(any(x == y for y in it) for x in a)
+
+    def test_downsample_extremes(self, source100, trace100):
+        assert source100.downsample(0.0).materialize() == []
+        assert source100.downsample(1.0).materialize() == trace100
+
+    def test_downsample_rejects_bad_fraction(self, source100):
+        with pytest.raises(ValueError):
+            source100.downsample(1.5)
+
+    def test_transform_plugs_in_filters(self, source100, trace100):
+        """The plain generator functions in trace/filters compose in."""
+        assert (source100.transform(limit_trace, 25).materialize()
+                == trace100[:25])
+
+    def test_transforms_are_lazy(self, trace100):
+        pulled = []
+
+        def factory():
+            for access in trace100:
+                pulled.append(access)
+                yield access
+
+        source = IterableSource(factory).limit(5)
+        assert source.count() == 5
+        assert len(pulled) == 5  # stopped pulling after the limit
+
+    def test_chained_pipeline(self, source100, trace100):
+        result = (source100
+                  .window(10, 90)
+                  .cores(0, 2)
+                  .remap_addresses(lambda a: a + 4096)
+                  .limit(10)
+                  .materialize())
+        expected = [a._replace(address=a.address + 4096)
+                    for a in trace100[10:90] if a.core_id in (0, 2)][:10]
+        assert result == expected
+
+
+class TestInterleave:
+    def test_interleave_orders_by_timestamp(self):
+        a = IterableSource([MemoryAccess(0, 0, core_id=0, timestamp=t)
+                            for t in (0, 4, 8)])
+        b = IterableSource([MemoryAccess(64, 0, core_id=1, timestamp=t)
+                            for t in (1, 2, 9)])
+        merged = TraceSource.interleave([a, b]).materialize()
+        assert [m.timestamp for m in merged] == [0, 1, 2, 4, 8, 9]
+
+    def test_interleave_is_reiterable(self):
+        a = IterableSource(make_trace(10, cores=1))
+        merged = TraceSource.interleave([a, a])
+        assert merged.materialize() == merged.materialize()
+
+
+class TestTerminals:
+    def test_count(self, source100):
+        assert source100.count() == 100
+        assert source100.cores(0).count() == 25
+
+    def test_write_binary_and_text(self, tmp_path, source100, trace100):
+        bin_path = tmp_path / "out.rptr"
+        assert source100.write(bin_path) == 100
+        assert FileSource(bin_path).materialize() == trace100
+        text_path = tmp_path / "out.trace"
+        assert source100.limit(7).write(text_path) == 7
+        assert FileSource(text_path).materialize() == trace100[:7]
+
+    def test_write_carries_source_core_count(self, tmp_path, trace100):
+        from repro.trace.binfmt import read_header
+
+        src_path = tmp_path / "src.rptr"
+        write_trace_bin(src_path, trace100, num_cores=4)
+        out_path = tmp_path / "out.rptr"
+        FileSource(src_path).limit(10).write(out_path)
+        assert read_header(out_path).num_cores == 4
+
+    def test_write_rejects_readonly_format(self, tmp_path, source100):
+        with pytest.raises(ValueError, match="ingestion-only"):
+            source100.write(tmp_path / "out.csv")

@@ -276,20 +276,22 @@ class TestExecutor:
             "unison", web_search(), "1GB")
         assert via_executor == legacy
 
-    def test_trace_and_baseline_are_shared(self):
+    def test_trace_and_baseline_are_shared(self, tmp_path, monkeypatch):
+        # A fresh store directory so no earlier test pre-stored the traces.
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "store"))
+        clear_caches()
         spec = self.grid_spec()
         counts = {"traces": 0}
-        original = ExperimentRunner.build_trace
+        from repro.workloads.generator import SyntheticWorkload
 
-        def counting(self, profile):
+        original = SyntheticWorkload.iter_chunks
+
+        def counting(self, count, *args, **kwargs):
             counts["traces"] += 1
-            return original(self, profile)
+            return original(self, count, *args, **kwargs)
 
-        ExperimentRunner.build_trace = counting
-        try:
-            SweepExecutor(workers=1).run(spec)
-        finally:
-            ExperimentRunner.build_trace = original
+        monkeypatch.setattr(SyntheticWorkload, "iter_chunks", counting)
+        SweepExecutor(workers=1).run(spec)
         # 8 cells over 2 workloads -> exactly 2 trace generations.
         assert counts["traces"] == 2
 

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.trace.errors import TraceFormatError
 from repro.trace.filters import interleave_traces, limit_trace, split_warmup
 from repro.trace.io import format_access, parse_access, read_trace, write_trace
 from repro.trace.record import BLOCK_SIZE, AccessType, MemoryAccess
@@ -91,6 +92,57 @@ class TestTraceIo:
         writer = TraceWriter(tmp_path / "x.txt")
         with pytest.raises(RuntimeError):
             writer.write(MemoryAccess(address=0, pc=0))
+
+    def test_lowercase_type_codes_accepted(self):
+        read = parse_access("1 2 r 0x10 0x20")
+        write = parse_access("1 2 w 0x10 0x20")
+        assert read.access_type is AccessType.READ
+        assert write.access_type is AccessType.WRITE
+
+    def test_trailing_whitespace_and_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 0 R 0x400000 0x80   \n\n   \n0 1 w 0x400004 0xc0\t\n")
+        loaded = read_trace(path)
+        assert len(loaded) == 2
+        assert loaded[1].core_id == 1
+
+    def test_malformed_line_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n0 0 R 0x400000 0x80\n0 0 R 0x10\n")
+        with pytest.raises(TraceFormatError) as exc_info:
+            read_trace(path)
+        error = exc_info.value
+        assert error.line == 3
+        assert error.path == str(path)
+        assert f"{path}:3:" in str(error)
+
+    def test_unknown_code_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 0 X 0x400000 0x80\n")
+        with pytest.raises(TraceFormatError) as exc_info:
+            read_trace(path)
+        assert exc_info.value.line == 1
+
+    def test_bad_number_field_raises_trace_format_error(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("zero 0 R 0x400000 0x80\n")
+        with pytest.raises(TraceFormatError, match="bad field"):
+            read_trace(path)
+
+    def test_trace_format_error_is_value_error(self):
+        # Backwards compatibility: pre-existing callers catch ValueError.
+        with pytest.raises(ValueError):
+            parse_access("garbage")
+
+    def test_gzip_round_trip(self, tmp_path):
+        accesses = [MemoryAccess(address=i * 64, pc=i) for i in range(20)]
+        path = tmp_path / "trace.txt.gz"
+        assert write_trace(path, accesses) == 20
+        import gzip
+
+        with gzip.open(path, "rt") as handle:  # really gzip on disk
+            assert handle.readline().startswith("#")
+        assert read_trace(path) == accesses
 
     @given(accesses=st.lists(
         st.builds(

@@ -1,0 +1,117 @@
+"""Smoke tests for the ``repro trace`` CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.binfmt import read_header, read_trace_bin
+from repro.trace.io import read_trace
+
+
+class TestTraceGen:
+    def test_gen_binary(self, tmp_path, capsys):
+        out = tmp_path / "ws.rptr"
+        code = main(["trace", "gen", "--workload", "Web Search",
+                     "--accesses", "2000", "--cores", "4",
+                     "--scale", "8192", "--seed", "3", "--out", str(out)])
+        assert code == 0
+        assert "wrote 2000 accesses" in capsys.readouterr().out
+        header = read_header(out)
+        assert header.access_count == 2000
+        assert header.num_cores == 4
+
+    def test_gen_matches_executor_trace(self, tmp_path):
+        """``trace gen`` writes exactly what a sweep cell would replay."""
+        from repro.sim.experiment import ExperimentConfig, ExperimentRunner
+        from repro.workloads.cloudsuite import workload_by_name
+
+        out = tmp_path / "ws.rptr"
+        main(["trace", "gen", "--workload", "Web Search",
+              "--accesses", "1500", "--cores", "4", "--scale", "8192",
+              "--out", str(out)])
+        runner = ExperimentRunner(ExperimentConfig(
+            scale=8192, num_accesses=1500, num_cores=4, seed=1))
+        assert read_trace_bin(out) == runner.build_trace(
+            workload_by_name("Web Search"))
+
+    def test_gen_text_format(self, tmp_path):
+        out = tmp_path / "ws.trace"
+        assert main(["trace", "gen", "--accesses", "100",
+                     "--scale", "8192", "--out", str(out)]) == 0
+        assert len(read_trace(out)) == 100
+
+    def test_gen_unknown_workload(self, tmp_path, capsys):
+        code = main(["trace", "gen", "--workload", "nope",
+                     "--out", str(tmp_path / "x.rptr")])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_gen_rejects_nonpositive_accesses(self, tmp_path, capsys):
+        code = main(["trace", "gen", "--accesses", "0",
+                     "--out", str(tmp_path / "x.rptr")])
+        assert code == 2
+
+
+class TestTraceInfo:
+    def test_info_binary(self, tmp_path, capsys):
+        out = tmp_path / "t.rptr"
+        main(["trace", "gen", "--accesses", "500", "--cores", "2",
+              "--scale", "8192", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["trace", "info", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "format=binary" in printed
+        assert "accesses=500" in printed
+        assert "cores=2" in printed
+
+    def test_info_text_with_count(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        main(["trace", "gen", "--accesses", "50", "--scale", "8192",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["trace", "info", "--count", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "format=text" in printed and "accesses=50" in printed
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "info", str(tmp_path / "no.rptr")]) == 1
+        assert "not a file" in capsys.readouterr().err
+
+
+class TestTraceConvert:
+    def test_convert_csv_to_binary(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        src.write_text("address,type\n0x1000,R\n0x2000,W\n")
+        dst = tmp_path / "out.rptr"
+        assert main(["trace", "convert", str(src), str(dst)]) == 0
+        assert "wrote 2 accesses" in capsys.readouterr().out
+        assert len(read_trace_bin(dst)) == 2
+
+    def test_convert_reports_malformed_input(self, tmp_path, capsys):
+        src = tmp_path / "in.champsim"
+        src.write_text("bad\n")
+        dst = tmp_path / "out.rptr"
+        assert main(["trace", "convert", str(src), str(dst)]) == 1
+        err = capsys.readouterr().err
+        assert "in.champsim" in err and ":1:" in err
+
+    def test_formats_listing(self, capsys):
+        assert main(["trace", "formats"]) == 0
+        printed = capsys.readouterr().out
+        for name in ("binary", "text", "champsim", "csv"):
+            assert name in printed
+
+
+class TestSweepBackCompat:
+    def test_top_level_sweep_flags_still_work(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["--designs", "unison", "--workloads", "Web Search",
+                     "--capacities", "256MB", "--scale", "8192",
+                     "--accesses", "2000", "--cores", "2",
+                     "--json", "-", "--quiet"])
+        assert code == 0
+        assert "unison" in capsys.readouterr().out
+
+    def test_explicit_sweep_subcommand(self, capsys):
+        assert main(["sweep", "--list-designs"]) == 0
+        assert "unison" in capsys.readouterr().out
