@@ -30,8 +30,13 @@ The same sweep is available from the shell: ``python -m repro --designs
 unison alloy --capacities 512MB 1GB --jobs 4`` prints the table and exports
 JSON.  Designs are pluggable: every family registers a builder with
 :func:`repro.sim.registry.register_design`, and anything registered is
-immediately usable in specs, sweeps, and the CLI.  For one-off trials the
-lower-level :class:`ExperimentRunner` remains available::
+immediately usable in specs, sweeps, and the CLI.
+
+Long traces measure through checkpointed windowed sampling (the paper's
+SimFlex-style methodology, :mod:`repro.sampling`) instead of full replay:
+add ``sampling=SamplingConfig()`` to a sweep, or use
+``repro sample --designs unison alloy`` from the shell.  For one-off trials
+the lower-level :class:`ExperimentRunner` remains available::
 
     from repro import ExperimentRunner, ExperimentConfig, workload_by_name
 
@@ -47,6 +52,11 @@ from repro.config import (
     UnisonCacheConfig,
 )
 from repro.core import UnisonCache, UnisonRowLayout
+from repro.sampling import (
+    SampledRun,
+    SamplingConfig,
+    WindowedSampler,
+)
 from repro.sim import (
     DESIGN_NAMES,
     DESIGNS,
@@ -82,7 +92,7 @@ from repro.workloads import (
     workload_by_name,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlloyCache",
@@ -109,7 +119,10 @@ __all__ = [
     "run_sweep",
     "ResultSet",
     "PerformanceModel",
+    "SampledRun",
+    "SamplingConfig",
     "SamplingRunner",
+    "WindowedSampler",
     "AccessType",
     "MemoryAccess",
     "TraceFormatError",

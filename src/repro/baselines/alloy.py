@@ -35,6 +35,10 @@ class AlloyCache(DramCacheModel):
 
     design_name = "alloy"
 
+    #: Warm state beyond the base's: the direct-mapped tag/dirty arrays and
+    #: the per-core miss-predictor tables.
+    _STATE_ATTRS = ("_tags", "_dirty", "miss_predictor")
+
     def __init__(self, config: Optional[AlloyCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
                  memory: Optional[MainMemory] = None,

@@ -51,6 +51,11 @@ class FootprintCache(DramCacheModel):
 
     design_name = "footprint"
 
+    #: Warm state beyond the base's: the per-set frames, LRU state, and the
+    #: footprint/singleton predictor tables.
+    _STATE_ATTRS = ("_frames", "_lru", "footprint_predictor",
+                    "singleton_table")
+
     def __init__(self, config: Optional[FootprintCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
                  memory: Optional[MainMemory] = None,

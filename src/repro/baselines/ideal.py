@@ -23,6 +23,10 @@ class IdealCache(DramCacheModel):
 
     design_name = "ideal"
 
+    #: No design-local warm state: a 100%-hit cache has no tags, predictors,
+    #: or replacement metadata to checkpoint.
+    _STATE_ATTRS: "tuple[str, ...]" = ()
+
     def __init__(self, capacity: SizeLike = "1GB",
                  stacked: Optional[StackedDram] = None,
                  memory: Optional[MainMemory] = None,

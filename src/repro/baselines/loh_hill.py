@@ -30,6 +30,10 @@ class LohHillCache(DramCacheModel):
 
     design_name = "loh_hill"
 
+    #: Warm state beyond the base's: per-set tag/dirty arrays, LRU state,
+    #: and the MissMap presence bits.
+    _STATE_ATTRS = ("_tags", "_dirty", "_lru", "_missmap")
+
     #: Bytes of tag metadata kept per data block (tag + state bits).
     TAG_ENTRY_BYTES = 6
 

@@ -21,6 +21,10 @@ class NoDramCache(DramCacheModel):
 
     design_name = "no_cache"
 
+    #: No design-local warm state: the base's declaration (statistics and
+    #: the DRAM device timing) covers everything mutable here.
+    _STATE_ATTRS: "tuple[str, ...]" = ()
+
     def __init__(self, memory: Optional[MainMemory] = None,
                  interarrival_cycles: int = 6) -> None:
         super().__init__(capacity_bytes=1, stacked=StackedDram(), memory=memory,

@@ -8,7 +8,11 @@ Two entry points share the program:
   the :class:`repro.sim.resultset.ResultSet` as JSON (and optionally CSV) so
   figures can be regenerated without re-simulating.
 * **Trace tools** (``repro trace ...``): generate, inspect, and convert
-  trace files in any format the :mod:`repro.trace` subsystem understands.
+  trace files in any format the :mod:`repro.trace` subsystem understands,
+  plus trace-store maintenance (``repro trace store gc``).
+* **Sampled measurement** (``repro sample``): checkpointed windowed sampling
+  (see :mod:`repro.sampling`) of several designs over the *same* measurement
+  windows, with per-design confidence intervals and matched-pair deltas.
 
 Examples::
 
@@ -18,10 +22,13 @@ Examples::
                     --capacities 512MB 1GB 2GB --jobs 4
     python -m repro --list-designs
 
+    python -m repro sample --designs unison alloy --workload "Web Search" \
+                           --capacity 1GB --accesses 200000
     python -m repro trace gen --workload "Web Search" --accesses 100000 \
                               --out websearch.rptr
     python -m repro trace info websearch.rptr
-    python -m repro trace convert llc_misses.csv llc_misses.rptr
+    python -m repro trace convert llc_misses.csv llc_misses.rptr --codec zstd
+    python -m repro trace store gc
     python -m repro trace formats
 """
 
@@ -154,9 +161,29 @@ def build_trace_parser() -> argparse.ArgumentParser:
                               "DST suffix)")
     convert.add_argument("--limit", type=int, default=None, metavar="N",
                          help="convert only the first N accesses")
+    convert.add_argument("--codec", default=None,
+                         choices=["none", "gzip", "zstd"],
+                         help="payload codec for binary output (default: "
+                              "gzip; 'zstd' needs the zstandard package or "
+                              "Python >= 3.14)")
 
     sub.add_parser("formats", help="list known trace formats",
                    description="List every registered trace format.")
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain the on-disk trace store",
+        description="The trace store caches every generated synthetic trace "
+                    "(REPRO_TRACE_STORE selects or disables the directory).")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser(
+        "info", help="print store location, entry count, and size")
+    gc = store_sub.add_parser(
+        "gc", help="collect garbage (stale temp files, orphaned chunk "
+                   "indexes, LRU eviction to the size budget)")
+    gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                    help="evict least-recently-used entries down to SIZE "
+                         "(e.g. 512MB; default: the store's budget, "
+                         "REPRO_TRACE_STORE_BYTES or 2GB)")
     return parser
 
 
@@ -213,7 +240,7 @@ def _trace_info(args: argparse.Namespace) -> int:
                 continue
             count = ("unknown" if header.access_count is None
                      else header.access_count)
-            compression = "gzip" if header.compressed else "none"
+            compression = header.codec
             print(f"{path}: format=binary v{header.version} "
                   f"compression={compression} cores={header.num_cores} "
                   f"accesses={count} bytes={size}")
@@ -239,11 +266,42 @@ def _trace_convert(args: argparse.Namespace) -> int:
     out_format = None if args.out_format == "auto" else args.out_format
     try:
         count = convert_trace(args.src, args.dst, in_format=in_format,
-                              out_format=out_format, limit=args.limit)
+                              out_format=out_format, limit=args.limit,
+                              codec=args.codec)
     except (TraceFormatError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(f"wrote {count} accesses to {args.dst}")
+    return 0
+
+
+def _trace_store(args: argparse.Namespace) -> int:
+    from repro.trace.store import TraceStore, configured_root
+    from repro.utils.units import format_size, parse_size
+
+    root = configured_root()
+    if root is None:
+        print("trace store is disabled (REPRO_TRACE_STORE)", file=sys.stderr)
+        return 1
+    store = TraceStore(root=root)
+    if args.store_command == "info":
+        budget = ("unlimited" if store.max_bytes is None
+                  else format_size(store.max_bytes))
+        total = store.total_bytes()
+        print(f"root:    {store.root}")
+        print(f"entries: {len(store)}")
+        print(f"bytes:   {total} ({format_size(total)})")
+        print(f"budget:  {budget}")
+        return 0
+    try:
+        max_bytes = (parse_size(args.max_bytes) if args.max_bytes is not None
+                     else store.max_bytes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    reclaimed = store.gc(max_bytes=max_bytes)
+    print(f"reclaimed {reclaimed} bytes ({format_size(reclaimed)}); "
+          f"{len(store)} entries remain ({format_size(store.total_bytes())})")
     return 0
 
 
@@ -269,7 +327,133 @@ def trace_main(argv: List[str]) -> int:
         return _trace_info(args)
     if args.command == "convert":
         return _trace_convert(args)
+    if args.command == "store":
+        return _trace_store(args)
     return _trace_formats()
+
+
+# --------------------------------------------------------------------- #
+# repro sample ...
+# --------------------------------------------------------------------- #
+def build_sample_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sample",
+        description="Checkpointed windowed sampling: measure designs over "
+                    "short, confidence-terminated windows of one trace "
+                    "instead of replaying it whole.",
+    )
+    parser.add_argument("--designs", nargs="+", default=["unison", "alloy"],
+                        metavar="NAME",
+                        help="registered design names to compare over the "
+                             "same windows (default: unison alloy)")
+    parser.add_argument("--workload", default="Web Search", metavar="NAME",
+                        help="workload name, or a path to a trace file "
+                             "(binary traces are windowed seekably)")
+    parser.add_argument("--capacity", default="1GB", metavar="SIZE",
+                        help="paper-scale capacity (default: 1GB)")
+    parser.add_argument("--scale", type=int, default=512,
+                        help="capacity scale-down factor (default: 512)")
+    parser.add_argument("--accesses", type=int, default=200_000,
+                        help="trace length, warm-up region included "
+                             "(default: 200000)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="interleaved cores (default: 4)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload generator seed (default: 1)")
+    parser.add_argument("--windows", type=int, default=None, metavar="N",
+                        help="window budget (default: SamplingConfig's)")
+    parser.add_argument("--window-accesses", type=int, default=None,
+                        metavar="N", help="accesses measured per window")
+    parser.add_argument("--warmup-accesses", type=int, default=None,
+                        metavar="N",
+                        help="per-window functional warming accesses")
+    parser.add_argument("--checkpoint-accesses", type=int, default=None,
+                        metavar="N",
+                        help="accesses of the one-time warm checkpoint "
+                             "prologue")
+    parser.add_argument("--target-error", type=float, default=None,
+                        metavar="FRAC",
+                        help="target relative CI half-width (default: 0.02)")
+    parser.add_argument("--placement", choices=["systematic", "random"],
+                        default=None, help="window placement strategy")
+    parser.add_argument("--sampling-seed", type=int, default=None,
+                        help="placement/order seed (default: 0)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="optional ResultSet JSON export path")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the result table")
+    return parser
+
+
+def sample_main(argv: List[str]) -> int:
+    """Entry point of ``repro sample``."""
+    from repro.sampling import SamplingConfig, WindowedSampler
+    from repro.sim.spec import _coerce_workload
+
+    args = build_sample_parser().parse_args(argv)
+    overrides = {
+        "max_windows": args.windows,
+        "window_accesses": args.window_accesses,
+        "warmup_accesses": args.warmup_accesses,
+        "checkpoint_accesses": args.checkpoint_accesses,
+        "target_relative_error": args.target_error,
+        "placement": args.placement,
+        "seed": args.sampling_seed,
+    }
+    if args.windows is not None:
+        # A small explicit budget also lowers the adaptive-termination
+        # minimum, which would otherwise exceed it.
+        overrides["min_windows"] = min(SamplingConfig().min_windows,
+                                       args.windows)
+    try:
+        sampling = SamplingConfig(
+            **{k: v for k, v in overrides.items() if v is not None}
+        )
+        workload = _coerce_workload(args.workload)
+        config = ExperimentConfig(
+            scale=args.scale, num_accesses=args.accesses,
+            num_cores=args.cores, seed=args.seed,
+        )
+        sampler = WindowedSampler(sampling, config=config)
+        run = sampler.compare(args.designs, workload, args.capacity)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    results = run.to_resultset()
+    if not args.quiet:
+        plan = run.plan
+        stopped = ("converged" if run.converged
+                   else "window budget exhausted")
+        print(f"Sampled {run.workload} @ {run.capacity}: "
+              f"{run.windows_measured}/{len(plan.windows)} windows "
+              f"({stopped}), {run.simulated_accesses} of "
+              f"{plan.total_accesses} accesses simulated per design "
+              f"({100 * run.sampled_fraction:.1f}%)")
+        for label, sampled in run.designs.items():
+            miss = sampled.interval("miss_ratio")
+            speedup = sampled.interval("speedup_vs_no_cache")
+            print(f"  {label:<12} miss {100 * miss.mean:5.2f}% "
+                  f"+- {100 * miss.half_width:.2f} | "
+                  f"speedup {speedup.mean:.3f} +- {speedup.half_width:.3f} "
+                  f"(95% CI)")
+        labels = list(run.designs)
+        if len(labels) > 1:
+            first = labels[0]
+            print("Matched-pair deltas vs", first + ":")
+            for other in labels[1:]:
+                delta = run.delta("speedup_vs_no_cache", other, first)
+                interval = delta.interval()
+                print(f"  {other:<12} speedup {interval.mean:+.3f} "
+                      f"+- {interval.half_width:.3f} (95% CI, "
+                      f"{len(delta)} paired windows)")
+        print()
+    print(results.table())
+    if args.json is not None:
+        results.to_json(args.json)
+        if not args.quiet:
+            print(f"\nJSON export: {args.json}")
+    return 0
 
 
 # --------------------------------------------------------------------- #
@@ -280,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "sample":
+        return sample_main(argv[1:])
     if argv and argv[0] == "sweep":
         argv = argv[1:]
     parser = build_parser()

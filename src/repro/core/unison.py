@@ -67,6 +67,12 @@ class UnisonCache(DramCacheModel):
 
     design_name = "unison"
 
+    #: Warm state beyond the base's: the per-set frames (DRAM-embedded tags,
+    #: valid/dirty/demanded/predicted vectors), LRU state, the presence
+    #: directory, and all three predictor tables.
+    _STATE_ATTRS = ("_frames", "_lru", "_directory", "footprint_predictor",
+                    "singleton_table", "way_predictor")
+
     def __init__(self, config: Optional[UnisonCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
                  memory: Optional[MainMemory] = None,

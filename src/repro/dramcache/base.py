@@ -10,6 +10,7 @@ model and the benchmark suite treat all designs uniformly.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
@@ -18,6 +19,24 @@ from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A design's warm state, frozen at one point of a replay.
+
+    Produced by :meth:`DramCacheModel.snapshot_state` and consumed by
+    :meth:`DramCacheModel.restore_state`.  The payload maps attribute names
+    to deep copies of the design's mutable components -- tag/frame arrays,
+    replacement state, predictor tables (footprint, way, singleton, miss),
+    statistics, and the DRAM device models with their timing state -- so one
+    warm checkpoint can seed arbitrarily many downstream measurement windows
+    (the checkpointed-sampling workflow of :mod:`repro.sampling`).  Restoring
+    deep-copies again, leaving the snapshot reusable.
+    """
+
+    design_name: str
+    state: Dict[str, object]
 
 
 @dataclass(frozen=True)
@@ -49,6 +68,13 @@ class DramCacheModel(abc.ABC):
 
     #: Short machine-readable design name, overridden by subclasses.
     design_name: str = "base"
+
+    #: Mutable attributes captured by :meth:`snapshot_state`.  Subclasses
+    #: declare *their own additions* (tag arrays, predictor tables, ...);
+    #: declarations accumulate across the class hierarchy, so this base list
+    #: of the universally-shared state is inherited by every design.
+    _STATE_ATTRS: "tuple[str, ...]" = ("_now", "cache_stats", "memory",
+                                       "stacked")
 
     def __init__(self, capacity_bytes: int, stacked: StackedDram = None,
                  memory: MainMemory = None,
@@ -89,6 +115,48 @@ class DramCacheModel(abc.ABC):
     def reset_stats(self) -> None:
         """Reset statistics without touching cache contents (warm-up boundary)."""
         self.cache_stats.reset()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot/restore of warm state (checkpointed sampling)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _snapshot_attrs(cls) -> "tuple[str, ...]":
+        """Every ``_STATE_ATTRS`` declaration along the class hierarchy."""
+        attrs = []
+        for klass in reversed(cls.__mro__):
+            for name in vars(klass).get("_STATE_ATTRS", ()):
+                if name not in attrs:
+                    attrs.append(name)
+        return tuple(attrs)
+
+    def snapshot_state(self) -> StateSnapshot:
+        """Freeze the design's warm state (contents, predictors, timing).
+
+        The snapshot is independent of the live model: continuing to replay
+        accesses never disturbs it, and it can seed any number of
+        :meth:`restore_state` calls.
+        """
+        return StateSnapshot(
+            design_name=self.design_name,
+            state={name: copy.deepcopy(getattr(self, name))
+                   for name in self._snapshot_attrs()},
+        )
+
+    def restore_state(self, snapshot: StateSnapshot) -> None:
+        """Rewind the design to a previously captured snapshot."""
+        if snapshot.design_name != self.design_name:
+            raise ValueError(
+                f"snapshot of design {snapshot.design_name!r} cannot "
+                f"restore a {self.design_name!r} model"
+            )
+        expected = set(self._snapshot_attrs())
+        if set(snapshot.state) != expected:
+            raise ValueError(
+                f"snapshot state keys {sorted(snapshot.state)} do not match "
+                f"this design's state attributes {sorted(expected)}"
+            )
+        for name, value in snapshot.state.items():
+            setattr(self, name, copy.deepcopy(value))
 
     # ------------------------------------------------------------------ #
     @property

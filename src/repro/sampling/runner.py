@@ -1,0 +1,404 @@
+"""The windowed sampler: checkpointed, confidence-terminated measurement.
+
+One sampled run of N designs over one trace proceeds as:
+
+1. **Plan** -- :func:`repro.sampling.windows.plan_windows` places up to
+   ``max_windows`` windows over the measurement region and fixes a
+   deterministic shuffled measurement order.
+2. **Checkpoint** -- each design replays the functional-warming prologue
+   once and freezes its warm state via the
+   :class:`~repro.dramcache.base.StateSnapshot` protocol.  This is the only
+   long replay; every window afterwards starts from the checkpoint.
+3. **Measure** -- windows are taken in plan order.  Per window, per design:
+   restore the checkpoint, replay the window's short warm-up slice, measure
+   the window.  A fresh no-DRAM-cache baseline replays the *same* window, so
+   per-window speedups are matched pairs.
+4. **Terminate** -- after each window the
+   :class:`~repro.stats.sampling.AdaptiveStopper` checks every tracked
+   series (miss ratio and speedup of every design); measurement stops as
+   soon as all 95% CIs meet the target relative error, or at the window
+   budget.
+
+Everything derives from ``(SamplingConfig, ExperimentConfig, trace)``; no
+global state, so sampled sweeps are bit-identical between the serial and
+process-parallel executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.no_cache import NoDramCache
+from repro.config.system import SystemConfig
+from repro.dramcache.base import DramCacheModel
+from repro.sampling.seekable import FileWindows, InMemoryWindows
+from repro.sampling.windows import (
+    MeasurementWindow,
+    SamplingConfig,
+    WindowPlan,
+    plan_windows,
+)
+from repro.sim.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    Workload,
+)
+from repro.sim.factory import make_design
+from repro.sim.performance import PerformanceModel
+from repro.sim.resultset import ResultSet
+from repro.stats.confidence import ConfidenceInterval
+from repro.stats.sampling import AdaptiveStopper, WindowSeries, matched_pair_deltas
+from repro.trace.binfmt import is_binary_trace
+from repro.trace.record import MemoryAccess
+from repro.utils.units import format_size, parse_size, SizeLike
+from repro.workloads.tracefile import TraceFileWorkload
+
+#: Metrics whose per-window series drive adaptive termination, mapped to
+#: the absolute CI half-width floor of their stopper (a speedup is O(1), so
+#: its floor only matters for pathological near-zero means; a miss ratio
+#: can legitimately be 0, where zero variance alone decides).
+TRACKED_METRICS = {
+    "miss_ratio": 0.0,
+    "speedup_vs_no_cache": 1e-6,
+}
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """Everything measured in one window for one design."""
+
+    window: MeasurementWindow
+    miss_ratio: float
+    hit_ratio: float
+    average_hit_latency: float
+    average_miss_latency: float
+    average_access_latency: float
+    offchip_blocks_per_access: float
+    offchip_demand_blocks: int
+    offchip_prefetch_blocks: int
+    offchip_writeback_blocks: int
+    offchip_row_activations: int
+    stacked_row_activations: int
+    speedup_vs_no_cache: float
+    user_ipc: float
+    extra_metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SampledDesignResult:
+    """One design's windows, series, and aggregate result."""
+
+    design: str
+    windows: List[WindowMeasurement] = field(default_factory=list)
+    series: Dict[str, WindowSeries] = field(default_factory=dict)
+
+    @property
+    def windows_measured(self) -> int:
+        return len(self.windows)
+
+    def interval(self, metric: str = "miss_ratio") -> ConfidenceInterval:
+        """95% CI of one tracked metric over the measured windows."""
+        return self.series[metric].interval()
+
+
+@dataclass
+class SampledRun:
+    """The full outcome of one sampled measurement (all designs)."""
+
+    plan: WindowPlan
+    sampling: SamplingConfig
+    workload: str
+    capacity: str
+    scale: int
+    designs: "Dict[str, SampledDesignResult]"
+    #: Window indices measured, in measurement order.
+    measured: List[int]
+    #: True when every tracked CI met its target (sampling may also have
+    #: spent the whole window budget and *still* converged on the last
+    #: window, so this is the stopper's verdict, not a count comparison).
+    converged: bool
+
+    @property
+    def windows_measured(self) -> int:
+        return len(self.measured)
+
+    @property
+    def simulated_accesses(self) -> int:
+        """Accesses one design simulated (checkpoint + warm-ups + windows)."""
+        return self.plan.simulated_accesses(self.windows_measured)
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the trace one design simulated."""
+        return self.plan.sampled_fraction(self.windows_measured)
+
+    def delta(self, metric: str, design_a: str,
+              design_b: str) -> WindowSeries:
+        """Matched-pair per-window ``design_a - design_b`` differences."""
+        return matched_pair_deltas(
+            self.designs[design_a].series[metric],
+            self.designs[design_b].series[metric],
+            name=f"{metric}[{design_a}-{design_b}]",
+        )
+
+    def results(self) -> List[ExperimentResult]:
+        """Aggregate one :class:`ExperimentResult` per design."""
+        return [self._aggregate(label, sampled)
+                for label, sampled in self.designs.items()]
+
+    def to_resultset(self) -> ResultSet:
+        return ResultSet(self.results())
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(self, label: str,
+                   sampled: SampledDesignResult) -> ExperimentResult:
+        windows = sampled.windows
+        n = len(windows)
+        if n == 0:
+            raise ValueError(f"design {label!r} measured no windows")
+
+        def mean(metric: str) -> float:
+            return sum(getattr(w, metric) for w in windows) / n
+
+        def total(metric: str) -> int:
+            return sum(getattr(w, metric) for w in windows)
+
+        miss_interval = sampled.interval("miss_ratio")
+        speedup_interval = sampled.interval("speedup_vs_no_cache")
+        result = ExperimentResult(
+            design=label,
+            workload=self.workload,
+            capacity=self.capacity,
+            scale=self.scale,
+            accesses_measured=sum(w.window.measure_accesses for w in windows),
+            miss_ratio=miss_interval.mean,
+            hit_ratio=mean("hit_ratio"),
+            average_hit_latency=mean("average_hit_latency"),
+            average_miss_latency=mean("average_miss_latency"),
+            average_access_latency=mean("average_access_latency"),
+            offchip_blocks_per_access=mean("offchip_blocks_per_access"),
+            offchip_demand_blocks=total("offchip_demand_blocks"),
+            offchip_prefetch_blocks=total("offchip_prefetch_blocks"),
+            offchip_writeback_blocks=total("offchip_writeback_blocks"),
+            offchip_row_activations=total("offchip_row_activations"),
+            stacked_row_activations=total("stacked_row_activations"),
+            speedup_vs_no_cache=speedup_interval.mean,
+            user_ipc=mean("user_ipc"),
+        )
+        extra_keys = sorted({k for w in windows for k in w.extra_metrics})
+        for key in extra_keys:
+            value = sum(w.extra_metrics.get(key, 0.0) for w in windows) / n
+            if key in ExperimentResult.METRIC_FIELDS:
+                setattr(result, key, value)
+            else:
+                result.extra[key] = value
+        result.extra.update({
+            "sampling_windows": float(n),
+            "sampling_windows_planned": float(len(self.plan.windows)),
+            "sampling_fraction": self.sampled_fraction,
+            "sampling_miss_ratio_half_width": miss_interval.half_width,
+            "sampling_miss_ratio_rel_err": miss_interval.relative_error,
+            "sampling_speedup_half_width": speedup_interval.half_width,
+            "sampling_speedup_rel_err": speedup_interval.relative_error,
+        })
+        return result
+
+
+class WindowedSampler:
+    """Runs checkpointed, window-scheduled, adaptively-terminated trials."""
+
+    def __init__(self, sampling: Optional[SamplingConfig] = None,
+                 config: Optional[ExperimentConfig] = None,
+                 system: Optional[SystemConfig] = None) -> None:
+        self.sampling = sampling or SamplingConfig()
+        self.config = config or ExperimentConfig()
+        self.system = system or SystemConfig()
+        self.performance = PerformanceModel(self.system)
+
+    # ------------------------------------------------------------------ #
+    def _provider(self, workload: Workload,
+                  trace: Optional[Sequence[MemoryAccess]]):
+        """The window source for a workload (seekable file when possible)."""
+        if trace is not None:
+            return InMemoryWindows(trace)
+        if (isinstance(workload, TraceFileWorkload)
+                and is_binary_trace(workload.path)):
+            # The payoff case: windows open in O(window) straight from disk,
+            # so the trace is never fully decoded, let alone materialized.
+            return FileWindows(workload.path, limit=self.config.num_accesses)
+        runner = ExperimentRunner(self.config, system=self.system)
+        return InMemoryWindows(runner.build_trace(workload))
+
+    def _measure_window(self, design: DramCacheModel,
+                        window: MeasurementWindow,
+                        warmup: Sequence[MemoryAccess],
+                        measure: Sequence[MemoryAccess],
+                        baseline_stats, profile) -> WindowMeasurement:
+        if warmup:
+            design.warm_up(warmup)
+        else:
+            design.reset_stats()
+        activations_before = (design.memory.row_activations,
+                              design.stacked.row_activations)
+        design.run(measure)
+        stats = design.cache_stats
+        speedup = self.performance.speedup(stats, baseline_stats, profile)
+        estimate = self.performance.estimate(stats, profile)
+        return WindowMeasurement(
+            window=window,
+            miss_ratio=stats.miss_ratio,
+            hit_ratio=stats.hit_ratio,
+            average_hit_latency=stats.average_hit_latency,
+            average_miss_latency=stats.average_miss_latency,
+            average_access_latency=stats.average_access_latency,
+            offchip_blocks_per_access=stats.offchip_blocks_per_access,
+            offchip_demand_blocks=stats.offchip_demand_blocks,
+            offchip_prefetch_blocks=stats.offchip_prefetch_blocks,
+            offchip_writeback_blocks=stats.offchip_writeback_blocks,
+            offchip_row_activations=(design.memory.row_activations
+                                     - activations_before[0]),
+            stacked_row_activations=(design.stacked.row_activations
+                                     - activations_before[1]),
+            speedup_vs_no_cache=speedup,
+            user_ipc=estimate.user_ipc,
+            extra_metrics=dict(design.extra_metrics()),
+        )
+
+    # ------------------------------------------------------------------ #
+    def compare(self, design_names: Sequence[str], workload: Workload,
+                capacity: SizeLike,
+                trace: Optional[Sequence[MemoryAccess]] = None,
+                associativity: Optional[int] = None,
+                labels: Optional[Sequence[str]] = None) -> SampledRun:
+        """Sample every design over the *same* windows (matched pairs).
+
+        ``trace`` injects a pre-materialized access sequence (the sweep
+        executor's cached traces); otherwise the workload decides -- binary
+        trace files are windowed seekably, synthetic profiles are generated.
+        """
+        if not design_names:
+            raise ValueError("need at least one design to sample")
+        from repro.sim.registry import DESIGNS
+
+        for name in design_names:
+            DESIGNS.resolve(name)  # fail on typos before any trace work
+        labels = list(labels) if labels is not None else list(design_names)
+        if len(labels) != len(design_names):
+            raise ValueError("labels must match design_names one-to-one")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate sampled design labels: {labels}")
+
+        provider = self._provider(workload, trace)
+        try:
+            return self._compare(provider, design_names, labels, workload,
+                                 capacity, associativity)
+        finally:
+            provider.close()
+
+    def _compare(self, provider, design_names, labels, workload, capacity,
+                 associativity) -> SampledRun:
+        plan = plan_windows(provider.total, self.config.warmup_fraction,
+                            self.sampling)
+        prologue = provider.read(plan.checkpoint_start, plan.checkpoint_stop)
+
+        designs = []
+        for name, label in zip(design_names, labels):
+            design = make_design(
+                name, capacity, scale=self.config.scale,
+                num_cores=self.config.num_cores, associativity=associativity,
+            )
+            # The one long replay: functional warming up to the measurement
+            # region, frozen once, restored before every window.
+            design.warm_up(prologue)
+            checkpoint = design.snapshot_state()
+            series = {metric: WindowSeries(f"{metric}[{label}]")
+                      for metric in TRACKED_METRICS}
+            designs.append((label, design, checkpoint, series))
+
+        stoppers = {
+            metric: AdaptiveStopper(
+                target_relative_error=self.sampling.target_relative_error,
+                min_windows=min(self.sampling.min_windows, len(plan.windows)),
+                max_windows=len(plan.windows),
+                absolute_floor=floor,
+            )
+            for metric, floor in TRACKED_METRICS.items()
+        }
+
+        def all_converged() -> bool:
+            return all(
+                stoppers[metric].converged(series[metric])
+                for _, _, _, series in designs
+                for metric in TRACKED_METRICS
+            )
+
+        results = {label: SampledDesignResult(design=label, series=series)
+                   for label, _, _, series in designs}
+        measured: List[int] = []
+        for window_index in plan.order:
+            window = plan.windows[window_index]
+            warmup = provider.read(window.warmup_start, window.start)
+            measure = provider.read(window.start, window.stop)
+
+            # Matched-pair baseline: the same window through a no-DRAM-cache
+            # system (cheap, and stateless beyond DRAM timing -- a fresh
+            # model per window keeps windows independent).
+            baseline = NoDramCache()
+            baseline.run(measure)
+            baseline_stats = baseline.cache_stats
+
+            for label, design, checkpoint, series in designs:
+                design.restore_state(checkpoint)
+                outcome = self._measure_window(
+                    design, window, warmup, measure, baseline_stats, workload,
+                )
+                results[label].windows.append(outcome)
+                for metric in TRACKED_METRICS:
+                    series[metric].add(window_index,
+                                       getattr(outcome, metric))
+            measured.append(window_index)
+
+            if all(stopper.should_stop([s[metric] for _, _, _, s in designs])
+                   for metric, stopper in stoppers.items()):
+                break
+
+        return SampledRun(
+            plan=plan,
+            sampling=self.sampling,
+            workload=workload.name,
+            capacity=format_size(parse_size(capacity)),
+            scale=self.config.scale,
+            designs=results,
+            measured=measured,
+            converged=all_converged(),
+        )
+
+    def run_design(self, design_name: str, workload: Workload,
+                   capacity: SizeLike,
+                   trace: Optional[Sequence[MemoryAccess]] = None,
+                   associativity: Optional[int] = None,
+                   label: Optional[str] = None) -> ExperimentResult:
+        """Sample one design and aggregate into an :class:`ExperimentResult`.
+
+        The sampled counterpart of
+        :meth:`repro.sim.experiment.ExperimentRunner.run_design`, and the
+        entry point the sweep executor uses for trials with a ``sampling=``
+        axis.
+        """
+        run = self.compare(
+            [design_name], workload, capacity, trace=trace,
+            associativity=associativity,
+            labels=[label] if label is not None else None,
+        )
+        return run.results()[0]
+
+
+__all__ = [
+    "SampledDesignResult",
+    "SampledRun",
+    "TRACKED_METRICS",
+    "WindowMeasurement",
+    "WindowedSampler",
+]

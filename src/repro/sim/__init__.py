@@ -18,8 +18,9 @@
   Figures 7 and 8.
 * :mod:`repro.sim.experiment` -- the single-trial experiment runner: warm-up,
   measurement, and a uniform result record.
-* :mod:`repro.sim.sampling` -- SimFlex-style repeated measurement windows with
-  confidence intervals.
+* :mod:`repro.sim.sampling` -- deprecated whole-trace repeated measurement;
+  the real SimFlex-style windowed sampler lives in :mod:`repro.sampling`
+  and plugs into sweeps via ``SweepSpec(sampling=SamplingConfig())``.
 
 Only the registry is imported eagerly; everything else loads on first
 attribute access (PEP 562).  This keeps :mod:`repro.sim.registry` importable

@@ -145,20 +145,38 @@ def _warm_caches(trials: Sequence[ExperimentSpec]) -> None:
     populated caches and never duplicate trace generation (the dominant
     per-trial cost).
     """
+    from repro.trace.binfmt import is_binary_trace
+    from repro.workloads.tracefile import TraceFileWorkload
+
     seen = set()
     for trial in trials:
         key = (trace_key(trial.workload, trial.config),
-               trial.config.warmup_fraction)
+               trial.config.warmup_fraction, trial.sampling is None)
         if key in seen:
             continue
         seen.add(key)
         runner = ExperimentRunner(trial.config, system=trial.system)
+        if trial.sampling is not None:
+            # Sampled trials replay their own per-window baselines; binary
+            # trace files are windowed from disk, so neither needs warming.
+            if not (isinstance(trial.workload, TraceFileWorkload)
+                    and is_binary_trace(trial.workload.path)):
+                cached_trace(runner, trial.workload)
+            continue
         cached_baseline(runner, trial.workload,
                         cached_trace(runner, trial.workload))
 
 
 def run_trial(trial: ExperimentSpec) -> ExperimentResult:
-    """Run one trial, reusing the process-wide trace/baseline caches."""
+    """Run one trial, reusing the process-wide trace/baseline caches.
+
+    A trial carrying a ``sampling`` config runs through the checkpointed
+    windowed sampler instead of a full replay; both paths share the cached
+    trace, and a binary trace-file workload is windowed seekably (never
+    fully materialized) on the sampled path.
+    """
+    if trial.sampling is not None:
+        return _run_sampled_trial(trial)
     runner = ExperimentRunner(trial.config, system=trial.system)
     trace = cached_trace(runner, trial.workload)
     baseline = cached_baseline(runner, trial.workload, trace)
@@ -168,6 +186,29 @@ def run_trial(trial: ExperimentSpec) -> ExperimentResult:
         associativity=trial.associativity,
         label=trial.label,
         baseline_stats=baseline,
+    )
+
+
+def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
+    from repro.sampling.runner import WindowedSampler
+    from repro.trace.binfmt import is_binary_trace
+    from repro.workloads.tracefile import TraceFileWorkload
+
+    sampler = WindowedSampler(trial.sampling, config=trial.config,
+                              system=trial.system)
+    trace = None
+    if not (isinstance(trial.workload, TraceFileWorkload)
+            and is_binary_trace(trial.workload.path)):
+        # Synthetic (and non-binary file) workloads replay the same cached
+        # trace full runs use; binary files stay on disk and are windowed
+        # through the mmap/chunk-index readers instead.
+        runner = ExperimentRunner(trial.config, system=trial.system)
+        trace = cached_trace(runner, trial.workload)
+    return sampler.run_design(
+        trial.design, trial.workload, trial.capacity,
+        trace=trace,
+        associativity=trial.associativity,
+        label=trial.label,
     )
 
 

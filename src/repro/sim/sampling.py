@@ -1,16 +1,23 @@
-"""SimFlex-style sampled measurement.
+"""Deprecated whole-trace repeated measurement (pre-windowed-sampling).
 
-The paper reports performance "with an average error of less than 2% at a 95%
-confidence level" using the SimFlex multiprocessor sampling methodology:
-many short measurement windows, each preceded by warm-up, aggregated with
-confidence intervals.  :class:`SamplingRunner` provides the same discipline
-for this reproduction's trace-driven measurements: it runs one design over
-several independently-seeded traces and reports the mean and confidence
-interval of any measured quantity.
+.. deprecated::
+    :class:`SamplingRunner` predates the checkpointed windowed-sampling
+    subsystem and does **not** implement the SimFlex methodology its name
+    suggested: it reruns *whole* independently-seeded traces, so every
+    "sample" pays full-trace cost and the samples measure seed-to-seed
+    generator variation rather than within-trace sampling error.  The real
+    windowed sampler -- many short measurement windows, warm checkpoints,
+    matched-pair aggregation, adaptive termination -- lives in
+    :mod:`repro.sampling` (:class:`repro.sampling.WindowedSampler`), and
+    sweeps opt in declaratively via ``SweepSpec(sampling=SamplingConfig())``.
+
+This module remains as a thin compatibility shim; constructing a
+:class:`SamplingRunner` emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
@@ -40,10 +47,21 @@ class SampledMeasurement:
 
 
 class SamplingRunner:
-    """Runs repeated, independently-seeded measurements of one experiment."""
+    """Runs repeated, independently-seeded measurements of one experiment.
+
+    .. deprecated:: use :class:`repro.sampling.WindowedSampler`, which
+        measures short windows of *one* trace instead of rerunning whole
+        traces (orders of magnitude cheaper at equal confidence).
+    """
 
     def __init__(self, base_config: Optional[ExperimentConfig] = None,
                  num_samples: int = 5) -> None:
+        warnings.warn(
+            "SamplingRunner reruns whole independently-seeded traces and is "
+            "deprecated; use repro.sampling.WindowedSampler (checkpointed "
+            "measurement windows) or SweepSpec(sampling=SamplingConfig())",
+            DeprecationWarning, stacklevel=2,
+        )
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
         self.base_config = base_config or ExperimentConfig()

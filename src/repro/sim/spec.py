@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config.system import SystemConfig
+from repro.sampling.windows import SamplingConfig
 from repro.sim.experiment import ExperimentConfig, Workload
 from repro.sim.registry import DESIGNS
 from repro.sim.factory import unison_design_for_ways  # also ensures registration
@@ -46,7 +47,19 @@ from repro.workloads.tracefile import TraceFileWorkload
 WorkloadLike = Union[WorkloadProfile, TraceFileWorkload, str]
 
 #: Override keys that do not map onto :class:`ExperimentConfig` fields.
-_TRIAL_OVERRIDE_KEYS = ("associativity", "label")
+_TRIAL_OVERRIDE_KEYS = ("associativity", "label", "sampling")
+
+
+def _coerce_sampling(sampling) -> Optional[SamplingConfig]:
+    """Accept a :class:`SamplingConfig`, a kwargs mapping, or ``None``."""
+    if sampling is None or isinstance(sampling, SamplingConfig):
+        return sampling
+    if isinstance(sampling, Mapping):
+        return SamplingConfig(**sampling)
+    raise ValueError(
+        f"sampling must be a SamplingConfig, a mapping of its fields, or "
+        f"None; got {sampling!r}"
+    )
 
 
 def _coerce_workload(workload: WorkloadLike) -> Workload:
@@ -79,6 +92,9 @@ class ExperimentSpec:
     label: Optional[str] = None
     #: Optional architectural configuration; ``None`` means the paper's.
     system: Optional[SystemConfig] = None
+    #: ``None`` = full replay; a :class:`SamplingConfig` switches the trial
+    #: to checkpointed windowed sampling (see :mod:`repro.sampling`).
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
         entry = DESIGNS.resolve(self.design)  # raises for unknown designs
@@ -87,6 +103,7 @@ class ExperimentSpec:
         object.__setattr__(
             self, "capacity", format_size(parse_size(self.capacity))
         )
+        object.__setattr__(self, "sampling", _coerce_sampling(self.sampling))
         if self.associativity is not None:
             if not entry.supports_associativity:
                 raise ValueError(
@@ -103,8 +120,11 @@ class ExperimentSpec:
 
     def describe(self) -> str:
         """Compact one-line description for logs and progress output."""
+        mode = "" if self.sampling is None else (
+            f", sampled <= {self.sampling.max_windows} windows"
+        )
         return (f"{self.result_label} / {self.workload.name} @ {self.capacity} "
-                f"(scale 1/{self.config.scale}, seed {self.config.seed})")
+                f"(scale 1/{self.config.scale}, seed {self.config.seed}{mode})")
 
 
 _CONFIG_FIELDS = tuple(f.name for f in fields(ExperimentConfig))
@@ -131,8 +151,14 @@ class SweepSpec:
         {},
     )
     system: Optional[SystemConfig] = None
+    #: Default measurement mode of every trial: ``None`` = full replay, a
+    #: :class:`SamplingConfig` = windowed sampling.  Individual overrides may
+    #: set their own ``sampling`` (including ``None`` to force full replay),
+    #: so one grid can compare sampled against full cells directly.
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "sampling", _coerce_sampling(self.sampling))
         for axis in ("designs", "workloads", "capacities", "overrides"):
             if not tuple(getattr(self, axis)):
                 raise ValueError(f"SweepSpec.{axis} must not be empty")
@@ -183,6 +209,7 @@ class SweepSpec:
                          if k in _CONFIG_FIELDS}
         config = (replace(self.config, **config_kwargs) if config_kwargs
                   else self.config)
+        sampling = _coerce_sampling(override.get("sampling", self.sampling))
         associativity = override.get("associativity")
         label = override.get("label")
         if label is None and associativity is not None:
@@ -200,6 +227,7 @@ class SweepSpec:
             associativity=associativity,
             label=label,
             system=self.system,
+            sampling=sampling,
         )
 
     # ------------------------------------------------------------------ #

@@ -9,12 +9,20 @@ reported in the paper's tables and figures.
 from repro.stats.counters import Counter, RatioStat, StatGroup
 from repro.stats.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.stats.histogram import Histogram
+from repro.stats.sampling import (
+    AdaptiveStopper,
+    WindowSeries,
+    matched_pair_deltas,
+)
 
 __all__ = [
+    "AdaptiveStopper",
     "Counter",
     "RatioStat",
     "StatGroup",
     "ConfidenceInterval",
+    "WindowSeries",
+    "matched_pair_deltas",
     "mean_confidence_interval",
     "Histogram",
 ]

@@ -46,9 +46,17 @@ class ConfidenceInterval:
 
     @property
     def relative_error(self) -> float:
-        """Half-width as a fraction of the mean (0.0 if the mean is zero)."""
+        """Half-width as a fraction of the mean.
+
+        A zero mean with a non-zero half-width yields ``inf`` -- the
+        relative-error criterion is simply undecidable there, and callers
+        (the adaptive sampler) must fall back to an absolute tolerance.
+        Returning 0.0 instead (as this once did) made a completely
+        unconverged measurement of a near-zero quantity look perfectly
+        converged.
+        """
         if self.mean == 0:
-            return 0.0
+            return 0.0 if self.half_width == 0 else math.inf
         return abs(self.half_width / self.mean)
 
     def contains(self, value: float) -> bool:

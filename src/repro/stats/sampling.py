@@ -1,0 +1,146 @@
+"""Per-window aggregation for sampled measurement.
+
+The windowed sampler (:mod:`repro.sampling.runner`) produces one value of
+each tracked metric per measurement window.  This module turns those into
+statistically meaningful quantities:
+
+* :class:`WindowSeries` -- values keyed by *window index*.  Aggregation is
+  order-independent by construction: the confidence interval is always
+  computed over index-sorted values, so the shuffled measurement order the
+  adaptive sampler uses can never change a reported number.
+* :func:`matched_pair_deltas` -- per-window differences between two series
+  measured over the *same* windows (the matched-pair design the SimFlex
+  methodology prescribes for comparing configurations: common window
+  placement cancels inter-window workload variance, so the delta's CI is
+  far tighter than the difference of two independent CIs).
+* :class:`AdaptiveStopper` -- the termination rule: keep adding windows
+  until every tracked series' 95% CI half-width is within a target relative
+  error of its mean (or an absolute floor, for deltas whose mean is near
+  zero), bounded by a window budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.stats.confidence import ConfidenceInterval, mean_confidence_interval
+
+
+class WindowSeries:
+    """One metric's per-window values, keyed by window index."""
+
+    def __init__(self, name: str = "metric") -> None:
+        self.name = name
+        self._values: Dict[int, float] = {}
+
+    def add(self, window_index: int, value: float) -> None:
+        """Record the metric's value for one window."""
+        if window_index in self._values:
+            raise ValueError(
+                f"window {window_index} already recorded for {self.name!r}"
+            )
+        self._values[window_index] = float(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def indices(self) -> "List[int]":
+        """Window indices present, ascending."""
+        return sorted(self._values)
+
+    def values(self) -> "List[float]":
+        """Values in window-index order (insertion order is irrelevant)."""
+        return [self._values[i] for i in sorted(self._values)]
+
+    def get(self, window_index: int) -> Optional[float]:
+        return self._values.get(window_index)
+
+    def interval(self) -> ConfidenceInterval:
+        """95% confidence interval of the mean over recorded windows."""
+        return mean_confidence_interval(self.values())
+
+    @property
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"series {self.name!r} has no windows")
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:
+        return f"WindowSeries({self.name!r}, {len(self)} windows)"
+
+
+def matched_pair_deltas(a: WindowSeries, b: WindowSeries,
+                        name: Optional[str] = None) -> WindowSeries:
+    """Per-window ``a - b`` over the windows both series measured.
+
+    Windows are matched by index, so the result is independent of either
+    series' insertion order and of any extra windows only one side has.
+    """
+    deltas = WindowSeries(name or f"{a.name}-{b.name}")
+    common = set(a.indices()) & set(b.indices())
+    for index in sorted(common):
+        deltas.add(index, a.get(index) - b.get(index))
+    return deltas
+
+
+class AdaptiveStopper:
+    """Decides when enough windows have been measured.
+
+    A series converges when its CI half-width is at most
+    ``target_relative_error * |mean|`` or at most ``absolute_floor``
+    (whichever allows more) -- the floor keeps near-zero-mean deltas from
+    demanding infinite precision.  ``should_stop`` requires *every* tracked
+    series to have converged, after at least ``min_windows`` and at most
+    ``max_windows`` windows.
+    """
+
+    def __init__(self, target_relative_error: float = 0.02,
+                 min_windows: int = 5, max_windows: int = 30,
+                 absolute_floor: float = 0.0) -> None:
+        if target_relative_error <= 0:
+            raise ValueError("target_relative_error must be positive")
+        if min_windows <= 0:
+            raise ValueError("min_windows must be positive")
+        if max_windows < min_windows:
+            raise ValueError("max_windows must be >= min_windows")
+        if absolute_floor < 0:
+            raise ValueError("absolute_floor must be non-negative")
+        self.target_relative_error = target_relative_error
+        self.min_windows = min_windows
+        self.max_windows = max_windows
+        self.absolute_floor = absolute_floor
+
+    def converged(self, series: WindowSeries) -> bool:
+        """True when the series' CI meets the target."""
+        if len(series) < 2:
+            # One window has no variance estimate; never call it converged
+            # (a zero-width interval from n=1 is ignorance, not precision).
+            return False
+        interval = series.interval()
+        tolerance = max(self.absolute_floor,
+                        self.target_relative_error * abs(interval.mean))
+        return interval.half_width <= tolerance
+
+    def should_stop(self, series_list: Iterable[WindowSeries]) -> bool:
+        """True when measurement may end after the windows recorded so far."""
+        series_list = list(series_list)
+        if not series_list:
+            return True
+        measured = min(len(s) for s in series_list)
+        if measured < self.min_windows:
+            return False
+        if measured >= self.max_windows:
+            return True
+        return all(self.converged(s) for s in series_list)
+
+
+__all__ = [
+    "AdaptiveStopper",
+    "WindowSeries",
+    "matched_pair_deltas",
+]

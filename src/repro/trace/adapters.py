@@ -298,22 +298,32 @@ def open_trace(path: PathLike,
 def convert_trace(src: PathLike, dst: PathLike,
                   in_format: Optional[str] = None,
                   out_format: Optional[str] = None,
-                  limit: Optional[int] = None) -> int:
+                  limit: Optional[int] = None,
+                  codec: Optional[str] = None) -> int:
     """Stream ``src`` into ``dst``, converting formats; returns the count.
 
     Formats default to auto-detection (by magic, then suffix).  ``limit``
     truncates the output to the first N accesses.  A binary source's core
-    count carries over into a binary destination's header.
+    count carries over into a binary destination's header.  ``codec``
+    selects the binary payload codec (:data:`repro.trace.binfmt.CODECS`) and
+    is rejected for non-binary destinations.
     """
     from repro.trace.filters import limit_trace
 
     fmt_in = resolve_format(in_format, src)
     fmt_out = resolve_format(out_format, dst, for_writing=True)
+    if codec is not None and fmt_out.name != "binary":
+        raise ValueError(
+            f"--codec applies only to binary output, not {fmt_out.name!r}"
+        )
     num_cores = (binfmt.read_header(src).num_cores
                  if fmt_in.name == "binary" else 0)
     stream: Iterable[MemoryAccess] = fmt_in.reader(src)
     if limit is not None:
         stream = limit_trace(stream, limit)
+    if codec is not None:
+        return binfmt.write_trace_bin(dst, stream, num_cores=num_cores,
+                                      codec=codec)
     return fmt_out.writer(dst, stream, num_cores)
 
 

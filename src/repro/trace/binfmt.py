@@ -6,34 +6,48 @@ fixed-size chunks in both directions, (2) loading is bounded by record
 *construction*, not parsing -- decoding combines
 :meth:`struct.Struct.iter_unpack` with direct ``tuple.__new__`` construction
 (see :func:`_decode_records`), which makes it several times faster than the
-text codec -- and (3) the file is
+text codec -- (3) the file is
 self-describing: a fixed-size **uncompressed** header precedes the (optionally
-gzip-compressed) record payload, so ``repro trace info`` can report version,
-core count, and access count without decompressing anything.
+compressed) record payload, so ``repro trace info`` can report version,
+core count, and access count without decompressing anything -- and (4) files
+are **seekable at chunk granularity**: each streaming chunk is written as an
+independent compression member, and a sidecar :class:`ChunkIndex` maps record
+indices to the file offsets of those members, so a measurement window deep in
+the trace opens without decoding the prefix (the sampled-simulation layer in
+:mod:`repro.sampling` builds on this).
 
 Layout::
 
     offset 0: HEADER  = magic b"RPTR" | version u16 | flags u16
                         | num_cores u32 | access_count u64     (20 bytes, LE)
-    offset 20: PAYLOAD = access_count x RECORD, gzip-wrapped when
-                         flags & FLAG_GZIP
+    offset 20: PAYLOAD = access_count x RECORD, as a sequence of per-chunk
+                         codec members (gzip members when flags & FLAG_GZIP,
+                         zstd frames when flags & FLAG_ZSTD, raw otherwise)
 
     RECORD = address u64 | pc u64 | timestamp u64
              | core_id u16 | access_type u8                    (27 bytes, LE)
 
 ``access_count`` is written as :data:`UNKNOWN_COUNT` while a stream is being
 produced and patched in place when the writer closes (the header is outside
-the gzip member precisely so this seek-back works for compressed traces too;
-on a non-seekable target the sentinel simply remains).
+the compressed members precisely so this seek-back works for compressed
+traces too; on a non-seekable target the sentinel simply remains).
+
+Compression codecs: ``gzip`` (stdlib, the default), ``zstd`` (used when
+``compression.zstd`` -- Python 3.14+ -- or the third-party ``zstandard``
+package is importable; better ratio and much faster decompression), and
+``none``.  Both compressed codecs concatenate their members transparently on
+sequential reads, so a whole-trace read never consults the chunk index.
 """
 
 from __future__ import annotations
 
+import bisect
 import gzip
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.trace.errors import TraceFormatError
 from repro.trace.record import AccessType, MemoryAccess
@@ -44,8 +58,10 @@ PathLike = Union[str, Path]
 MAGIC = b"RPTR"
 #: Current format version.
 VERSION = 1
-#: Header flag: the record payload is a gzip member.
+#: Header flag: the record payload is a sequence of gzip members.
 FLAG_GZIP = 0x0001
+#: Header flag: the record payload is a sequence of zstd frames.
+FLAG_ZSTD = 0x0002
 #: ``access_count`` value meaning "stream was not finalized".
 UNKNOWN_COUNT = 2 ** 64 - 1
 
@@ -55,13 +71,129 @@ RECORD = struct.Struct("<QQQHB")
 #: Records per streaming chunk (~432 KB of packed payload).
 DEFAULT_CHUNK_RECORDS = 16384
 
+#: Codec names accepted by the writer (and reported by the reader).
+CODEC_NONE = "none"
+CODEC_GZIP = "gzip"
+CODEC_ZSTD = "zstd"
+CODECS = (CODEC_NONE, CODEC_GZIP, CODEC_ZSTD)
+
+_CODEC_FLAGS = {CODEC_NONE: 0, CODEC_GZIP: FLAG_GZIP, CODEC_ZSTD: FLAG_ZSTD}
+_DEFAULT_LEVELS = {CODEC_GZIP: 6, CODEC_ZSTD: 3}
+
 _TYPE_FROM_CODE = (AccessType.READ, AccessType.WRITE)
 
 _MAX_U64 = 2 ** 64 - 1
 _MAX_U16 = 2 ** 16 - 1
 
 
-def _decode_records(blob: bytes) -> List[MemoryAccess]:
+# --------------------------------------------------------------------- #
+# Codec backends
+# --------------------------------------------------------------------- #
+def _zstd_backend():
+    """The available zstd implementation, or ``None``.
+
+    Prefers the stdlib ``compression.zstd`` (Python 3.14+) and falls back to
+    the third-party ``zstandard`` package; both expose ``compress``/
+    member-decompression primitives under slightly different names, so this
+    returns a small adapter tuple ``(compress, decompressobj_factory)``.
+    """
+    try:
+        from compression import zstd as _stdlib_zstd  # Python >= 3.14
+
+        return (
+            lambda blob, level: _stdlib_zstd.compress(blob, level),
+            lambda: _stdlib_zstd.ZstdDecompressor(),
+        )
+    except ImportError:
+        pass
+    try:
+        import zstandard as _zstandard
+    except ImportError:
+        return None
+    return (
+        lambda blob, level: _zstandard.ZstdCompressor(level=level).compress(blob),
+        lambda: _zstandard.ZstdDecompressor().decompressobj(),
+    )
+
+
+def zstd_available() -> bool:
+    """True when a zstd implementation is importable."""
+    return _zstd_backend() is not None
+
+
+def available_codecs() -> "tuple[str, ...]":
+    """Codec names usable on this interpreter."""
+    if zstd_available():
+        return CODECS
+    return (CODEC_NONE, CODEC_GZIP)
+
+
+def _codec_from_flags(flags: int, path: PathLike) -> str:
+    if flags & FLAG_ZSTD:
+        return CODEC_ZSTD
+    if flags & FLAG_GZIP:
+        return CODEC_GZIP
+    return CODEC_NONE
+
+
+def _require_zstd(path: PathLike):
+    backend = _zstd_backend()
+    if backend is None:
+        raise TraceFormatError(
+            "zstd-compressed trace but no zstd implementation is available "
+            "(install 'zstandard' or use Python >= 3.14)", path=path,
+        )
+    return backend
+
+
+def _compress_chunk(blob: bytes, codec: str, level: int,
+                    path: PathLike) -> bytes:
+    """One chunk of packed records as a complete, standalone codec member."""
+    if codec == CODEC_NONE:
+        return blob
+    if codec == CODEC_GZIP:
+        # mtime=0 keeps the bytes deterministic across writes.
+        return gzip.compress(blob, compresslevel=level, mtime=0)
+    compress, _ = _require_zstd(path)
+    return compress(blob, level)
+
+
+def _decompressobj_factory(codec: str, path: PathLike):
+    """A factory of one-member decompressor objects for ``codec``.
+
+    The returned objects expose ``decompress``, ``eof`` and ``unused_data``
+    (the zlib protocol, which both zstd backends also follow), which is what
+    member-boundary scans and member-range decompression need.
+    """
+    if codec == CODEC_GZIP:
+        return lambda: zlib.decompressobj(wbits=16 + zlib.MAX_WBITS)
+    if codec == CODEC_ZSTD:
+        _, factory = _require_zstd(path)
+        return factory
+    raise ValueError(f"codec {codec!r} has no decompressor")
+
+
+def decompress_members(blob: bytes, codec: str,
+                       path: PathLike = "<memory>") -> bytes:
+    """Decompress a byte range holding one or more whole codec members."""
+    if codec == CODEC_NONE:
+        return blob
+    factory = _decompressobj_factory(codec, path)
+    parts = []
+    view = memoryview(blob)
+    while len(view):
+        member = factory()
+        parts.append(member.decompress(view))
+        if not member.eof:
+            raise TraceFormatError(
+                "truncated compression member in binary trace payload",
+                path=path,
+            )
+        view = memoryview(member.unused_data)
+    return b"".join(parts)
+
+
+def _decode_records(blob) -> List[MemoryAccess]:
     """Decode a whole-record payload slice into MemoryAccess objects.
 
     This is the hottest loop of the trace subsystem (a million-access trace
@@ -90,6 +222,8 @@ class BinaryTraceInfo:
     #: ``None`` when the stream was never finalized (:data:`UNKNOWN_COUNT`).
     access_count: Optional[int]
     file_bytes: int
+    #: Payload codec name (one of :data:`CODECS`).
+    codec: str = CODEC_GZIP
 
 
 def is_binary_trace(path: PathLike) -> bool:
@@ -122,18 +256,217 @@ def read_header(path: PathLike) -> BinaryTraceInfo:
             f"unsupported binary trace version {version} "
             f"(this reader understands <= {VERSION})", path=path,
         )
+    codec = _codec_from_flags(flags, path)
     return BinaryTraceInfo(
         path=str(path),
         version=version,
-        compressed=bool(flags & FLAG_GZIP),
+        compressed=codec != CODEC_NONE,
         num_cores=num_cores,
         access_count=None if count == UNKNOWN_COUNT else count,
         file_bytes=path.stat().st_size,
+        codec=codec,
     )
+
+
+# --------------------------------------------------------------------- #
+# Chunk index sidecar
+# --------------------------------------------------------------------- #
+#: Suffix appended to a trace path to name its chunk-index sidecar.
+INDEX_SUFFIX = ".rpti"
+INDEX_MAGIC = b"RPTI"
+INDEX_VERSION = 1
+#: magic | version u16 | flags u16 | chunk_records u32 | access_count u64
+#: | num_entries u64
+INDEX_HEADER = struct.Struct("<4sHHIQQ")
+#: start_record u64 | absolute file offset of the chunk's codec member u64
+INDEX_ENTRY = struct.Struct("<QQ")
+
+
+def index_path_for(trace_path: PathLike) -> Path:
+    """The sidecar path holding the chunk index of ``trace_path``."""
+    trace_path = Path(trace_path)
+    return trace_path.with_name(trace_path.name + INDEX_SUFFIX)
+
+
+@dataclass(frozen=True)
+class ChunkIndex:
+    """Maps record indices to file offsets of per-chunk codec members.
+
+    Entry ``i`` says: the member starting at file offset ``offsets[i]``
+    decodes to records ``[starts[i], starts[i+1])`` (the last entry runs to
+    ``access_count``).  Written as a sidecar by :class:`BinaryTraceWriter`
+    and reconstructable for files that predate the sidecar (see
+    :meth:`reconstruct`); consumed by the seekable readers in
+    :mod:`repro.sampling.seekable`.
+    """
+
+    codec: str
+    access_count: int
+    chunk_records: int
+    #: Record index of the first record of each chunk, ascending.
+    starts: Tuple[int, ...]
+    #: Absolute file offset of each chunk's codec member.
+    offsets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.starts) != len(self.offsets):
+            raise ValueError("starts and offsets must have equal length")
+        if list(self.starts) != sorted(set(self.starts)):
+            raise ValueError("chunk starts must be strictly ascending")
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def chunk_containing(self, record_index: int) -> int:
+        """Index of the chunk entry holding ``record_index``."""
+        if not self.starts:
+            raise ValueError("empty chunk index has no chunks")
+        if not 0 <= record_index < self.access_count:
+            raise IndexError(
+                f"record {record_index} outside [0, {self.access_count})"
+            )
+        return bisect.bisect_right(self.starts, record_index) - 1
+
+    def chunk_records_of(self, chunk: int) -> int:
+        """Number of records the ``chunk``-th member decodes to."""
+        stop = (self.starts[chunk + 1] if chunk + 1 < len(self.starts)
+                else self.access_count)
+        return stop - self.starts[chunk]
+
+    # ------------------------------------------------------------------ #
+    def save(self, trace_path: PathLike) -> Path:
+        """Write the sidecar next to ``trace_path``; returns its path."""
+        path = index_path_for(trace_path)
+        blob = [INDEX_HEADER.pack(
+            INDEX_MAGIC, INDEX_VERSION, _CODEC_FLAGS[self.codec],
+            self.chunk_records, self.access_count, len(self.starts),
+        )]
+        blob.extend(INDEX_ENTRY.pack(start, offset)
+                    for start, offset in zip(self.starts, self.offsets))
+        path.write_bytes(b"".join(blob))
+        return path
+
+    @classmethod
+    def load(cls, trace_path: PathLike) -> Optional["ChunkIndex"]:
+        """Load and validate the sidecar of ``trace_path``.
+
+        Returns ``None`` when the sidecar is missing, corrupt, or stale
+        (its access count or codec disagrees with the trace header) -- the
+        caller then falls back to :meth:`reconstruct`.
+        """
+        sidecar = index_path_for(trace_path)
+        try:
+            blob = sidecar.read_bytes()
+            info = read_header(trace_path)
+        except (OSError, TraceFormatError):
+            return None
+        if len(blob) < INDEX_HEADER.size:
+            return None
+        magic, version, flags, chunk_records, count, entries = (
+            INDEX_HEADER.unpack_from(blob)
+        )
+        if (magic != INDEX_MAGIC or version > INDEX_VERSION
+                or len(blob) != INDEX_HEADER.size + entries * INDEX_ENTRY.size):
+            return None
+        codec = _codec_from_flags(flags, trace_path)
+        if codec != info.codec or info.access_count != count:
+            return None  # stale: the trace was rewritten since
+        pairs = list(INDEX_ENTRY.iter_unpack(blob[INDEX_HEADER.size:]))
+        starts = tuple(p[0] for p in pairs)
+        offsets = tuple(p[1] for p in pairs)
+        if offsets and (offsets[0] < HEADER.size
+                        or offsets[-1] >= info.file_bytes):
+            return None
+        try:
+            return cls(codec=codec, access_count=count,
+                       chunk_records=chunk_records, starts=starts,
+                       offsets=offsets)
+        except ValueError:
+            return None
+
+    @classmethod
+    def reconstruct(cls, trace_path: PathLike) -> "ChunkIndex":
+        """Rebuild the index of a trace written without a sidecar.
+
+        Uncompressed traces index in O(1) (records are fixed-size, offsets
+        are arithmetic).  Compressed traces are scanned once for member
+        boundaries (cheap: decompression without record construction); a
+        legacy single-member file naturally yields a one-entry index, which
+        window readers treat as "no interior seek points".
+        """
+        info = read_header(trace_path)
+        if info.access_count is None:
+            raise TraceFormatError(
+                "cannot index a non-finalized trace (unknown access count)",
+                path=trace_path,
+            )
+        count = info.access_count
+        if info.codec == CODEC_NONE:
+            starts = tuple(range(0, count, DEFAULT_CHUNK_RECORDS))
+            offsets = tuple(HEADER.size + s * RECORD.size for s in starts)
+            return cls(codec=info.codec, access_count=count,
+                       chunk_records=DEFAULT_CHUNK_RECORDS, starts=starts,
+                       offsets=offsets)
+        starts_list: List[int] = []
+        offsets_list: List[int] = []
+        factory = _decompressobj_factory(info.codec, trace_path)
+        with Path(trace_path).open("rb") as handle:
+            handle.seek(HEADER.size)
+            member_offset = HEADER.size
+            records_seen = 0
+            decomp = None
+            member_bytes = 0
+            pending = b""
+            while True:
+                chunk = pending or handle.read(1 << 20)
+                pending = b""
+                if not chunk:
+                    break
+                if decomp is None:
+                    decomp = factory()
+                    starts_list.append(records_seen)
+                    offsets_list.append(member_offset)
+                    member_bytes = 0
+                consumed = len(chunk)
+                member_bytes += len(decomp.decompress(chunk))
+                if decomp.eof:
+                    unused = decomp.unused_data
+                    consumed -= len(unused)
+                    records_seen += member_bytes // RECORD.size
+                    pending = unused
+                    decomp = None
+                member_offset += consumed
+            if decomp is not None:
+                raise TraceFormatError(
+                    "truncated compression member while indexing",
+                    path=trace_path,
+                )
+        return cls(codec=info.codec, access_count=count,
+                   chunk_records=DEFAULT_CHUNK_RECORDS,
+                   starts=tuple(starts_list), offsets=tuple(offsets_list))
+
+    @classmethod
+    def ensure(cls, trace_path: PathLike, save: bool = True) -> "ChunkIndex":
+        """The index of ``trace_path``: loaded, else reconstructed (+saved)."""
+        index = cls.load(trace_path)
+        if index is not None:
+            return index
+        index = cls.reconstruct(trace_path)
+        if save:
+            try:
+                index.save(trace_path)
+            except OSError:
+                pass  # read-only directory: the in-memory index still works
+        return index
 
 
 class BinaryTraceWriter:
     """Stream accesses into a binary trace file; a context manager.
+
+    Each buffered chunk is written as an independent codec member and its
+    ``(first record, file offset)`` pair is recorded; on a clean close the
+    pairs become the :class:`ChunkIndex` sidecar, so readers can open a
+    window anywhere in the trace without decoding the prefix.
 
     Parameters
     ----------
@@ -142,35 +475,46 @@ class BinaryTraceWriter:
     num_cores:
         Core count recorded in the header (0 = unspecified).
     compress:
-        Gzip the record payload (the header stays uncompressed).
+        Compress the record payload (the header stays uncompressed).
     compresslevel:
-        zlib level for ``compress=True``; the default 6 trades a slightly
-        slower write for ~15% smaller files than level 1.
+        Codec compression level; ``None`` picks the codec default (gzip 6 --
+        trades a slightly slower write for ~15% smaller files than level 1 --
+        or zstd 3).
+    codec:
+        Payload codec (:data:`CODECS`); ``None`` derives it from ``compress``
+        (gzip when true).  ``"zstd"`` requires a zstd implementation.
+    write_index:
+        Write the :class:`ChunkIndex` sidecar on a clean close.
     """
 
     def __init__(self, path: PathLike, num_cores: int = 0,
-                 compress: bool = True, compresslevel: int = 6) -> None:
+                 compress: bool = True,
+                 compresslevel: Optional[int] = None,
+                 codec: Optional[str] = None,
+                 write_index: bool = True) -> None:
         if num_cores < 0:
             raise ValueError("num_cores must be non-negative")
+        if codec is None:
+            codec = CODEC_GZIP if compress else CODEC_NONE
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r}; known: {CODECS}")
+        if codec == CODEC_ZSTD:
+            _require_zstd(path)
         self._path = Path(path)
         self._num_cores = num_cores
-        self._compress = compress
-        self._compresslevel = compresslevel
+        self._codec = codec
+        self._compresslevel = (compresslevel if compresslevel is not None
+                               else _DEFAULT_LEVELS.get(codec, 0))
+        self._write_index = write_index
         self._raw: Optional[IO[bytes]] = None
-        self._payload: Optional[IO[bytes]] = None
         self._buffer: List[bytes] = []
         self._count = 0
+        self._index_starts: List[int] = []
+        self._index_offsets: List[int] = []
 
     def __enter__(self) -> "BinaryTraceWriter":
         self._raw = self._path.open("wb")
         self._raw.write(self._header(UNKNOWN_COUNT))
-        if self._compress:
-            self._payload = gzip.GzipFile(
-                fileobj=self._raw, mode="wb",
-                compresslevel=self._compresslevel, mtime=0,
-            )
-        else:
-            self._payload = self._raw
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -181,12 +525,12 @@ class BinaryTraceWriter:
         self.close(finalize=exc_type is None)
 
     def _header(self, count: int) -> bytes:
-        flags = FLAG_GZIP if self._compress else 0
+        flags = _CODEC_FLAGS[self._codec]
         return HEADER.pack(MAGIC, VERSION, flags, self._num_cores, count)
 
     def write(self, access: MemoryAccess) -> None:
         """Append one access."""
-        if self._payload is None:
+        if self._raw is None:
             raise RuntimeError(
                 "BinaryTraceWriter must be used as a context manager"
             )
@@ -221,34 +565,54 @@ class BinaryTraceWriter:
         return self._count
 
     def _flush(self) -> None:
-        if self._buffer:
-            self._payload.write(b"".join(self._buffer))
-            self._buffer.clear()
+        if not self._buffer:
+            return
+        self._index_starts.append(self._count - len(self._buffer))
+        self._index_offsets.append(self._raw.tell())
+        blob = b"".join(self._buffer)
+        self._raw.write(_compress_chunk(blob, self._codec,
+                                        self._compresslevel, self._path))
+        self._buffer.clear()
 
     def close(self, finalize: bool = True) -> None:
         """Finish the payload and patch the final access count in place.
 
         With ``finalize=False`` the header keeps the :data:`UNKNOWN_COUNT`
-        sentinel, marking the stream as aborted/incomplete.
+        sentinel, marking the stream as aborted/incomplete (and no chunk
+        index is written).
         """
         if self._raw is None:
             return
         self._flush()
-        if self._payload is not self._raw:
-            self._payload.close()  # ends the gzip member
         if finalize and self._raw.seekable():
             self._raw.seek(0)
             self._raw.write(self._header(self._count))
+            if self._write_index:
+                try:
+                    ChunkIndex(
+                        codec=self._codec, access_count=self._count,
+                        chunk_records=DEFAULT_CHUNK_RECORDS,
+                        starts=tuple(self._index_starts),
+                        offsets=tuple(self._index_offsets),
+                    ).save(self._path)
+                except OSError:
+                    # The sidecar is an optional accelerator (readers
+                    # reconstruct it on demand); failing to write it must
+                    # not fail the completed trace write.
+                    pass
         self._raw.close()
         self._raw = None
-        self._payload = None
 
 
 class BinaryTraceReader:
     """Iterate over a binary trace file; re-iterable and streaming.
 
     Iterating never materializes more than one chunk
-    (:data:`DEFAULT_CHUNK_RECORDS` records) at a time.
+    (:data:`DEFAULT_CHUNK_RECORDS` records) at a time.  For random access
+    into uncompressed traces see
+    :class:`repro.sampling.seekable.MmapTraceReader`; the :meth:`read_window`
+    here is the streaming fallback (it skips the prefix without constructing
+    records, but still reads through it).
     """
 
     def __init__(self, path: PathLike) -> None:
@@ -267,8 +631,10 @@ class BinaryTraceReader:
         info = read_header(self._path)  # validates magic/version
         raw = self._path.open("rb")
         raw.seek(HEADER.size)
-        if info.compressed:
+        if info.codec == CODEC_GZIP:
             return gzip.GzipFile(fileobj=raw, mode="rb"), raw
+        if info.codec == CODEC_ZSTD:
+            return _ZstdMemberStream(raw, self._path), raw
         return raw, raw
 
     def iter_chunks(self, chunk_records: int = DEFAULT_CHUNK_RECORDS,
@@ -327,12 +693,90 @@ class BinaryTraceReader:
             )
         return _decode_records(blob)
 
+    def read_window(self, start: int, stop: int) -> List[MemoryAccess]:
+        """Records ``[start, stop)``, skipping the prefix without decoding.
+
+        The prefix is still *read* (and decompressed, for compressed
+        payloads) -- this is the sequential fallback.  The seekable readers
+        in :mod:`repro.sampling.seekable` open windows in O(window) instead.
+        """
+        if start < 0 or stop < start:
+            raise ValueError("need 0 <= start <= stop")
+        payload, raw = self._open_payload()
+        try:
+            skip = start * RECORD.size
+            if payload is raw:
+                raw.seek(HEADER.size + skip)
+            else:
+                while skip > 0:
+                    blob = payload.read(min(skip, 1 << 20))
+                    if not blob:
+                        return []
+                    skip -= len(blob)
+            blob = payload.read((stop - start) * RECORD.size)
+        finally:
+            payload.close()
+            raw.close()
+        return _decode_records(blob[:len(blob) - len(blob) % RECORD.size])
+
+
+class _ZstdMemberStream:
+    """Minimal read-only file object over concatenated zstd frames."""
+
+    def __init__(self, raw: IO[bytes], path: PathLike) -> None:
+        self._raw = raw
+        self._path = path
+        self._factory = _decompressobj_factory(CODEC_ZSTD, path)
+        self._decomp = None
+        self._buffer = b""
+        self._eof = False
+
+    def read(self, size: int = -1) -> bytes:
+        parts = []
+        remaining = size if size >= 0 else None
+        while remaining is None or remaining > 0:
+            if self._buffer:
+                take = (len(self._buffer) if remaining is None
+                        else min(remaining, len(self._buffer)))
+                parts.append(self._buffer[:take])
+                self._buffer = self._buffer[take:]
+                if remaining is not None:
+                    remaining -= take
+                continue
+            if self._eof:
+                break
+            chunk = self._raw.read(1 << 20)
+            if not chunk:
+                if self._decomp is not None:
+                    raise TraceFormatError(
+                        "truncated zstd frame in binary trace payload",
+                        path=self._path,
+                    )
+                self._eof = True
+                break
+            while chunk:
+                if self._decomp is None:
+                    self._decomp = self._factory()
+                self._buffer += self._decomp.decompress(chunk)
+                if self._decomp.eof:
+                    chunk = self._decomp.unused_data
+                    self._decomp = None
+                else:
+                    chunk = b""
+        return b"".join(parts)
+
+    def close(self) -> None:
+        self._decomp = None
+        self._buffer = b""
+
 
 def write_trace_bin(path: PathLike, accesses: Iterable[MemoryAccess],
-                    num_cores: int = 0, compress: bool = True) -> int:
+                    num_cores: int = 0, compress: bool = True,
+                    codec: Optional[str] = None,
+                    write_index: bool = True) -> int:
     """Write all accesses to ``path`` in binary form; returns the count."""
-    with BinaryTraceWriter(path, num_cores=num_cores,
-                           compress=compress) as writer:
+    with BinaryTraceWriter(path, num_cores=num_cores, compress=compress,
+                           codec=codec, write_index=write_index) as writer:
         writer.write_all(accesses)
         return writer.count
 
@@ -346,13 +790,24 @@ __all__ = [
     "BinaryTraceInfo",
     "BinaryTraceReader",
     "BinaryTraceWriter",
+    "ChunkIndex",
+    "CODECS",
+    "CODEC_GZIP",
+    "CODEC_NONE",
+    "CODEC_ZSTD",
     "DEFAULT_CHUNK_RECORDS",
     "FLAG_GZIP",
+    "FLAG_ZSTD",
+    "INDEX_SUFFIX",
     "MAGIC",
     "UNKNOWN_COUNT",
     "VERSION",
+    "available_codecs",
+    "decompress_members",
+    "index_path_for",
     "is_binary_trace",
     "read_header",
     "read_trace_bin",
     "write_trace_bin",
+    "zstd_available",
 ]

@@ -23,8 +23,16 @@ Layout and lifecycle:
 * Keys embed a hash of every profile field and the generator version, so a
   change to a workload's statistics or to the generator algorithm can never
   replay a stale trace.
-* Optional ``max_bytes`` budget: least-recently-*used* entries (load hits
-  refresh an entry's mtime) are evicted after each write.
+* ``max_bytes`` budget: least-recently-*used* entries (load hits refresh an
+  entry's mtime) are evicted after each write.  The default budget is
+  :data:`DEFAULT_MAX_BYTES` (override with the ``REPRO_TRACE_STORE_BYTES``
+  environment variable; ``0``/``none``/``unlimited`` disables the budget), so
+  a long-lived dev machine can no longer grow the store without bound.
+* Each entry's chunk-index sidecar (``.rptr.rpti``, see
+  :class:`repro.trace.binfmt.ChunkIndex`) lives and dies with the entry:
+  written through the same atomic rename, removed by eviction, counted by
+  the budget.  ``store.gc()`` additionally sweeps orphaned sidecars and
+  stale temp files.
 """
 
 from __future__ import annotations
@@ -33,12 +41,14 @@ import dataclasses
 import hashlib
 import os
 import re
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
-from repro.trace.binfmt import (BinaryTraceReader, BinaryTraceWriter,
+from repro.trace.binfmt import (INDEX_SUFFIX, BinaryTraceReader,
+                                BinaryTraceWriter, index_path_for,
                                 read_header)
 from repro.trace.errors import TraceFormatError
 from repro.trace.record import MemoryAccess
@@ -54,7 +64,23 @@ DISABLE_VALUES = frozenset({"off", "none", "0", "disabled", "no"})
 #: Environment variable overriding the store directory (or disabling it).
 ENV_VAR = "REPRO_TRACE_STORE"
 
+#: Environment variable overriding the default size budget (a size string;
+#: ``0``/``none``/``unlimited`` means no budget).
+BYTES_ENV_VAR = "REPRO_TRACE_STORE_BYTES"
+
+#: Default size budget of a store (2 GiB): large enough that benchmark and
+#: sweep working sets never thrash, small enough that a dev machine's cache
+#: directory stays bounded.
+DEFAULT_MAX_BYTES = 2 * 1024 ** 3
+
 _SUFFIX = ".rptr"
+
+#: Temp files younger than this are presumed to belong to a live writer and
+#: are never swept by :meth:`TraceStore.gc`.
+_STALE_TMP_SECONDS = 60 * 60
+
+#: Sentinel distinguishing "use the default budget" from an explicit None.
+_BUDGET_UNSET = object()
 
 
 def default_root() -> Path:
@@ -72,6 +98,26 @@ def configured_root() -> Optional[Path]:
     if value:
         return Path(value)
     return default_root()
+
+
+def default_max_bytes() -> Optional[int]:
+    """The store budget per the environment; ``None`` means unlimited.
+
+    A malformed ``REPRO_TRACE_STORE_BYTES`` falls back to the default
+    budget: a bad environment variable must never crash sweeps (the store
+    is an optional cache, and the conservative reading of a broken budget
+    is "budgeted").
+    """
+    value = os.environ.get(BYTES_ENV_VAR, "").strip()
+    if not value:
+        return DEFAULT_MAX_BYTES
+    if value.lower() in DISABLE_VALUES or value.lower() == "unlimited":
+        return None
+    try:
+        budget = parse_size(value)
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return budget if budget > 0 else None
 
 
 def trace_key_string(profile: WorkloadProfile, scale: int, num_cores: int,
@@ -114,14 +160,17 @@ class TraceStore:
         Store directory; defaults to :func:`configured_root` (and raises
         ``ValueError`` if the environment disabled the store).
     max_bytes:
-        Optional size budget; exceeding it after a write evicts
-        least-recently-used entries until back under budget.
+        Size budget; exceeding it after a write evicts least-recently-used
+        entries until back under budget.  Defaults to
+        :func:`default_max_bytes` (the ``REPRO_TRACE_STORE_BYTES``
+        environment variable, else :data:`DEFAULT_MAX_BYTES`); pass ``None``
+        for an explicitly unbounded store.
     compress:
         Gzip new entries (recommended; ~6x smaller).
     """
 
     def __init__(self, root: Optional[PathLike] = None,
-                 max_bytes: Optional[int] = None,
+                 max_bytes=_BUDGET_UNSET,
                  compress: bool = True) -> None:
         if root is None:
             root = configured_root()
@@ -131,8 +180,10 @@ class TraceStore:
                     f"root to force one"
                 )
         self.root = Path(root)
+        if max_bytes is _BUDGET_UNSET:
+            max_bytes = default_max_bytes()
         if max_bytes is not None and max_bytes <= 0:
-            raise ValueError("max_bytes must be positive")
+            raise ValueError("max_bytes must be positive (or None)")
         self.max_bytes = max_bytes
         self.compress = compress
         self.stats = StoreStats()
@@ -173,7 +224,7 @@ class TraceStore:
             read_header(path)  # reject corrupt/foreign files up front
         except TraceFormatError:
             self.stats.misses += 1
-            path.unlink(missing_ok=True)
+            self._unlink_entry(path)
             return None
         self.stats.hits += 1
         os.utime(path)
@@ -196,7 +247,7 @@ class TraceStore:
         except (OSError, EOFError, ValueError, IndexError, zlib.error):
             self.stats.hits -= 1
             self.stats.misses += 1
-            self.path_for(key).unlink(missing_ok=True)
+            self._unlink_entry(self.path_for(key))
             return None
 
     # ------------------------------------------------------------------ #
@@ -225,8 +276,14 @@ class TraceStore:
                     if collected is not None:
                         collected.extend(chunk)
             os.replace(tmp, final)
+            # The chunk-index sidecar follows its entry through the rename
+            # (readers validate it against the trace header, so a lost or
+            # torn sidecar is only ever a reconstruction, never corruption).
+            if index_path_for(tmp).exists():
+                os.replace(index_path_for(tmp), index_path_for(final))
         finally:
             tmp.unlink(missing_ok=True)
+            index_path_for(tmp).unlink(missing_ok=True)
         self.stats.writes += 1
         self._evict_over_budget(protect=final)
         return collected
@@ -250,48 +307,114 @@ class TraceStore:
     def __len__(self) -> int:
         return len(self.entries())
 
-    def total_bytes(self) -> int:
-        """Bytes currently occupied by store entries."""
-        return sum(p.stat().st_size for p in self.entries())
+    @staticmethod
+    def _entry_bytes(path: Path) -> int:
+        """Size of one entry plus its chunk-index sidecar (if any)."""
+        total = path.stat().st_size
+        sidecar = index_path_for(path)
+        if sidecar.exists():
+            total += sidecar.stat().st_size
+        return total
 
-    def _evict_over_budget(self, protect: Optional[Path] = None) -> None:
+    def _unlink_entry(self, path: Path) -> int:
+        """Remove one entry and its sidecar; returns bytes freed."""
+        freed = 0
+        for victim in (path, index_path_for(path)):
+            try:
+                freed += victim.stat().st_size
+            except OSError:
+                continue
+            victim.unlink(missing_ok=True)
+        return freed
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by store entries and their sidecars."""
+        return sum(self._entry_bytes(p) for p in self.entries())
+
+    def _evict_over_budget(self, protect: Optional[Path] = None) -> int:
         if self.max_bytes is None:
-            return
+            return 0
         entries = self.entries()
-        total = sum(p.stat().st_size for p in entries)
+        total = sum(self._entry_bytes(p) for p in entries)
+        freed = 0
         for path in entries:
             if total <= self.max_bytes:
                 break
             if protect is not None and path == protect:
                 continue
-            total -= path.stat().st_size
-            path.unlink(missing_ok=True)
+            reclaimed = self._unlink_entry(path)
+            total -= reclaimed
+            freed += reclaimed
             self.stats.evictions += 1
+        return freed
 
-    def evict_to(self, max_bytes: int) -> None:
-        """Evict least-recently-used entries until under ``max_bytes``."""
+    def evict_to(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Returns the number of bytes reclaimed.
+        """
         previous = self.max_bytes
         self.max_bytes = max_bytes
         try:
-            self._evict_over_budget()
+            return self._evict_over_budget()
         finally:
             self.max_bytes = previous
 
+    def gc(self, max_bytes=_BUDGET_UNSET) -> int:
+        """Collect garbage; returns the number of bytes reclaimed.
+
+        Three passes: (1) stale temp files from crashed writers (only
+        files older than an hour -- a younger temp may belong to a live
+        writer mid-``put_chunks``, whose ``os.replace`` must not be pulled
+        out from under it), (2) orphaned chunk-index sidecars whose trace
+        entry is gone, (3) LRU eviction down to ``max_bytes`` (defaulting
+        to the store's own budget; pass ``None`` to skip the eviction
+        pass).
+        """
+        if max_bytes is _BUDGET_UNSET:
+            max_bytes = self.max_bytes
+        freed = 0
+        if self.root.exists():
+            now = time.time()
+            for stale in self.root.glob(f"*{_SUFFIX}.tmp.*"):
+                try:
+                    stat = stale.stat()
+                    if now - stat.st_mtime < _STALE_TMP_SECONDS:
+                        continue
+                    stale.unlink()
+                    freed += stat.st_size
+                except OSError:
+                    continue
+            entry_names = {p.name for p in self.root.glob(f"*{_SUFFIX}")}
+            for sidecar in self.root.glob(f"*{_SUFFIX}{INDEX_SUFFIX}"):
+                if sidecar.name[:-len(INDEX_SUFFIX)] not in entry_names:
+                    try:
+                        freed += sidecar.stat().st_size
+                        sidecar.unlink()
+                    except OSError:
+                        continue
+        if max_bytes is not None:
+            freed += self.evict_to(max_bytes)
+        return freed
+
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (and its sidecar); returns the number removed."""
         removed = 0
         for path in self.entries():
-            path.unlink(missing_ok=True)
+            self._unlink_entry(path)
             removed += 1
         return removed
 
 
 __all__ = [
+    "BYTES_ENV_VAR",
+    "DEFAULT_MAX_BYTES",
     "DISABLE_VALUES",
     "ENV_VAR",
     "StoreStats",
     "TraceStore",
     "configured_root",
+    "default_max_bytes",
     "default_root",
     "trace_key_string",
 ]

@@ -173,11 +173,16 @@ class TestExperimentRunner:
 
 
 class TestSamplingRunner:
+    def test_construction_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="WindowedSampler"):
+            SamplingRunner(num_samples=2)
+
     def test_measure_miss_ratio_aggregates(self, fast_profile):
-        sampler = SamplingRunner(
-            ExperimentConfig(scale=4096, num_accesses=6_000, num_cores=4, seed=11),
-            num_samples=3,
-        )
+        with pytest.warns(DeprecationWarning):
+            sampler = SamplingRunner(
+                ExperimentConfig(scale=4096, num_accesses=6_000, num_cores=4, seed=11),
+                num_samples=3,
+            )
         measurement = sampler.measure_miss_ratio("unison", fast_profile, "1GB")
         assert len(measurement.samples) == 3
         assert 0.0 <= measurement.mean <= 1.0
@@ -189,5 +194,5 @@ class TestSamplingRunner:
         assert measurement.mean == pytest.approx(1.0, abs=0.05)
 
     def test_invalid_sample_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             SamplingRunner(num_samples=0)

@@ -1,5 +1,7 @@
 """Tests for counters, ratios, groups, confidence intervals and histograms."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -124,7 +126,10 @@ class TestConfidence:
         assert interval.relative_error == pytest.approx(0.2)
 
     def test_zero_mean_relative_error(self):
-        assert ConfidenceInterval(mean=0.0, half_width=1.0).relative_error == 0.0
+        # Undecidable: an unconverged measurement of a zero-mean quantity
+        # must not report itself as converged (relative error 0).
+        assert ConfidenceInterval(mean=0.0, half_width=1.0).relative_error == math.inf
+        assert ConfidenceInterval(mean=0.0, half_width=0.0).relative_error == 0.0
 
     @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
     def test_mean_always_inside_interval(self, samples):
@@ -191,3 +196,98 @@ class TestHistogram:
         hist.record(5)
         hist.record(1)
         assert [v for v, _ in hist.items()] == [1, 5]
+
+
+class TestConfidenceEdgeCases:
+    """Sampling-driver edge cases: n=1, zero variance, mean near zero."""
+
+    def test_single_window_never_reports_converged_error(self):
+        # n=1 yields a zero-width interval; the adaptive stopper must not
+        # read that as precision (it refuses to converge below 2 windows).
+        from repro.stats.sampling import AdaptiveStopper, WindowSeries
+
+        series = WindowSeries("miss")
+        series.add(0, 0.25)
+        assert series.interval().half_width == 0.0
+        assert not AdaptiveStopper().converged(series)
+
+    def test_zero_variance_converges_immediately(self):
+        from repro.stats.sampling import AdaptiveStopper, WindowSeries
+
+        series = WindowSeries("miss")
+        for i in range(2):
+            series.add(i, 0.125)
+        assert AdaptiveStopper().converged(series)
+
+    def test_near_zero_mean_needs_absolute_floor(self):
+        from repro.stats.sampling import AdaptiveStopper, WindowSeries
+
+        deltas = WindowSeries("delta")
+        for i, value in enumerate([1e-9, -1e-9, 2e-9, -2e-9]):
+            deltas.add(i, value)
+        # Relative criterion alone can never converge (mean ~ 0)...
+        assert not AdaptiveStopper().converged(deltas)
+        assert deltas.interval().relative_error > 1.0
+        # ...but an absolute floor sized to the quantity decides it.
+        assert AdaptiveStopper(absolute_floor=1e-6).converged(deltas)
+
+    def test_interval_of_empty_series_rejected(self):
+        from repro.stats.sampling import WindowSeries
+
+        with pytest.raises(ValueError):
+            WindowSeries("empty").interval()
+
+    def test_duplicate_window_rejected(self):
+        from repro.stats.sampling import WindowSeries
+
+        series = WindowSeries("m")
+        series.add(3, 1.0)
+        with pytest.raises(ValueError):
+            series.add(3, 2.0)
+
+
+class TestMatchedPairOrderIndependence:
+    """Property: aggregation must not depend on measurement order."""
+
+    @given(
+        values=st.lists(st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+                        min_size=2, max_size=40),
+        seed=st.integers(0, 2 ** 16),
+    )
+    def test_shuffled_insertion_gives_identical_aggregates(self, values, seed):
+        import random
+
+        from repro.stats.sampling import WindowSeries, matched_pair_deltas
+
+        indexed = list(enumerate(values))
+        shuffled = indexed[:]
+        random.Random(seed).shuffle(shuffled)
+
+        def build(pairs, side):
+            series = WindowSeries("s")
+            for index, pair in pairs:
+                series.add(index, pair[side])
+            return series
+
+        ordered = matched_pair_deltas(build(indexed, 0), build(indexed, 1))
+        scrambled = matched_pair_deltas(build(shuffled, 0), build(shuffled, 1))
+        assert ordered.values() == scrambled.values()
+        assert ordered.interval() == scrambled.interval()
+
+    @given(
+        common=st.lists(st.floats(-100, 100), min_size=2, max_size=20),
+        extra=st.integers(0, 5),
+    )
+    def test_unmatched_windows_are_ignored(self, common, extra):
+        from repro.stats.sampling import WindowSeries, matched_pair_deltas
+
+        a = WindowSeries("a")
+        b = WindowSeries("b")
+        for i, value in enumerate(common):
+            a.add(i, value + 1.0)
+            b.add(i, value)
+        for j in range(extra):  # windows only one side measured
+            a.add(1000 + j, 123.0)
+        deltas = matched_pair_deltas(a, b)
+        assert len(deltas) == len(common)
+        assert all(d == pytest.approx(1.0) for d in deltas.values())

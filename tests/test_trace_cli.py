@@ -115,3 +115,120 @@ class TestSweepBackCompat:
     def test_explicit_sweep_subcommand(self, capsys):
         assert main(["sweep", "--list-designs"]) == 0
         assert "unison" in capsys.readouterr().out
+
+
+class TestTraceConvertCodec:
+    def test_codec_none_yields_uncompressed(self, tmp_path):
+        from repro.trace.binfmt import read_header
+
+        src = tmp_path / "in.csv"
+        src.write_text("address,type\n0x1000,R\n0x2000,W\n")
+        dst = tmp_path / "out.rptr"
+        assert main(["trace", "convert", str(src), str(dst),
+                     "--codec", "none"]) == 0
+        assert read_header(dst).codec == "none"
+        assert len(read_trace_bin(dst)) == 2
+
+    def test_codec_zstd_round_trips_or_fails_cleanly(self, tmp_path, capsys):
+        from repro.trace.binfmt import read_header, zstd_available
+
+        src = tmp_path / "in.csv"
+        src.write_text("address,type\n0x1000,R\n")
+        dst = tmp_path / "out.rptr"
+        code = main(["trace", "convert", str(src), str(dst),
+                     "--codec", "zstd"])
+        if zstd_available():
+            assert code == 0
+            assert read_header(dst).codec == "zstd"
+            assert len(read_trace_bin(dst)) == 1
+        else:
+            assert code == 1
+            assert "zstd" in capsys.readouterr().err
+
+    def test_codec_rejected_for_text_output(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        src.write_text("address,type\n0x1000,R\n")
+        code = main(["trace", "convert", str(src), str(tmp_path / "out.trace"),
+                     "--codec", "gzip"])
+        assert code == 1
+        assert "binary" in capsys.readouterr().err
+
+
+class TestTraceStoreCli:
+    def test_info_reports_configured_store(self, capsys):
+        assert main(["trace", "store", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "root:" in out and "budget:" in out
+
+    def test_gc_reclaims_orphans_and_reports_bytes(self, tmp_path,
+                                                   monkeypatch, capsys):
+        import os as _os
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "store"))
+        (tmp_path / "store").mkdir()
+        orphan = tmp_path / "store" / "gone.rptr.rpti"
+        orphan.write_bytes(b"x" * 100)
+        stale = tmp_path / "store" / "t.rptr.tmp.123"
+        stale.write_bytes(b"y" * 50)
+        _os.utime(stale, (1, 1))  # ancient: no live writer owns it
+        fresh = tmp_path / "store" / "u.rptr.tmp.456"
+        fresh.write_bytes(b"z" * 25)  # a live writer's in-flight temp
+        assert main(["trace", "store", "gc"]) == 0
+        assert "reclaimed 150 bytes" in capsys.readouterr().out
+        assert not orphan.exists() and not stale.exists()
+        assert fresh.exists()
+
+    def test_gc_evicts_to_explicit_budget(self, tmp_path, monkeypatch,
+                                          capsys):
+        from repro.trace.store import TraceStore
+        from repro.workloads.cloudsuite import workload_by_name
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "store"))
+        store = TraceStore(root=tmp_path / "store")
+        from tests.test_binfmt import sample_trace
+        for seed in (1, 2):
+            store.put(store.key(workload_by_name("Web Search"), 128, 4,
+                                seed, 400), sample_trace(400))
+        assert main(["trace", "store", "gc", "--max-bytes", "1KB"]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        assert len(store) <= 1
+
+    def test_disabled_store_errors(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_STORE", "off")
+        assert main(["trace", "store", "info"]) == 1
+        assert "disabled" in capsys.readouterr().err
+
+
+class TestSampleCli:
+    def test_sample_two_designs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(["sample", "--designs", "unison", "alloy",
+                     "--workload", "Web Search", "--capacity", "1GB",
+                     "--scale", "8192", "--accesses", "12000",
+                     "--windows", "3", "--window-accesses", "800",
+                     "--warmup-accesses", "800",
+                     "--checkpoint-accesses", "2000",
+                     "--json", "sample.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+        assert "Matched-pair deltas" in out
+        assert (tmp_path / "sample.json").exists()
+
+    def test_sample_trace_file_workload(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.rptr"
+        main(["trace", "gen", "--accesses", "9000", "--cores", "2",
+              "--scale", "8192", "--out", str(trace_path)])
+        capsys.readouterr()
+        code = main(["sample", "--designs", "unison",
+                     "--workload", str(trace_path), "--capacity", "1GB",
+                     "--scale", "8192", "--accesses", "9000",
+                     "--windows", "2", "--window-accesses", "500",
+                     "--warmup-accesses", "500",
+                     "--checkpoint-accesses", "1000", "--quiet"])
+        assert code == 0
+        assert "unison" in capsys.readouterr().out
+
+    def test_sample_rejects_unknown_design(self, capsys):
+        assert main(["sample", "--designs", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err

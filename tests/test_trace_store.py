@@ -118,9 +118,12 @@ class TestHitMiss:
     def test_no_partial_files_after_put(self, store, profile):
         key = store.key(profile, 128, 4, 1, 10)
         store.put(key, make_trace(10))
+        # Only the entry and its chunk-index sidecar may remain -- never a
+        # temp file from the atomic-rename dance.
         leftovers = [p for p in store.root.iterdir()
-                     if p.suffix != ".rptr"]
+                     if p.suffix not in (".rptr", ".rpti")]
         assert leftovers == []
+        assert (store.root / f"{key}.rptr.rpti").exists()
 
 
 class TestEviction:

@@ -1,0 +1,266 @@
+"""Tests for window planning, the windowed sampler, and sweep wiring."""
+
+import pytest
+
+from repro.sampling import SamplingConfig, WindowedSampler, plan_windows
+from repro.sampling.windows import PLACEMENT_RANDOM, PLACEMENT_SYSTEMATIC
+from repro.sim.executor import run_sweep, run_trial
+from repro.sim.experiment import ExperimentConfig, ExperimentRunner
+from repro.sim.spec import ExperimentSpec, SweepSpec
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ExperimentConfig(scale=4096, num_accesses=24_000, num_cores=4,
+                            seed=5)
+
+
+@pytest.fixture(scope="module")
+def fast_sampling():
+    return SamplingConfig(window_accesses=1_000, warmup_accesses=1_000,
+                          checkpoint_accesses=4_000, min_windows=3,
+                          max_windows=6)
+
+
+class TestSamplingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(window_accesses=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(min_windows=5, max_windows=4)
+        with pytest.raises(ValueError):
+            SamplingConfig(placement="haphazard")
+        with pytest.raises(ValueError):
+            SamplingConfig(target_relative_error=0.0)
+
+    def test_hashable_and_frozen(self):
+        config = SamplingConfig()
+        assert hash(config) == hash(SamplingConfig())
+        with pytest.raises(AttributeError):
+            config.seed = 3
+
+
+class TestPlanWindows:
+    def test_systematic_spans_region_without_overlap(self):
+        config = SamplingConfig(window_accesses=1_000, warmup_accesses=500,
+                                checkpoint_accesses=5_000, max_windows=10)
+        plan = plan_windows(90_000, 2.0 / 3.0, config)
+        region_start = 60_000
+        assert plan.checkpoint_stop == region_start
+        assert plan.checkpoint_start == region_start - 5_000
+        assert len(plan.windows) == 10
+        assert plan.windows[0].start == region_start
+        assert plan.windows[-1].stop == 90_000
+        for earlier, later in zip(plan.windows, plan.windows[1:]):
+            assert earlier.stop <= later.start  # non-overlapping
+        for window in plan.windows:
+            assert window.warmup_start >= plan.checkpoint_stop
+            assert window.warmup_start <= window.start
+
+    def test_random_placement_is_seeded(self):
+        config = SamplingConfig(placement=PLACEMENT_RANDOM, seed=7,
+                                max_windows=8)
+        one = plan_windows(100_000, 0.5, config)
+        two = plan_windows(100_000, 0.5, config)
+        assert one == two
+        other = plan_windows(
+            100_000, 0.5,
+            SamplingConfig(placement=PLACEMENT_RANDOM, seed=8, max_windows=8),
+        )
+        assert one.windows != other.windows
+
+    def test_random_placement_stays_in_region(self):
+        config = SamplingConfig(placement=PLACEMENT_RANDOM, seed=3,
+                                window_accesses=2_000, max_windows=12)
+        plan = plan_windows(120_000, 2.0 / 3.0, config)
+        for window in plan.windows:
+            assert 80_000 <= window.start
+            assert window.stop <= 120_000
+
+    def test_measurement_order_is_shuffled_and_deterministic(self):
+        config = SamplingConfig(max_windows=20)
+        plan = plan_windows(500_000, 2.0 / 3.0, config)
+        assert sorted(plan.order) == list(range(len(plan.windows)))
+        assert plan.order == plan_windows(500_000, 2.0 / 3.0, config).order
+        assert plan.order != tuple(range(len(plan.windows)))
+
+    def test_degenerate_small_trace_collapses_to_one_window(self):
+        config = SamplingConfig(window_accesses=50_000)
+        plan = plan_windows(3_000, 2.0 / 3.0, config)
+        assert len(plan.windows) == 1
+        assert plan.windows[0].start == 2_000
+        assert plan.windows[0].stop == 3_000
+
+    def test_simulated_accesses_accounting(self):
+        config = SamplingConfig(window_accesses=1_000, warmup_accesses=500,
+                                checkpoint_accesses=4_000, max_windows=5)
+        plan = plan_windows(60_000, 2.0 / 3.0, config)
+        per_window = [plan.windows[i].simulated_accesses for i in plan.order]
+        assert plan.simulated_accesses(0) == 4_000
+        assert plan.simulated_accesses(2) == 4_000 + sum(per_window[:2])
+        assert plan.sampled_fraction(len(plan.windows)) < 1.0
+
+
+class TestWindowedSampler:
+    def test_deterministic(self, fast_config, fast_sampling, tiny_profile):
+        sampler = WindowedSampler(fast_sampling, config=fast_config)
+        one = sampler.compare(["unison"], tiny_profile, "1GB")
+        two = sampler.compare(["unison"], tiny_profile, "1GB")
+        assert one.results()[0] == two.results()[0]
+        assert one.measured == two.measured
+
+    def test_matched_windows_across_designs(self, fast_config, fast_sampling,
+                                            tiny_profile):
+        run = WindowedSampler(fast_sampling, config=fast_config).compare(
+            ["unison", "alloy"], tiny_profile, "1GB")
+        unison = run.designs["unison"].series["miss_ratio"]
+        alloy = run.designs["alloy"].series["miss_ratio"]
+        assert unison.indices() == alloy.indices()
+        delta = run.delta("speedup_vs_no_cache", "unison", "alloy")
+        assert len(delta) == run.windows_measured
+
+    def test_sampled_fraction_below_one(self, fast_config, fast_sampling,
+                                        tiny_profile):
+        run = WindowedSampler(fast_sampling, config=fast_config).compare(
+            ["unison"], tiny_profile, "1GB")
+        assert 0.0 < run.sampled_fraction < 1.0
+        assert run.results()[0].extra["sampling_fraction"] == run.sampled_fraction
+
+    def test_zero_variance_stops_at_min_windows(self, fast_config,
+                                                tiny_profile):
+        """no_cache misses every access and its speedup against itself is
+        exactly 1.0, so both tracked series are constant and the adaptive
+        stopper must terminate at min_windows."""
+        sampling = SamplingConfig(window_accesses=500, warmup_accesses=500,
+                                  checkpoint_accesses=2_000, min_windows=2,
+                                  max_windows=8)
+        run = WindowedSampler(sampling, config=fast_config).compare(
+            ["no_cache"], tiny_profile, "1GB")
+        assert run.windows_measured == 2
+        assert run.converged
+
+    def test_sampled_agrees_loosely_with_full_replay(self, fast_config,
+                                                     tiny_profile):
+        """Sanity at unit-test scale: the sampled estimate must land in the
+        right neighbourhood of the full replay (tight agreement is the
+        benchmark suite's job)."""
+        runner = ExperimentRunner(fast_config)
+        trace = runner.build_trace(tiny_profile)
+        full = runner.run_design("unison", tiny_profile, "1GB", trace=trace)
+        sampling = SamplingConfig(window_accesses=2_000,
+                                  warmup_accesses=1_000,
+                                  checkpoint_accesses=6_000,
+                                  min_windows=4, max_windows=4)
+        sampled = WindowedSampler(sampling, config=fast_config).run_design(
+            "unison", tiny_profile, "1GB", trace=trace)
+        assert abs(sampled.miss_ratio - full.miss_ratio) < 0.1
+        assert abs(sampled.speedup_vs_no_cache - full.speedup_vs_no_cache) \
+            < 0.15 * full.speedup_vs_no_cache
+
+    def test_binary_trace_file_windows_seekably(self, fast_config,
+                                                fast_sampling, tiny_profile,
+                                                tmp_path):
+        from repro.trace.binfmt import write_trace_bin
+        from repro.workloads.tracefile import TraceFileWorkload
+
+        runner = ExperimentRunner(fast_config)
+        trace = runner.build_trace(tiny_profile)
+        path = tmp_path / "w.rptr"
+        write_trace_bin(path, trace, num_cores=4, compress=False)
+        workload = TraceFileWorkload(path=str(path))
+
+        sampler = WindowedSampler(fast_sampling, config=fast_config)
+        from_file = sampler.compare(["unison"], workload, "1GB")
+        in_memory = sampler.compare(["unison"], workload, "1GB", trace=trace)
+        file_result = from_file.results()[0]
+        mem_result = in_memory.results()[0]
+        assert file_result.miss_ratio == mem_result.miss_ratio
+        assert file_result.speedup_vs_no_cache == mem_result.speedup_vs_no_cache
+
+    def test_label_and_duplicate_validation(self, fast_config, fast_sampling,
+                                            tiny_profile):
+        sampler = WindowedSampler(fast_sampling, config=fast_config)
+        with pytest.raises(ValueError, match="duplicate"):
+            sampler.compare(["unison", "unison"], tiny_profile, "1GB")
+        run = sampler.compare(["unison", "unison"], tiny_profile, "1GB",
+                              labels=["a", "b"])
+        assert set(run.designs) == {"a", "b"}
+
+
+class TestSweepWiring:
+    def test_spec_sampling_axis(self, fast_config, fast_sampling,
+                                tiny_profile):
+        spec = SweepSpec(
+            designs=("unison",),
+            workloads=(tiny_profile,),
+            capacities=("1GB",),
+            config=fast_config,
+            sampling=fast_sampling,
+        )
+        for trial in spec.trials():
+            assert trial.sampling == fast_sampling
+
+    def test_override_can_mix_full_and_sampled(self, fast_config,
+                                               fast_sampling, tiny_profile):
+        spec = SweepSpec(
+            designs=("unison",),
+            workloads=(tiny_profile,),
+            capacities=("1GB",),
+            config=fast_config,
+            overrides=(
+                {"label": "full"},
+                {"label": "sampled", "sampling": fast_sampling},
+            ),
+        )
+        trials = spec.trials()
+        assert trials[0].sampling is None
+        assert trials[1].sampling == fast_sampling
+
+        results = run_sweep(spec)
+        by_design = {r.design: r for r in results}
+        assert "sampling_windows" not in by_design["full"].extra
+        assert by_design["sampled"].extra["sampling_windows"] >= 3
+        assert by_design["sampled"].accesses_measured \
+            < by_design["full"].accesses_measured
+
+    def test_sampling_mapping_coerced(self, fast_config, tiny_profile):
+        spec = ExperimentSpec(
+            design="unison", workload=tiny_profile, capacity="1GB",
+            config=fast_config,
+            sampling={"window_accesses": 500, "max_windows": 6},
+        )
+        assert isinstance(spec.sampling, SamplingConfig)
+        assert spec.sampling.window_accesses == 500
+
+    def test_invalid_sampling_rejected(self, fast_config, tiny_profile):
+        with pytest.raises(ValueError, match="sampling"):
+            ExperimentSpec(design="unison", workload=tiny_profile,
+                           capacity="1GB", config=fast_config,
+                           sampling="yes please")
+
+    def test_serial_parallel_identical(self, fast_config, fast_sampling,
+                                       tiny_profile):
+        spec = SweepSpec(
+            designs=("unison", "alloy"),
+            workloads=(tiny_profile,),
+            capacities=("1GB",),
+            config=fast_config,
+            sampling=fast_sampling,
+        )
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert serial == parallel
+
+    def test_run_trial_sampled_result_round_trips(self, fast_config,
+                                                  fast_sampling,
+                                                  tiny_profile, tmp_path):
+        from repro.sim.resultset import ResultSet
+
+        trial = ExperimentSpec(design="unison", workload=tiny_profile,
+                               capacity="1GB", config=fast_config,
+                               sampling=fast_sampling)
+        result = run_trial(trial)
+        results = ResultSet([result])
+        path = tmp_path / "sampled.json"
+        results.to_json(path)
+        assert ResultSet.from_json(path) == results
