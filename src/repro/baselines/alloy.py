@@ -14,30 +14,40 @@ Consequences the evaluation depends on (Section II-A):
   high, and
 * mispredicted hits pay lookup-then-memory serialization, while mispredicted
   misses waste off-chip bandwidth.
+
+The class is a named composition on the
+:class:`repro.dramcache.composed.ComposedDramCache` engine: direct-mapped TAD
+tags, the MAP-I hit predictor, and demand-block fetching.  The canonical
+``alloy`` design name is registered as a spec in
+:mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.config.cache_configs import AlloyCacheConfig
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import (
+    DemandBlockFetch,
+    DirectMappedBlockTags,
+    DisabledMissPrediction,
+    MissPredictionPolicy,
+    WritebackDirtyPolicy,
+)
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.predictors.miss import MissPredictor
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.stats.counters import StatGroup
-from repro.trace.record import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
 
 
-class AlloyCache(DramCacheModel):
+class AlloyCache(ComposedDramCache):
     """Direct-mapped, block-based DRAM cache with TADs and a miss predictor."""
 
     design_name = "alloy"
-
-    #: Warm state beyond the base's: the direct-mapped tag/dirty arrays and
-    #: the per-core miss-predictor tables.
-    _STATE_ATTRS = ("_tags", "_dirty", "miss_predictor")
 
     def __init__(self, config: Optional[AlloyCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
@@ -46,168 +56,68 @@ class AlloyCache(DramCacheModel):
                  interarrival_cycles: int = 6) -> None:
         self.config = config or AlloyCacheConfig()
         self.config.validate()
-        super().__init__(self.config.capacity_bytes, stacked, memory,
-                         interarrival_cycles=interarrival_cycles)
-
-        self.num_blocks = self.config.num_blocks
-        # Direct-mapped arrays: tag per frame (-1 == invalid) and a dirty flag.
-        self._tags: List[int] = [-1] * self.num_blocks
-        self._dirty: List[bool] = [False] * self.num_blocks
-
-        self.miss_predictor: Optional[MissPredictor] = None
+        tags = DirectMappedBlockTags(self.config)
         if self.config.use_miss_predictor:
-            self.miss_predictor = MissPredictor(
-                num_cores=num_cores,
-                entries_per_core=self.config.miss_predictor_entries_per_core,
+            hit_predictor = MissPredictionPolicy(
+                MissPredictor(
+                    num_cores=num_cores,
+                    entries_per_core=(
+                        self.config.miss_predictor_entries_per_core
+                    ),
+                ),
+                latency_cycles=self.config.miss_predictor_latency_cycles,
             )
-
-    # ------------------------------------------------------------------ #
-    def _frame_of(self, block_address: int) -> int:
-        return block_address % self.num_blocks
-
-    def _tag_of(self, block_address: int) -> int:
-        return block_address // self.num_blocks
-
-    def _row_of_frame(self, frame: int) -> "tuple[int, int]":
-        """(DRAM row, byte offset of the TAD within the row) for a frame."""
-        row = frame // self.config.blocks_per_row
-        slot = frame % self.config.blocks_per_row
-        return row, slot * self.config.tad_bytes
-
-    # ------------------------------------------------------------------ #
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        """Service one L2-miss request."""
-        block_address = request.block_address
-        frame = self._frame_of(block_address)
-        tag = self._tag_of(block_address)
-        is_hit = self._tags[frame] == tag
-
-        predicted_miss = False
-        predictor_latency = 0
-        if self.miss_predictor is not None:
-            predicted_miss = self.miss_predictor.record(
-                request.core_id, request.pc, was_miss=not is_hit
-            )
-            predictor_latency = self.config.miss_predictor_latency_cycles
-
-        if is_hit:
-            latency, extra_fetch = self._service_hit(
-                request, frame, predicted_miss, predictor_latency
-            )
-            self.cache_stats.record_hit(latency, request.is_write)
-            return DramCacheAccessResult(
-                hit=True, latency_cycles=latency,
-                offchip_blocks_fetched=extra_fetch,
-            )
-
-        latency, written = self._service_miss(
-            request, frame, tag, predicted_miss, predictor_latency
-        )
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False, latency_cycles=latency,
-            offchip_blocks_fetched=1, offchip_blocks_written=written,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _tad_read_latency(self, frame: int) -> int:
-        row, offset = self._row_of_frame(frame)
-        result = self.stacked.read(row, offset, self.config.tad_bytes, self._now)
-        return result.latency_cpu_cycles
-
-    def _service_hit(self, request: MemoryAccess, frame: int,
-                     predicted_miss: bool, predictor_latency: int) -> "tuple[int, int]":
-        """A true hit; returns (latency, extra off-chip blocks fetched)."""
-        extra_fetch = 0
-        tad_latency = self._tad_read_latency(frame)
-        if predicted_miss:
-            # False miss prediction: an unnecessary off-chip fetch was issued
-            # in parallel; the data still returns from the (faster) cache, but
-            # the memory request wastes bandwidth (Section II-A).
-            self.memory.read_block(request.block_address, self._now)
-            self.cache_stats.offchip_prefetch_blocks += 1
-            extra_fetch = 1
-        if request.is_write:
-            row, offset = self._row_of_frame(frame)
-            self.stacked.write(row, offset, self.config.tad_bytes, self._now)
-            self._dirty[frame] = True
-        return predictor_latency + tad_latency, extra_fetch
-
-    def _service_miss(self, request: MemoryAccess, frame: int, tag: int,
-                      predicted_miss: bool, predictor_latency: int) -> "tuple[int, int]":
-        """A true miss; returns (latency, dirty blocks written back)."""
-        if predicted_miss:
-            # Correctly predicted miss: the off-chip request is issued
-            # immediately, hiding the DRAM-cache lookup entirely.
-            offchip_latency = self.memory.read_block(request.block_address, self._now)
-            latency = predictor_latency + offchip_latency
         else:
-            # False hit prediction: the lookup happens first and only then is
-            # the off-chip request issued (tag-then-memory serialization).
-            lookup_latency = self._tad_read_latency(frame)
-            offchip_latency = self.memory.read_block(request.block_address, self._now)
-            latency = predictor_latency + lookup_latency + offchip_latency
-        self.cache_stats.offchip_demand_blocks += 1
-
-        written = self._install(request, frame, tag)
-        return latency, written
-
-    def _install(self, request: MemoryAccess, frame: int, tag: int) -> int:
-        """Install the fetched block, writing back a dirty victim if needed."""
-        written = 0
-        if self._tags[frame] >= 0 and self._dirty[frame]:
-            victim_block = self._tags[frame] * self.num_blocks + frame
-            self.memory.write_block(victim_block, self._now)
-            self.cache_stats.offchip_writeback_blocks += 1
-            written = 1
-        if self._tags[frame] >= 0:
-            self.cache_stats.pages_evicted += 1
-        self._tags[frame] = tag
-        self._dirty[frame] = request.is_write
-        self.cache_stats.pages_allocated += 1
-        row, offset = self._row_of_frame(frame)
-        self.stacked.write(row, offset, self.config.tad_bytes, self._now)
-        return written
+            hit_predictor = DisabledMissPrediction()
+        super().__init__(
+            tags=tags,
+            hit_predictor=hit_predictor,
+            fetch=DemandBlockFetch(),
+            writeback=WritebackDirtyPolicy(),
+            stacked=stacked,
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
+        )
 
     # ------------------------------------------------------------------ #
-    def reset_stats(self) -> None:
-        """Reset cache and predictor statistics; contents and training persist."""
-        super().reset_stats()
-        if self.miss_predictor is not None:
-            self.miss_predictor.reset_stats()
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "AlloyCache":
+        from repro.dramcache.spec import require_components, take_params
+
+        require_components(spec, tags=("direct-mapped",),
+                           hit_predictor=("map-i",), fetch=("demand",))
+        tags = take_params(spec.tags, "tag organization", ("page_blocks",))
+        if tags.get("page_blocks", 1) != 1:
+            raise ValueError(
+                "the AlloyCache model class is block-granular; use "
+                "model='composed' for multi-block page_blocks hybrids"
+            )
+        hit = take_params(spec.hit_predictor, "hit predictor",
+                          ("entries_per_core", "latency_cycles"))
+        take_params(spec.fetch, "fetch policy", ())
+        overrides = {}
+        if "entries_per_core" in hit:
+            overrides["miss_predictor_entries_per_core"] = (
+                hit["entries_per_core"])
+        if "latency_cycles" in hit:
+            overrides["miss_predictor_latency_cycles"] = hit["latency_cycles"]
+        config = AlloyCacheConfig(capacity=context.scaled_capacity_bytes,
+                                  **overrides)
+        return cls(config, num_cores=context.num_cores)
+
+    # ------------------------------------------------------------------ #
+    # Compatibility accessors into the components
+    # ------------------------------------------------------------------ #
+    @property
+    def num_blocks(self) -> int:
+        """Total number of block frames (== number of sets, direct-mapped)."""
+        return self.tags.num_blocks
 
     @property
-    def miss_prediction_accuracy(self) -> float:
-        """Fraction of misses correctly identified (Table V's "MP Accuracy")."""
-        if self.miss_predictor is None:
-            return 0.0
-        return self.miss_predictor.miss_identification.value
+    def _tags(self) -> List[int]:
+        return self.tags.tag_array
 
     @property
-    def miss_predictor_overfetch(self) -> float:
-        """Extra off-chip fetches caused by false miss predictions, per hit."""
-        if self.miss_predictor is None or self.cache_stats.hits == 0:
-            return 0.0
-        return self.miss_predictor.false_misses / self.cache_stats.hits
-
-    def extra_metrics(self) -> "dict[str, float]":
-        """Miss-predictor metrics reported in Table V."""
-        return {
-            "miss_prediction_accuracy": self.miss_prediction_accuracy,
-            "miss_predictor_overfetch": self.miss_predictor_overfetch,
-        }
-
-    def stats(self) -> StatGroup:
-        """Design, predictor and device statistics."""
-        group = super().stats()
-        if self.miss_predictor is not None:
-            group.merge_child(self.miss_predictor.stats())
-        return group
-
-
-@register_design("alloy",
-                 description="direct-mapped tag-and-data block cache with a "
-                             "per-core miss predictor (Qureshi & Loh)")
-def _build_alloy(context: DesignBuildContext) -> AlloyCache:
-    return AlloyCache(AlloyCacheConfig(capacity=context.scaled_capacity_bytes),
-                      num_cores=context.num_cores)
+    def _dirty(self) -> List[bool]:
+        return self.tags.dirty

@@ -7,54 +7,47 @@ storage -- and its latency -- grow with capacity (Table IV): ~3 MB at 512 MB,
 ~50 MB at 8 GB, at which point the design is no longer practical.  The model
 charges every access the capacity-dependent SRAM tag latency and otherwise
 follows the same footprint-prediction flow as Unison Cache.
+
+The class is a named composition on the
+:class:`repro.dramcache.composed.ComposedDramCache` engine: SRAM page tags
+plus footprint fetching -- the *same*
+:class:`~repro.dramcache.components.FootprintFetch` component Unison uses,
+which is exactly the paper's point.  The canonical ``footprint`` design name
+is registered as a spec in :mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
-from repro.cache.replacement import LruPolicy
 from repro.config.cache_configs import (
     FootprintCacheConfig,
     footprint_tag_array_for_capacity,
 )
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import (
+    FootprintFetch,
+    PageFrame,
+    SramPageTags,
+    WritebackDirtyPolicy,
+)
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.predictors.footprint import FootprintPredictor
 from repro.predictors.singleton import SingletonTable
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.stats.counters import StatGroup
-from repro.trace.record import MemoryAccess
-from repro.utils.bitvector import BitVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
+
+#: Backwards-compatible alias: the page-frame record used to be private here.
+_PageFrame = PageFrame
 
 
-@dataclass
-class _PageFrame:
-    """One way of one set of the Footprint Cache."""
-
-    valid: bool = False
-    page_number: int = -1
-    vbits: BitVector = field(default_factory=lambda: BitVector(32))
-    dbits: BitVector = field(default_factory=lambda: BitVector(32))
-    demanded: BitVector = field(default_factory=lambda: BitVector(32))
-    predicted: BitVector = field(default_factory=lambda: BitVector(32))
-    trigger_pc: int = 0
-    trigger_offset: int = 0
-    #: Whether the fetched footprint came from a trained history entry.
-    predicted_from_history: bool = False
-
-
-class FootprintCache(DramCacheModel):
+class FootprintCache(ComposedDramCache):
     """Page-based DRAM cache with SRAM tags and footprint prediction."""
 
     design_name = "footprint"
-
-    #: Warm state beyond the base's: the per-set frames, LRU state, and the
-    #: footprint/singleton predictor tables.
-    _STATE_ATTRS = ("_frames", "_lru", "footprint_predictor",
-                    "singleton_table")
 
     def __init__(self, config: Optional[FootprintCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
@@ -63,254 +56,79 @@ class FootprintCache(DramCacheModel):
                  interarrival_cycles: int = 6) -> None:
         self.config = config or FootprintCacheConfig()
         self.config.validate()
-        super().__init__(self.config.capacity_bytes, stacked, memory,
-                         interarrival_cycles=interarrival_cycles)
-
-        #: SRAM tag lookup latency; defaults to the Table IV value for the
-        #: configured capacity but can be overridden (the experiment harness
-        #: overrides it when simulating a scaled-down cache so the latency
-        #: still reflects the *paper's* capacity).
-        self.tag_latency_cycles = (
-            tag_latency_cycles
-            if tag_latency_cycles is not None
-            else self.config.tag_array.lookup_latency_cycles
+        tags = SramPageTags(self.config, tag_latency_cycles=tag_latency_cycles)
+        fetch = FootprintFetch(
+            FootprintPredictor(
+                blocks_per_page=self.config.blocks_per_page,
+                num_entries=self.config.footprint_table_entries,
+            ),
+            SingletonTable(
+                num_entries=self.config.singleton_table_entries,
+                blocks_per_page=self.config.blocks_per_page,
+            ),
         )
-
-        blocks = self.config.blocks_per_page
-        self.footprint_predictor = FootprintPredictor(
-            blocks_per_page=blocks,
-            num_entries=self.config.footprint_table_entries,
-        )
-        self.singleton_table = SingletonTable(
-            num_entries=self.config.singleton_table_entries,
-            blocks_per_page=blocks,
-        )
-
-        self.num_sets = self.config.num_sets
-        self.associativity = min(self.config.associativity, max(1, self.config.num_pages))
-        self._frames: List[List[_PageFrame]] = [
-            [self._new_frame() for _ in range(self.associativity)]
-            for _ in range(self.num_sets)
-        ]
-        self._lru: List[LruPolicy] = [
-            LruPolicy(self.associativity) for _ in range(self.num_sets)
-        ]
-
-        self._pages_per_row = max(1, self.config.row_buffer_size // self.config.page_size)
-
-    # ------------------------------------------------------------------ #
-    def _new_frame(self) -> _PageFrame:
-        blocks = self.config.blocks_per_page
-        return _PageFrame(
-            vbits=BitVector(blocks),
-            dbits=BitVector(blocks),
-            demanded=BitVector(blocks),
-            predicted=BitVector(blocks),
-        )
-
-    def _locate(self, block_address: int) -> "tuple[int, int, int]":
-        """(page number, set index, block offset) for a block address."""
-        page = block_address // self.config.blocks_per_page
-        offset = block_address % self.config.blocks_per_page
-        return page, page % self.num_sets, offset
-
-    def _find_way(self, set_index: int, page: int) -> int:
-        for way, frame in enumerate(self._frames[set_index]):
-            if frame.valid and frame.page_number == page:
-                return way
-        return -1
-
-    def _row_of(self, set_index: int, way: int) -> "tuple[int, int]":
-        """(DRAM row, byte offset of the page within the row) for a frame."""
-        frame_id = set_index * self.associativity + way
-        row = frame_id // self._pages_per_row
-        slot = frame_id % self._pages_per_row
-        return row, slot * self.config.page_size
-
-    # ------------------------------------------------------------------ #
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        """Service one L2-miss request."""
-        page, set_index, offset = self._locate(request.block_address)
-        way = self._find_way(set_index, page)
-        if way >= 0:
-            return self._access_resident_page(request, page, set_index, way, offset)
-        return self._trigger_miss(request, page, set_index, offset)
-
-    # ------------------------------------------------------------------ #
-    def _access_resident_page(self, request: MemoryAccess, page: int,
-                              set_index: int, way: int,
-                              offset: int) -> DramCacheAccessResult:
-        frame = self._frames[set_index][way]
-        frame.demanded.set(offset)
-        if request.is_write:
-            frame.dbits.set(offset)
-        self._lru[set_index].on_access(way)
-
-        row, page_base = self._row_of(set_index, way)
-        if frame.vbits.get(offset):
-            # Hit: SRAM tag lookup, then the data block read from stacked DRAM.
-            data = self.stacked.read(
-                row, page_base + offset * self.config.block_size,
-                self.config.block_size, self._now,
-            )
-            latency = self.tag_latency_cycles + data.latency_cpu_cycles
-            if request.is_write:
-                self.stacked.write(
-                    row, page_base + offset * self.config.block_size,
-                    self.config.block_size, self._now,
-                )
-            self.cache_stats.record_hit(latency, request.is_write)
-            return DramCacheAccessResult(hit=True, latency_cycles=latency)
-
-        # Footprint underprediction: fetch just the missing block.
-        self.cache_stats.underprediction_misses += 1
-        offchip = self.memory.read_block(request.block_address, self._now)
-        self.cache_stats.offchip_demand_blocks += 1
-        frame.vbits.set(offset)
-        self.stacked.write(
-            row, page_base + offset * self.config.block_size,
-            self.config.block_size, self._now,
-        )
-        latency = self.tag_latency_cycles + offchip
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False, latency_cycles=latency, offchip_blocks_fetched=1
+        super().__init__(
+            tags=tags,
+            fetch=fetch,
+            writeback=WritebackDirtyPolicy(),
+            stacked=stacked,
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
         )
 
     # ------------------------------------------------------------------ #
-    def _trigger_miss(self, request: MemoryAccess, page: int, set_index: int,
-                      offset: int) -> DramCacheAccessResult:
-        correction = self.singleton_table.record_access(page, offset)
-        if correction is not None:
-            trigger_pc, trigger_offset, observed = correction
-            self.footprint_predictor.update(trigger_pc, trigger_offset, observed)
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "FootprintCache":
+        from repro.dramcache.spec import require_components, take_params
 
-        prediction = self.footprint_predictor.predict(request.pc, offset)
-
-        if prediction.is_singleton and prediction.from_history:
-            offchip = self.memory.read_block(request.block_address, self._now)
-            self.cache_stats.offchip_demand_blocks += 1
-            self.cache_stats.singleton_bypasses += 1
-            if correction is None:
-                self.singleton_table.insert(page, request.pc, offset)
-            latency = self.tag_latency_cycles + offchip
-            self.cache_stats.record_miss(latency, request.is_write)
-            return DramCacheAccessResult(
-                hit=False, latency_cycles=latency, offchip_blocks_fetched=1
-            )
-
-        victim_way = self._lru[set_index].victim(
-            [frame.valid for frame in self._frames[set_index]]
-        )
-        written_back = self._evict(set_index, victim_way)
-
-        footprint = prediction.footprint.copy()
-        footprint.set(offset)
-        fetch_offsets = footprint.indices()
-        base_block = page * self.config.blocks_per_page
-        offchip = self.memory.fetch_blocks(
-            [base_block + o for o in fetch_offsets], self._now
-        )
-        self.cache_stats.offchip_demand_blocks += 1
-        self.cache_stats.offchip_prefetch_blocks += len(fetch_offsets) - 1
-
-        frame = self._frames[set_index][victim_way]
-        frame.valid = True
-        frame.page_number = page
-        frame.vbits = footprint.copy()
-        frame.dbits = BitVector(self.config.blocks_per_page)
-        frame.demanded = BitVector.from_indices(self.config.blocks_per_page, [offset])
-        frame.predicted = footprint.copy()
-        frame.predicted_from_history = prediction.from_history
-        frame.trigger_pc = request.pc
-        frame.trigger_offset = offset
-        if request.is_write:
-            frame.dbits.set(offset)
-        self._lru[set_index].on_fill(victim_way)
-        self.cache_stats.pages_allocated += 1
-
-        row, page_base = self._row_of(set_index, victim_way)
-        self.stacked.fill_blocks(
-            row,
-            [page_base + o * self.config.block_size for o in fetch_offsets],
-            self._now,
-        )
-
-        latency = self.tag_latency_cycles + offchip
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False, latency_cycles=latency,
-            offchip_blocks_fetched=len(fetch_offsets),
-            offchip_blocks_written=written_back,
+        require_components(spec, tags=("sram-page",), hit_predictor=("none",),
+                           fetch=("footprint",))
+        tags = take_params(spec.tags, "tag organization",
+                           ("page_size", "associativity"))
+        fetch = take_params(spec.fetch, "fetch policy",
+                            ("table_entries", "singleton_entries"))
+        overrides = {}
+        if context.associativity is not None:
+            overrides["associativity"] = context.associativity
+        elif "associativity" in tags:
+            overrides["associativity"] = tags["associativity"]
+        if "page_size" in tags:
+            overrides["page_size"] = tags["page_size"]
+        if "table_entries" in fetch:
+            overrides["footprint_table_entries"] = fetch["table_entries"]
+        if "singleton_entries" in fetch:
+            overrides["singleton_table_entries"] = fetch["singleton_entries"]
+        # The SRAM tag latency is dictated by the *paper* capacity (Table IV).
+        tag_latency = footprint_tag_array_for_capacity(
+            context.paper_capacity_bytes
+        ).lookup_latency_cycles
+        return cls(
+            FootprintCacheConfig(capacity=context.scaled_capacity_bytes,
+                                 **overrides),
+            tag_latency_cycles=tag_latency,
         )
 
     # ------------------------------------------------------------------ #
-    def _evict(self, set_index: int, way: int) -> int:
-        frame = self._frames[set_index][way]
-        if not frame.valid:
-            return 0
-        self.cache_stats.pages_evicted += 1
-        actual = frame.demanded.copy()
-        if not actual.any():
-            actual.set(frame.trigger_offset)
-        self.footprint_predictor.update(frame.trigger_pc, frame.trigger_offset, actual)
-        self.footprint_predictor.record_outcome(
-            frame.predicted, actual, from_history=frame.predicted_from_history
-        )
-
-        dirty_offsets = frame.dbits.intersection(frame.vbits).indices()
-        if dirty_offsets:
-            base_block = frame.page_number * self.config.blocks_per_page
-            self.memory.write_blocks(
-                [base_block + o for o in dirty_offsets], self._now
-            )
-            self.cache_stats.offchip_writeback_blocks += len(dirty_offsets)
-
-        frame.valid = False
-        frame.page_number = -1
-        return len(dirty_offsets)
-
+    # Compatibility accessors into the components
     # ------------------------------------------------------------------ #
-    def reset_stats(self) -> None:
-        """Reset cache and predictor statistics; contents and training persist."""
-        super().reset_stats()
-        self.footprint_predictor.reset_stats()
+    @property
+    def tag_latency_cycles(self) -> int:
+        """SRAM tag lookup latency charged on every access."""
+        return self.tags.tag_latency_cycles
 
     @property
-    def footprint_accuracy(self) -> float:
-        """Measured footprint-predictor accuracy (Table V)."""
-        return self.footprint_predictor.accuracy_ratio
+    def num_sets(self) -> int:
+        return self.tags.num_sets
 
     @property
-    def footprint_overfetch(self) -> float:
-        """Measured footprint overfetch ratio (Table V)."""
-        return self.footprint_predictor.overfetch_ratio
+    def associativity(self) -> int:
+        return self.tags.associativity
 
-    def extra_metrics(self) -> Dict[str, float]:
-        """Footprint-predictor metrics reported in Table V."""
-        return {
-            "footprint_accuracy": self.footprint_accuracy,
-            "footprint_overfetch": self.footprint_overfetch,
-        }
+    @property
+    def _frames(self) -> List[List[PageFrame]]:
+        return self.tags.frames
 
-    def stats(self) -> StatGroup:
-        """Design, predictor and device statistics."""
-        group = super().stats()
-        group.merge_child(self.footprint_predictor.stats())
-        group.merge_child(self.singleton_table.stats())
-        return group
-
-
-@register_design("footprint",
-                 description="2KB pages with footprint prediction and SRAM "
-                             "tags whose latency grows with capacity "
-                             "(Jevdjic et al., ISCA'13)")
-def _build_footprint(context: DesignBuildContext) -> FootprintCache:
-    # The SRAM tag latency is dictated by the *paper* capacity (Table IV).
-    tag_latency = footprint_tag_array_for_capacity(
-        context.paper_capacity_bytes
-    ).lookup_latency_cycles
-    return FootprintCache(
-        FootprintCacheConfig(capacity=context.scaled_capacity_bytes),
-        tag_latency_cycles=tag_latency,
-    )
+    @property
+    def _lru(self):
+        return self.tags.lru

@@ -4,28 +4,32 @@ The reference point of Figures 7 and 8: a cache that never misses and has no
 tag-access overhead, equivalent to treating the die-stacked DRAM as main
 memory.  Every request costs exactly one stacked-DRAM block read and generates
 no off-chip traffic.
+
+The class is a named composition on the
+:class:`repro.dramcache.composed.ComposedDramCache` engine: the always-hit
+tag organization and nothing else.  The canonical ``ideal`` design name is
+registered as a spec in :mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import AlwaysHitTags
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.trace.record import MemoryAccess
 from repro.utils.units import parse_size, SizeLike
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
 
-class IdealCache(DramCacheModel):
+
+class IdealCache(ComposedDramCache):
     """A 100%-hit-rate, zero-tag-overhead DRAM cache."""
 
     design_name = "ideal"
-
-    #: No design-local warm state: a 100%-hit cache has no tags, predictors,
-    #: or replacement metadata to checkpoint.
-    _STATE_ATTRS: "tuple[str, ...]" = ()
 
     def __init__(self, capacity: SizeLike = "1GB",
                  stacked: Optional[StackedDram] = None,
@@ -33,23 +37,33 @@ class IdealCache(DramCacheModel):
                  row_buffer_size: int = 8 * 1024,
                  block_size: int = 64,
                  interarrival_cycles: int = 6) -> None:
-        super().__init__(parse_size(capacity), stacked, memory,
-                         interarrival_cycles=interarrival_cycles)
-        self.row_buffer_size = row_buffer_size
-        self.block_size = block_size
+        tags = AlwaysHitTags(
+            parse_size(capacity),
+            row_buffer_size=row_buffer_size,
+            block_size=block_size,
+        )
+        super().__init__(
+            tags=tags,
+            stacked=stacked,
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
+        )
 
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        """Every access hits and costs one stacked-DRAM block read."""
-        row = request.address // self.row_buffer_size
-        offset = (request.address % self.row_buffer_size) // self.block_size * self.block_size
-        result = self.stacked.read(row, offset, self.block_size, self._now)
-        latency = result.latency_cpu_cycles
-        self.cache_stats.record_hit(latency, request.is_write)
-        return DramCacheAccessResult(hit=True, latency_cycles=latency)
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "IdealCache":
+        from repro.dramcache.spec import require_components, take_params
 
+        require_components(spec, tags=("always-hit",),
+                           hit_predictor=("none",), fetch=("demand",))
+        take_params(spec.tags, "tag organization", ())
+        return cls(capacity=context.scaled_capacity_bytes)
 
-@register_design("ideal",
-                 description="100% hit rate, zero tag overhead -- the "
-                             "latency-optimized reference point of Figs. 7-8")
-def _build_ideal(context: DesignBuildContext) -> IdealCache:
-    return IdealCache(capacity=context.scaled_capacity_bytes)
+    # ------------------------------------------------------------------ #
+    @property
+    def row_buffer_size(self) -> int:
+        return self.tags.row_buffer_size
+
+    @property
+    def block_size(self) -> int:
+        return self.tags.block_size

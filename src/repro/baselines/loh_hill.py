@@ -9,33 +9,39 @@ for the data block -- the two accesses are serialized, but the scheduler keeps
 the row open so the data read is a row-buffer hit.  An on-chip "MissMap"
 records block presence so true misses can skip the in-DRAM tag lookup; its
 lookup latency is paid by every request.
+
+The class is a named composition on the
+:class:`repro.dramcache.composed.ComposedDramCache` engine: the MissMap tag
+organization with demand-block fetching.  The canonical ``loh_hill`` design
+name is registered as a spec in :mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.cache.replacement import LruPolicy
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import (
+    DemandBlockFetch,
+    MissMapBlockTags,
+    WritebackDirtyPolicy,
+)
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.stats.counters import StatGroup
-from repro.trace.record import MemoryAccess
 from repro.utils.units import parse_size, SizeLike
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
 
-class LohHillCache(DramCacheModel):
+
+class LohHillCache(ComposedDramCache):
     """Set-per-row, tags-in-DRAM block cache with a MissMap front end."""
 
     design_name = "loh_hill"
 
-    #: Warm state beyond the base's: per-set tag/dirty arrays, LRU state,
-    #: and the MissMap presence bits.
-    _STATE_ATTRS = ("_tags", "_dirty", "_lru", "_missmap")
-
     #: Bytes of tag metadata kept per data block (tag + state bits).
-    TAG_ENTRY_BYTES = 6
+    TAG_ENTRY_BYTES = MissMapBlockTags.TAG_ENTRY_BYTES
 
     def __init__(self, capacity: SizeLike = "1GB",
                  stacked: Optional[StackedDram] = None,
@@ -44,128 +50,77 @@ class LohHillCache(DramCacheModel):
                  block_size: int = 64,
                  missmap_latency_cycles: int = 8,
                  interarrival_cycles: int = 6) -> None:
-        super().__init__(parse_size(capacity), stacked, memory,
-                         interarrival_cycles=interarrival_cycles)
-        if row_buffer_size % block_size:
-            raise ValueError("row_buffer_size must be a multiple of block_size")
-        self.block_size = block_size
-        self.row_buffer_size = row_buffer_size
-        self.missmap_latency_cycles = missmap_latency_cycles
-
-        blocks_per_row = row_buffer_size // block_size
-        # Reserve the smallest number of block slots whose bytes can hold the
-        # tag entries of all remaining slots (2 KB rows -> 3 tag + 29 data
-        # blocks, exactly the original design; 8 KB rows -> 11 tag + 117 data).
-        tag_blocks = 1
-        while (blocks_per_row - tag_blocks) * self.TAG_ENTRY_BYTES > tag_blocks * block_size:
-            tag_blocks += 1
-        self.tag_blocks_per_row = tag_blocks
-        #: Data blocks per set.
-        self.associativity = blocks_per_row - tag_blocks
-        self.num_sets = self.capacity_bytes // row_buffer_size
-        if self.num_sets < 1:
-            raise ValueError("capacity must hold at least one DRAM row")
-
-        self._tags: List[List[int]] = [
-            [-1] * self.associativity for _ in range(self.num_sets)
-        ]
-        self._dirty: List[List[bool]] = [
-            [False] * self.associativity for _ in range(self.num_sets)
-        ]
-        self._lru: List[LruPolicy] = [
-            LruPolicy(self.associativity) for _ in range(self.num_sets)
-        ]
-        # The MissMap: presence bits for every block the cache may hold.
-        self._missmap: Dict[int, bool] = {}
+        tags = MissMapBlockTags(
+            parse_size(capacity),
+            row_buffer_size=row_buffer_size,
+            block_size=block_size,
+            missmap_latency_cycles=missmap_latency_cycles,
+        )
+        super().__init__(
+            tags=tags,
+            fetch=DemandBlockFetch(),
+            writeback=WritebackDirtyPolicy(),
+            stacked=stacked,
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
+        )
 
     # ------------------------------------------------------------------ #
-    def _locate(self, block_address: int) -> "tuple[int, int]":
-        return block_address % self.num_sets, block_address // self.num_sets
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "LohHillCache":
+        from repro.dramcache.spec import require_components, take_params
 
-    def _find_way(self, set_index: int, tag: int) -> int:
-        row_tags = self._tags[set_index]
-        for way, existing in enumerate(row_tags):
-            if existing == tag:
-                return way
-        return -1
-
-    def _tag_read(self, set_index: int) -> int:
-        result = self.stacked.read(
-            set_index, 0, self.tag_blocks_per_row * self.block_size, self._now
-        )
-        return result.latency_cpu_cycles
-
-    def _data_read(self, set_index: int, way: int) -> int:
-        offset = (self.tag_blocks_per_row + way) * self.block_size
-        result = self.stacked.read(set_index, offset, self.block_size, self._now)
-        return result.latency_cpu_cycles
+        require_components(spec, tags=("missmap",), hit_predictor=("none",),
+                           fetch=("demand",))
+        tags = take_params(spec.tags, "tag organization",
+                           ("missmap_latency_cycles",))
+        take_params(spec.fetch, "fetch policy", ())
+        overrides = {}
+        if "missmap_latency_cycles" in tags:
+            overrides["missmap_latency_cycles"] = tags["missmap_latency_cycles"]
+        return cls(capacity=context.scaled_capacity_bytes, **overrides)
 
     # ------------------------------------------------------------------ #
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        set_index, tag = self._locate(request.block_address)
-        way = self._find_way(set_index, tag)
-
-        if not self._missmap.get(request.block_address, False):
-            # MissMap says the block is absent: go straight to memory.
-            offchip = self.memory.read_block(request.block_address, self._now)
-            self.cache_stats.offchip_demand_blocks += 1
-            written = self._install(request, set_index, tag)
-            latency = self.missmap_latency_cycles + offchip
-            self.cache_stats.record_miss(latency, request.is_write)
-            return DramCacheAccessResult(
-                hit=False, latency_cycles=latency,
-                offchip_blocks_fetched=1, offchip_blocks_written=written,
-            )
-
-        # MissMap says present: tag read, then the data read (serialized; the
-        # data read hits the open row).
-        tag_latency = self._tag_read(set_index)
-        data_latency = self._data_read(set_index, max(way, 0))
-        self._lru[set_index].on_access(max(way, 0))
-        if request.is_write:
-            self._dirty[set_index][max(way, 0)] = True
-        latency = self.missmap_latency_cycles + tag_latency + data_latency
-        self.cache_stats.record_hit(latency, request.is_write)
-        return DramCacheAccessResult(hit=True, latency_cycles=latency)
-
-    def _install(self, request: MemoryAccess, set_index: int, tag: int) -> int:
-        """Allocate the fetched block; returns dirty blocks written back."""
-        written = 0
-        victim_way = self._lru[set_index].victim(
-            [existing >= 0 for existing in self._tags[set_index]]
-        )
-        victim_tag = self._tags[set_index][victim_way]
-        if victim_tag >= 0:
-            victim_block = victim_tag * self.num_sets + set_index
-            self._missmap.pop(victim_block, None)
-            if self._dirty[set_index][victim_way]:
-                self.memory.write_block(victim_block, self._now)
-                self.cache_stats.offchip_writeback_blocks += 1
-                written = 1
-            self.cache_stats.pages_evicted += 1
-        self._tags[set_index][victim_way] = tag
-        self._dirty[set_index][victim_way] = request.is_write
-        self._lru[set_index].on_fill(victim_way)
-        self._missmap[request.block_address] = True
-        self.cache_stats.pages_allocated += 1
-        # Update the in-row tag block and write the data block.
-        self.stacked.write(set_index, 0, self.block_size, self._now)
-        self.stacked.write(
-            set_index, (self.tag_blocks_per_row + victim_way) * self.block_size,
-            self.block_size, self._now,
-        )
-        return written
-
+    # Compatibility accessors into the components
     # ------------------------------------------------------------------ #
-    def stats(self) -> StatGroup:
-        """Design and device statistics plus MissMap occupancy."""
-        group = super().stats()
-        group.set("missmap_entries", len(self._missmap))
-        return group
+    @property
+    def block_size(self) -> int:
+        return self.tags.block_size
 
+    @property
+    def row_buffer_size(self) -> int:
+        return self.tags.row_buffer_size
 
-@register_design("loh_hill",
-                 description="tags-in-DRAM block cache with a MissMap "
-                             "(Loh & Hill, MICRO'11; extension)")
-def _build_loh_hill(context: DesignBuildContext) -> LohHillCache:
-    return LohHillCache(capacity=context.scaled_capacity_bytes)
+    @property
+    def missmap_latency_cycles(self) -> int:
+        return self.tags.missmap_latency_cycles
+
+    @property
+    def tag_blocks_per_row(self) -> int:
+        return self.tags.tag_blocks_per_row
+
+    @property
+    def associativity(self) -> int:
+        """Data blocks per set."""
+        return self.tags.associativity
+
+    @property
+    def num_sets(self) -> int:
+        return self.tags.num_sets
+
+    @property
+    def _tags(self) -> List[List[int]]:
+        return self.tags.tag_array
+
+    @property
+    def _dirty(self) -> List[List[bool]]:
+        return self.tags.dirty
+
+    @property
+    def _lru(self):
+        return self.tags.lru
+
+    @property
+    def _missmap(self) -> Dict[int, bool]:
+        return self.tags.missmap

@@ -3,51 +3,48 @@
 Useful as a lower-bound reference and for normalizing speedups: every L2 miss
 goes straight to off-chip memory, and off-chip traffic equals one block per
 access (the baseline the paper's bandwidth discussion compares against).
+
+The class is a named composition on the
+:class:`repro.dramcache.composed.ComposedDramCache` engine: the no-cache tag
+organization, which forwards reads and writes straight off chip.  The
+canonical ``no_cache`` design name is registered as a spec in
+:mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import NoCacheTags
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.trace.record import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
 
 
-class NoDramCache(DramCacheModel):
+class NoDramCache(ComposedDramCache):
     """Pass-through design: every request misses to off-chip memory."""
 
     design_name = "no_cache"
 
-    #: No design-local warm state: the base's declaration (statistics and
-    #: the DRAM device timing) covers everything mutable here.
-    _STATE_ATTRS: "tuple[str, ...]" = ()
-
     def __init__(self, memory: Optional[MainMemory] = None,
                  interarrival_cycles: int = 6) -> None:
-        super().__init__(capacity_bytes=1, stacked=StackedDram(), memory=memory,
-                         interarrival_cycles=interarrival_cycles)
-
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        """Every access is an off-chip memory access."""
-        if request.is_write:
-            latency = self.memory.write_block(request.block_address, self._now)
-            self.cache_stats.offchip_writeback_blocks += 1
-        else:
-            latency = self.memory.read_block(request.block_address, self._now)
-            self.cache_stats.offchip_demand_blocks += 1
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False, latency_cycles=latency,
-            offchip_blocks_fetched=0 if request.is_write else 1,
-            offchip_blocks_written=1 if request.is_write else 0,
+        super().__init__(
+            tags=NoCacheTags(),
+            stacked=StackedDram(),
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
         )
 
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "NoDramCache":
+        from repro.dramcache.spec import require_components, take_params
 
-@register_design("no_cache",
-                 description="no stacked-DRAM cache; every request goes "
-                             "off-chip (the speedup baseline)")
-def _build_no_cache(context: DesignBuildContext) -> NoDramCache:
-    return NoDramCache()
+        require_components(spec, tags=("no-cache",), hit_predictor=("none",),
+                           fetch=("demand",), writeback=("none",))
+        take_params(spec.tags, "tag organization", ())
+        return cls()

@@ -13,6 +13,10 @@ Two entry points share the program:
 * **Sampled measurement** (``repro sample``): checkpointed windowed sampling
   (see :mod:`repro.sampling`) of several designs over the *same* measurement
   windows, with per-design confidence intervals and matched-pair deltas.
+* **Design catalog** (``repro designs``): every registered design with its
+  component breakdown -- tag organization, hit predictor, fetch policy,
+  writeback policy -- for the spec-registered entries, plus the component
+  kinds available for composing new designs (``--components``).
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
                     --capacities 512MB 1GB 2GB --jobs 4
     python -m repro --list-designs
 
+    python -m repro designs
+    python -m repro designs --components
     python -m repro sample --designs unison alloy --workload "Web Search" \
                            --capacity 1GB --accesses 200000
     python -m repro trace gen --workload "Web Search" --accesses 100000 \
@@ -104,6 +110,48 @@ def _list_workloads() -> int:
     for profile in ALL_WORKLOADS:
         print(f"{profile.name:<{width}}  working set {profile.working_set}, "
               f"{profile.l2_mpki:g} L2 MPKI")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro designs
+# --------------------------------------------------------------------- #
+def build_designs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro designs",
+        description="List registered DRAM-cache designs and, for "
+                    "spec-registered entries, their component breakdown.",
+    )
+    parser.add_argument("--components", action="store_true",
+                        help="also list the registered component kinds "
+                             "available for composing new designs")
+    return parser
+
+
+def designs_main(argv: List[str]) -> int:
+    """Entry point of ``repro designs``."""
+    args = build_designs_parser().parse_args(argv)
+    names = design_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        entry = DESIGNS.resolve(name)
+        print(f"{name:<{width}}  {entry.description}")
+        if entry.spec is not None:
+            print(f"{'':<{width}}    {entry.spec.describe_components()}")
+    if args.components:
+        from repro.dramcache.components import (
+            FETCH_POLICIES,
+            HIT_PREDICTORS,
+            TAG_ORGANIZATIONS,
+            WRITEBACK_POLICIES,
+        )
+
+        print()
+        print("component kinds (DesignSpec building blocks):")
+        for registry in (TAG_ORGANIZATIONS, HIT_PREDICTORS, FETCH_POLICIES,
+                         WRITEBACK_POLICIES):
+            kinds = " ".join(sorted(registry.kinds()))
+            print(f"  {registry.role + ':':<18} {kinds}")
     return 0
 
 
@@ -466,6 +514,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "sample":
         return sample_main(argv[1:])
+    if argv and argv[0] == "designs":
+        return designs_main(argv[1:])
     if argv and argv[0] == "sweep":
         argv = argv[1:]
     parser = build_parser()

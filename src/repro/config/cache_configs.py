@@ -19,6 +19,24 @@ BLOCK_SIZE = 64
 #: DRAM row buffer size used throughout the paper (bytes).
 ROW_BUFFER_SIZE = 8 * 1024
 
+#: Footprint history table entries (the 144 KB table of Table II) --
+#: shared default of Unison Cache, Footprint Cache, and the footprint
+#: fetch-policy component.
+FOOTPRINT_TABLE_ENTRIES = 16 * 1024
+
+#: Singleton table entries (Section III-A.4), shared like the above.
+SINGLETON_TABLE_ENTRIES = 1024
+
+
+def way_predictor_index_bits_for_capacity(paper_capacity_bytes: int) -> int:
+    """The paper's way-predictor sizing rule (Sections III-A.6 and IV).
+
+    "A 2-bit array directly indexed by the 12-bit XOR hash of the page
+    address (16-bit XOR for caches above 4GB)" -- sized by the *paper*
+    capacity, never the scaled-down simulated one.
+    """
+    return 16 if paper_capacity_bytes > 4 * 1024 ** 3 else 12
+
 
 # --------------------------------------------------------------------------- #
 # Unison Cache
@@ -45,8 +63,8 @@ class UnisonCacheConfig:
     #: Way-predictor index width: 12-bit XOR hash (16-bit above 4 GB).
     way_predictor_index_bits: int = 12
     #: Footprint history table entries (144 KB table as in Table II).
-    footprint_table_entries: int = 16 * 1024
-    singleton_table_entries: int = 1024
+    footprint_table_entries: int = FOOTPRINT_TABLE_ENTRIES
+    singleton_table_entries: int = SINGLETON_TABLE_ENTRIES
     #: Extra CPU cycles on a hit to stream the set's tag metadata (two bursts
     #: over the 128-bit TSV bus = 2 CPU cycles, Section III-A.6).
     tag_read_overhead_cycles: int = 2
@@ -231,8 +249,8 @@ class FootprintCacheConfig:
     associativity: int = 32
     block_size: int = BLOCK_SIZE
     row_buffer_size: int = ROW_BUFFER_SIZE
-    footprint_table_entries: int = 16 * 1024
-    singleton_table_entries: int = 1024
+    footprint_table_entries: int = FOOTPRINT_TABLE_ENTRIES
+    singleton_table_entries: int = SINGLETON_TABLE_ENTRIES
 
     @property
     def capacity_bytes(self) -> int:

@@ -7,9 +7,26 @@
   page-based allocation with footprint fetching, DRAM-embedded tags read in
   unison with the predicted way's data block, set-associativity with way
   prediction, singleton bypass, and eviction-time footprint learning.
+
+``UnisonCache`` loads lazily (PEP 562): the design class sits on top of the
+component layer (:mod:`repro.dramcache.components`), which itself needs
+:mod:`repro.core.row_layout` -- the lazy export keeps this package importable
+from the component layer without a cycle.
 """
 
 from repro.core.row_layout import UnisonRowLayout
-from repro.core.unison import UnisonCache
 
 __all__ = ["UnisonRowLayout", "UnisonCache"]
+
+
+def __getattr__(name: str):
+    if name == "UnisonCache":
+        from repro.core.unison import UnisonCache
+
+        globals()["UnisonCache"] = UnisonCache
+        return UnisonCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | {"UnisonCache"})

@@ -19,59 +19,51 @@ The design combines (Section III):
 * **Eviction-time learning**: when a page is evicted, its actual footprint
   (from the valid/dirty vectors) and its stored (PC, offset) pair update the
   footprint history table.
+
+Since the composable-design refactor the class is a *named composition*: the
+service path lives in :class:`repro.dramcache.composed.ComposedDramCache`,
+and this module only assembles the component set -- in-DRAM page tags, the
+way predictor, footprint fetching -- that *is* Unison Cache.  The canonical
+``unison*`` design names are registered as
+:class:`repro.dramcache.spec.DesignSpec` entries in
+:mod:`repro.dramcache.designs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
-from repro.cache.replacement import LruPolicy
-from repro.config.cache_configs import UnisonCacheConfig
-from repro.core.row_layout import UnisonRowLayout
-from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.config.cache_configs import (
+    UnisonCacheConfig,
+    way_predictor_index_bits_for_capacity,
+)
+from repro.dramcache.components import (
+    DramPageTags,
+    FootprintFetch,
+    OracleWayPrediction,
+    PageFrame,
+    WayPredictionPolicy,
+    WritebackDirtyPolicy,
+)
+from repro.dramcache.composed import ComposedDramCache
 from repro.mem.main_memory import MainMemory
 from repro.mem.stacked import StackedDram
 from repro.predictors.footprint import FootprintPredictor
 from repro.predictors.singleton import SingletonTable
 from repro.predictors.way import WayPredictor
-from repro.sim.registry import DesignBuildContext, register_design
-from repro.stats.counters import StatGroup
-from repro.trace.record import MemoryAccess
-from repro.utils.bitvector import BitVector
-from repro.utils.residue import ResidueMapper
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.spec import DesignSpec
+    from repro.sim.registry import DesignBuildContext
+
+#: Backwards-compatible alias: the page-frame record used to be private here.
+_PageFrame = PageFrame
 
 
-@dataclass
-class _PageFrame:
-    """One way of one set: a cached page and its embedded metadata."""
-
-    valid: bool = False
-    page_number: int = -1
-    #: Blocks present in the cache (fetched by the footprint or on demand).
-    vbits: BitVector = field(default_factory=lambda: BitVector(15))
-    #: Blocks written by the CPU while resident.
-    dbits: BitVector = field(default_factory=lambda: BitVector(15))
-    #: Blocks actually demanded by the CPU while resident (the true footprint).
-    demanded: BitVector = field(default_factory=lambda: BitVector(15))
-    #: Footprint the predictor fetched at allocation (for accuracy accounting).
-    predicted: BitVector = field(default_factory=lambda: BitVector(15))
-    trigger_pc: int = 0
-    trigger_offset: int = 0
-    #: Whether the fetched footprint came from a trained history entry.
-    predicted_from_history: bool = False
-
-
-class UnisonCache(DramCacheModel):
+class UnisonCache(ComposedDramCache):
     """The Unison Cache design (Section III-A)."""
 
     design_name = "unison"
-
-    #: Warm state beyond the base's: the per-set frames (DRAM-embedded tags,
-    #: valid/dirty/demanded/predicted vectors), LRU state, the presence
-    #: directory, and all three predictor tables.
-    _STATE_ATTRS = ("_frames", "_lru", "_directory", "footprint_predictor",
-                    "singleton_table", "way_predictor")
 
     def __init__(self, config: Optional[UnisonCacheConfig] = None,
                  stacked: Optional[StackedDram] = None,
@@ -79,360 +71,107 @@ class UnisonCache(DramCacheModel):
                  interarrival_cycles: int = 6) -> None:
         self.config = config or UnisonCacheConfig()
         self.config.validate()
-        super().__init__(self.config.capacity_bytes, stacked, memory,
-                         interarrival_cycles=interarrival_cycles)
-        self.layout = UnisonRowLayout(self.config)
-        self.mapper = ResidueMapper(
-            blocks_per_page=self.config.blocks_per_page,
-            num_sets=self.config.num_sets,
-        )
-
-        blocks = self.config.blocks_per_page
-        self.footprint_predictor = FootprintPredictor(
-            blocks_per_page=blocks,
-            num_entries=self.config.footprint_table_entries,
-        )
-        self.singleton_table = SingletonTable(
-            num_entries=self.config.singleton_table_entries,
-            blocks_per_page=blocks,
-        )
-        self.way_predictor: Optional[WayPredictor] = None
+        tags = DramPageTags(self.config)
         if self.config.use_way_prediction and self.config.associativity > 1:
-            self.way_predictor = WayPredictor(
-                index_bits=self.config.way_predictor_index_bits,
-                associativity=self.config.associativity,
+            hit_predictor = WayPredictionPolicy(
+                WayPredictor(
+                    index_bits=self.config.way_predictor_index_bits,
+                    associativity=self.config.associativity,
+                ),
+                mispredict_penalty_cycles=(
+                    self.config.way_mispredict_penalty_cycles
+                ),
             )
-
-        num_sets = self.config.num_sets
-        self._frames: List[List[_PageFrame]] = [
-            [self._new_frame() for _ in range(self.config.associativity)]
-            for _ in range(num_sets)
-        ]
-        self._lru: List[LruPolicy] = [
-            LruPolicy(self.config.associativity) for _ in range(num_sets)
-        ]
-        # Fast presence index: page_number -> (set_index, way).
-        self._directory: Dict[int, int] = {}
-
-    # ------------------------------------------------------------------ #
-    def _new_frame(self) -> _PageFrame:
-        blocks = self.config.blocks_per_page
-        return _PageFrame(
-            vbits=BitVector(blocks),
-            dbits=BitVector(blocks),
-            demanded=BitVector(blocks),
-            predicted=BitVector(blocks),
+        else:
+            # No predictor: the model reads the correct way directly
+            # (perfect way knowledge), and keeps reporting accuracy 1.0.
+            hit_predictor = OracleWayPrediction()
+        fetch = FootprintFetch(
+            FootprintPredictor(
+                blocks_per_page=self.config.blocks_per_page,
+                num_entries=self.config.footprint_table_entries,
+            ),
+            SingletonTable(
+                num_entries=self.config.singleton_table_entries,
+                blocks_per_page=self.config.blocks_per_page,
+            ),
         )
-
-    def _find_way(self, set_index: int, page_number: int) -> int:
-        frames = self._frames[set_index]
-        for way, frame in enumerate(frames):
-            if frame.valid and frame.page_number == page_number:
-                return way
-        return -1
-
-    # ------------------------------------------------------------------ #
-    # Main access path
-    # ------------------------------------------------------------------ #
-    def _service_request(self, request: MemoryAccess) -> DramCacheAccessResult:
-        """Service one L2-miss request."""
-        block_address = request.block_address
-        location = self.mapper.locate(block_address)
-        page = location.page_number
-        set_index = location.set_index
-        offset = location.block_offset
-
-        way = self._find_way(set_index, page)
-        if way >= 0:
-            return self._access_resident_page(request, page, set_index, way, offset)
-        return self._trigger_miss(request, page, set_index, offset)
-
-    # ------------------------------------------------------------------ #
-    def _tag_frame(self, set_index: int) -> int:
-        """Frame whose row holds the set's tag metadata (the set's first way)."""
-        return self.layout.frame_index(set_index, 0)
-
-    def _overlapped_lookup_latency(self, set_index: int, way: int, offset: int) -> int:
-        """Latency of the overlapped tag-burst + data-block read (hit path).
-
-        Both reads target the same DRAM row; the tag burst goes first and the
-        data read follows back-to-back, so the pair costs a single row access
-        plus the tag-transfer overhead (two CPU cycles, Section III-A.6).
-        """
-        tag_frame = self._tag_frame(set_index)
-        tag_result = self.stacked.read(
-            self.layout.frame_row(tag_frame),
-            self.layout.presence_metadata_offset(tag_frame),
-            self.layout.presence_bytes_per_set,
-            self._now,
-        )
-        data_frame = self.layout.frame_index(set_index, way)
-        data_result = self.stacked.read_block(
-            self.layout.frame_row(data_frame),
-            self.layout.block_offset(data_frame, offset),
-            self._now,
-        )
-        overlapped = max(tag_result.latency_cpu_cycles, data_result.latency_cpu_cycles)
-        return overlapped + self.config.tag_read_overhead_cycles
-
-    def _tag_only_lookup_latency(self, set_index: int) -> int:
-        """Latency of discovering a miss: the tags must be read from DRAM."""
-        tag_frame = self._tag_frame(set_index)
-        tag_result = self.stacked.read(
-            self.layout.frame_row(tag_frame),
-            self.layout.presence_metadata_offset(tag_frame),
-            self.layout.presence_bytes_per_set,
-            self._now,
-        )
-        return tag_result.latency_cpu_cycles + self.config.tag_read_overhead_cycles
-
-    # ------------------------------------------------------------------ #
-    def _access_resident_page(self, request: MemoryAccess, page: int,
-                              set_index: int, way: int,
-                              offset: int) -> DramCacheAccessResult:
-        frame = self._frames[set_index][way]
-        frame.demanded.set(offset)
-        if request.is_write:
-            frame.dbits.set(offset)
-        self._lru[set_index].on_access(way)
-
-        # Way prediction is exercised on every access to a resident page: the
-        # controller reads the predicted way's block in unison with the tags.
-        predicted_way = way
-        if self.way_predictor is not None:
-            correct = self.way_predictor.record(page, way)
-            predicted_way = way if correct else (way + 1) % self.config.associativity
-
-        data_frame = self.layout.frame_index(set_index, way)
-        data_row = self.layout.frame_row(data_frame)
-        if frame.vbits.get(offset):
-            latency = self._overlapped_lookup_latency(set_index, predicted_way, offset)
-            if self.way_predictor is not None and predicted_way != way:
-                # Misprediction: the correct way is re-read from the now-open
-                # row buffer (cheap, Section III-A.6).
-                latency += self.config.way_mispredict_penalty_cycles
-            if request.is_write:
-                self.stacked.write(
-                    data_row,
-                    self.layout.block_offset(data_frame, offset),
-                    self.config.block_size,
-                    self._now,
-                )
-            self.cache_stats.record_hit(latency, request.is_write)
-            return DramCacheAccessResult(hit=True, latency_cycles=latency)
-
-        # Footprint underprediction: the page is resident but the block was
-        # not fetched.  Only the missing block is brought in; the predictor is
-        # corrected lazily at eviction through the demanded vector.
-        self.cache_stats.underprediction_misses += 1
-        lookup_latency = self._tag_only_lookup_latency(set_index)
-        offchip_latency = self.memory.read_block(request.block_address, self._now)
-        self.cache_stats.offchip_demand_blocks += 1
-        frame.vbits.set(offset)
-        self.stacked.write(
-            data_row,
-            self.layout.block_offset(data_frame, offset),
-            self.config.block_size,
-            self._now,
-        )
-        latency = lookup_latency + offchip_latency
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False, latency_cycles=latency, offchip_blocks_fetched=1
+        super().__init__(
+            tags=tags,
+            hit_predictor=hit_predictor,
+            fetch=fetch,
+            writeback=WritebackDirtyPolicy(),
+            stacked=stacked,
+            memory=memory,
+            interarrival_cycles=interarrival_cycles,
         )
 
     # ------------------------------------------------------------------ #
-    def _trigger_miss(self, request: MemoryAccess, page: int, set_index: int,
-                      offset: int) -> DramCacheAccessResult:
-        lookup_latency = self._tag_only_lookup_latency(set_index)
+    # Spec integration (see repro.dramcache.designs)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_design_spec(cls, context: "DesignBuildContext",
+                         spec: "DesignSpec") -> "UnisonCache":
+        from repro.dramcache.spec import require_components, take_params
 
-        # A prior singleton bypass of this page may be contradicted by this
-        # access; the singleton table corrects the history table if so.
-        correction = self.singleton_table.record_access(page, offset)
-        if correction is not None:
-            trigger_pc, trigger_offset, observed = correction
-            self.footprint_predictor.update(trigger_pc, trigger_offset, observed)
-
-        prediction = self.footprint_predictor.predict(request.pc, offset)
-
-        if prediction.is_singleton and prediction.from_history:
-            # Predicted singleton: forward the block without allocating a page.
-            offchip_latency = self.memory.read_block(request.block_address, self._now)
-            self.cache_stats.offchip_demand_blocks += 1
-            self.cache_stats.singleton_bypasses += 1
-            if correction is None:
-                self.singleton_table.insert(page, request.pc, offset)
-            latency = lookup_latency + offchip_latency
-            self.cache_stats.record_miss(latency, request.is_write)
-            return DramCacheAccessResult(
-                hit=False, latency_cycles=latency, offchip_blocks_fetched=1
+        require_components(spec, tags=("dram-page",), hit_predictor=("way",),
+                           fetch=("footprint",))
+        tags = take_params(spec.tags, "tag organization",
+                           ("blocks_per_page", "associativity", "hit_path"))
+        if tags.get("hit_path", "overlapped") != "overlapped":
+            raise ValueError(
+                "the UnisonCache model class only supports the overlapped "
+                "hit path; use model='composed' for hit_path variants"
             )
-
-        # Allocate the page: evict the LRU victim, fetch the predicted footprint.
-        victim_way = self._lru[set_index].victim(
-            [frame.valid for frame in self._frames[set_index]]
+        hit = take_params(spec.hit_predictor, "hit predictor",
+                          ("index_bits", "mispredict_penalty_cycles"))
+        fetch = take_params(spec.fetch, "fetch policy",
+                            ("table_entries", "singleton_entries"))
+        associativity = (context.associativity
+                         if context.associativity is not None
+                         else tags.get("associativity", 4))
+        # Only explicitly-declared spec params override the config; the
+        # dataclass defaults stay the single source of the shared sizes.
+        overrides = {}
+        if "mispredict_penalty_cycles" in hit:
+            overrides["way_mispredict_penalty_cycles"] = (
+                hit["mispredict_penalty_cycles"])
+        if "table_entries" in fetch:
+            overrides["footprint_table_entries"] = fetch["table_entries"]
+        if "singleton_entries" in fetch:
+            overrides["singleton_table_entries"] = fetch["singleton_entries"]
+        config = UnisonCacheConfig(
+            capacity=context.scaled_capacity_bytes,
+            blocks_per_page=tags.get("blocks_per_page", 15),
+            associativity=associativity,
+            use_way_prediction=associativity > 1,
+            # The way predictor is sized for the *paper* capacity (Section
+            # IV) unless the spec pins its index width explicitly.
+            way_predictor_index_bits=hit.get(
+                "index_bits",
+                way_predictor_index_bits_for_capacity(
+                    context.paper_capacity_bytes)),
+            **overrides,
         )
-        written_back = self._evict(set_index, victim_way)
-
-        footprint = prediction.footprint.copy()
-        footprint.set(offset)
-        fetch_offsets = footprint.indices()
-        base_block = page * self.config.blocks_per_page
-        fetch_blocks = [base_block + o for o in fetch_offsets]
-        offchip_latency = self.memory.fetch_blocks(fetch_blocks, self._now)
-        self.cache_stats.offchip_demand_blocks += 1
-        self.cache_stats.offchip_prefetch_blocks += len(fetch_blocks) - 1
-
-        frame = self._frames[set_index][victim_way]
-        frame.valid = True
-        frame.page_number = page
-        frame.vbits = footprint.copy()
-        frame.dbits = BitVector(self.config.blocks_per_page)
-        frame.demanded = BitVector.from_indices(self.config.blocks_per_page, [offset])
-        frame.predicted = footprint.copy()
-        frame.predicted_from_history = prediction.from_history
-        frame.trigger_pc = request.pc
-        frame.trigger_offset = offset
-        if request.is_write:
-            frame.dbits.set(offset)
-        self._lru[set_index].on_fill(victim_way)
-        self.cache_stats.pages_allocated += 1
-
-        # Fill the fetched blocks (and the new tag metadata) into the row.
-        victim_frame = self.layout.frame_index(set_index, victim_way)
-        victim_row = self.layout.frame_row(victim_frame)
-        self.stacked.fill_blocks(
-            victim_row,
-            [self.layout.block_offset(victim_frame, o) for o in fetch_offsets],
-            self._now,
-        )
-        self.stacked.write(
-            victim_row,
-            self.layout.presence_metadata_offset(victim_frame),
-            self.layout.presence_bytes_per_page,
-            self._now,
-        )
-
-        latency = lookup_latency + offchip_latency
-        self.cache_stats.record_miss(latency, request.is_write)
-        return DramCacheAccessResult(
-            hit=False,
-            latency_cycles=latency,
-            offchip_blocks_fetched=len(fetch_blocks),
-            offchip_blocks_written=written_back,
-        )
+        return cls(config)
 
     # ------------------------------------------------------------------ #
-    def _evict(self, set_index: int, way: int) -> int:
-        """Evict the page in ``way`` (if valid); returns dirty blocks written back."""
-        frame = self._frames[set_index][way]
-        if not frame.valid:
-            return 0
-        self.cache_stats.pages_evicted += 1
-        self.cache_stats.conflict_evictions += 1
-
-        # Read the (PC, offset) pair and bit vectors from the row (off the
-        # critical path) and train the footprint predictor with the actual
-        # footprint observed during residency.
-        victim_frame = self.layout.frame_index(set_index, way)
-        self.stacked.read(
-            self.layout.frame_row(victim_frame),
-            self.layout.other_metadata_offset(victim_frame),
-            self.layout.pc_offset_bytes_per_page,
-            self._now,
-        )
-        actual = frame.demanded.copy()
-        if not actual.any():
-            actual.set(frame.trigger_offset)
-        self.footprint_predictor.update(frame.trigger_pc, frame.trigger_offset, actual)
-        self.footprint_predictor.record_outcome(
-            frame.predicted, actual, from_history=frame.predicted_from_history
-        )
-
-        dirty_offsets = frame.dbits.intersection(frame.vbits).indices()
-        if dirty_offsets:
-            base_block = frame.page_number * self.config.blocks_per_page
-            self.memory.write_blocks(
-                [base_block + o for o in dirty_offsets], self._now
-            )
-            self.cache_stats.offchip_writeback_blocks += len(dirty_offsets)
-
-        frame.valid = False
-        frame.page_number = -1
-        return len(dirty_offsets)
-
+    # Compatibility accessors into the components
     # ------------------------------------------------------------------ #
-    def reset_stats(self) -> None:
-        """Reset cache and predictor statistics; contents and training persist."""
-        super().reset_stats()
-        self.footprint_predictor.reset_stats()
-        if self.way_predictor is not None:
-            self.way_predictor.reset_stats()
+    @property
+    def layout(self):
+        """The in-DRAM row layout (owned by the tag organization)."""
+        return self.tags.layout
 
     @property
-    def way_prediction_accuracy(self) -> float:
-        """Measured way-predictor accuracy (Table V's WP row)."""
-        if self.way_predictor is None:
-            return 1.0
-        return self.way_predictor.accuracy.value
+    def mapper(self):
+        """The residue page/set mapper (owned by the tag organization)."""
+        return self.tags.mapper
 
     @property
-    def footprint_accuracy(self) -> float:
-        """Measured footprint-predictor accuracy (Table V's FP row)."""
-        return self.footprint_predictor.accuracy_ratio
+    def _frames(self) -> List[List[PageFrame]]:
+        return self.tags.frames
 
     @property
-    def footprint_overfetch(self) -> float:
-        """Measured footprint overfetch ratio (Table V)."""
-        return self.footprint_predictor.overfetch_ratio
-
-    def extra_metrics(self) -> Dict[str, float]:
-        """Predictor accuracies reported in Table V."""
-        return {
-            "footprint_accuracy": self.footprint_accuracy,
-            "footprint_overfetch": self.footprint_overfetch,
-            "way_prediction_accuracy": self.way_prediction_accuracy,
-        }
-
-    def stats(self) -> StatGroup:
-        """Design, predictor and device statistics."""
-        group = super().stats()
-        group.merge_child(self.footprint_predictor.stats())
-        group.merge_child(self.singleton_table.stats())
-        if self.way_predictor is not None:
-            group.merge_child(self.way_predictor.stats())
-        return group
-
-
-# --------------------------------------------------------------------- #
-# Registry integration: one builder shared by all Unison variants.
-# --------------------------------------------------------------------- #
-@register_design("unison", supports_associativity=True,
-                 description="960B pages, 4-way, way prediction "
-                             "(the main design point)",
-                 blocks_per_page=15, default_associativity=4)
-@register_design("unison-1984", supports_associativity=True,
-                 description="1984B pages, 4-way",
-                 blocks_per_page=31, default_associativity=4)
-@register_design("unison-dm", supports_associativity=True,
-                 description="960B pages, direct-mapped",
-                 blocks_per_page=15, default_associativity=1)
-@register_design("unison-32way", supports_associativity=True,
-                 description="960B pages, 32-way "
-                             "(Figure 5's associativity sweep)",
-                 blocks_per_page=15, default_associativity=32)
-def _build_unison(context: DesignBuildContext, *, blocks_per_page: int = 15,
-                  default_associativity: int = 4) -> UnisonCache:
-    associativity = (context.associativity if context.associativity is not None
-                     else default_associativity)
-    config = UnisonCacheConfig(
-        capacity=context.scaled_capacity_bytes,
-        blocks_per_page=blocks_per_page,
-        associativity=associativity,
-        use_way_prediction=associativity > 1,
-        # The way predictor is sized for the *paper* capacity (Section IV).
-        way_predictor_index_bits=(
-            16 if context.paper_capacity_bytes > 4 * 1024 ** 3 else 12
-        ),
-    )
-    return UnisonCache(config)
+    def _lru(self):
+        return self.tags.lru

@@ -2,15 +2,43 @@
 
 Defines the request/response interface every design implements
 (:class:`repro.dramcache.base.DramCacheModel`), the shared statistics record
-(:class:`repro.dramcache.stats.DramCacheStats`), and the latency components a
-design reports per access.
+(:class:`repro.dramcache.stats.DramCacheStats`), the policy-component layer
+(:mod:`repro.dramcache.components`), the generic composition engine
+(:class:`repro.dramcache.composed.ComposedDramCache`), and the declarative
+:class:`repro.dramcache.spec.DesignSpec` that names a design as components
+plus geometry.  The shipped design catalog -- the canonical six families and
+the component-composed hybrids -- lives in :mod:`repro.dramcache.designs`
+and registers when :mod:`repro.sim.factory` is imported.
 """
 
 from repro.dramcache.base import DramCacheAccessResult, DramCacheModel
+from repro.dramcache.components import (
+    FETCH_POLICIES,
+    FetchPolicy,
+    HIT_PREDICTORS,
+    HitPredictor,
+    TAG_ORGANIZATIONS,
+    TagOrganization,
+    WRITEBACK_POLICIES,
+    WritebackPolicy,
+)
+from repro.dramcache.composed import ComposedDramCache
+from repro.dramcache.spec import ComponentSpec, DesignSpec
 from repro.dramcache.stats import DramCacheStats
 
 __all__ = [
+    "ComponentSpec",
+    "ComposedDramCache",
+    "DesignSpec",
     "DramCacheAccessResult",
     "DramCacheModel",
     "DramCacheStats",
+    "FETCH_POLICIES",
+    "FetchPolicy",
+    "HIT_PREDICTORS",
+    "HitPredictor",
+    "TAG_ORGANIZATIONS",
+    "TagOrganization",
+    "WRITEBACK_POLICIES",
+    "WritebackPolicy",
 ]

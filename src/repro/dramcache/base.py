@@ -20,6 +20,17 @@ from repro.mem.stacked import StackedDram
 from repro.stats.counters import StatGroup
 from repro.trace.record import MemoryAccess
 
+#: Version of the model layer's *simulated behaviour* (designs, components,
+#: device timing).  Bump this whenever a change alters what any design
+#: computes for a given trace -- the on-disk warm-state checkpoint store
+#: (:mod:`repro.sampling.checkpoints`) folds it into every key, so stale
+#: checkpoints pickled by older model code are invalidated instead of
+#: silently reused.  The design/component *composition* is keyed separately
+#: (the registry entry token); this constant covers implementation changes
+#: the composition cannot see, playing the role ``GENERATOR_VERSION`` plays
+#: for the trace store.
+MODEL_BEHAVIOR_VERSION = 1
+
 
 @dataclass(frozen=True)
 class StateSnapshot:

@@ -1,0 +1,1478 @@
+"""Policy components of a DRAM cache design.
+
+The paper's contribution is explicitly compositional: Unison Cache is built
+from parts its baselines already contain (Loh-Hill's tags-in-DRAM, Alloy's
+single-access hit path, Footprint Cache's footprint prediction at page
+granularity).  This module factors the monolithic ``_service_request`` bodies
+of the design classes into four small policy roles, each with a handful of
+interchangeable implementations:
+
+* :class:`TagOrganization` -- owns the array layout, block/page placement,
+  device-access latencies, and the allocation/eviction mechanics.  Variants:
+  in-DRAM set-associative page tags (Unison), SRAM set-associative page tags
+  (Footprint Cache), direct-mapped tag-and-data blocks (Alloy), set-per-row
+  blocks behind an SRAM MissMap (Loh-Hill), plus the always-hit and no-cache
+  reference organizations.
+* :class:`HitPredictor` -- modulates the lookup: nothing, a page-granular way
+  predictor (Unison), or a MAP-I style per-core miss predictor (Alloy).
+* :class:`FetchPolicy` -- decides which blocks an allocation brings on chip:
+  the demand block only, the whole page, or a predicted footprint with
+  singleton bypass and eviction-time learning.
+* :class:`WritebackPolicy` -- how dirty data leaves the cache.
+
+Components are deliberately *device-free*: they hold only their own mutable
+state (tag arrays, predictor tables) and receive the engine -- a
+:class:`repro.dramcache.composed.ComposedDramCache` -- as an argument on
+every call.  That keeps them independently deep-copyable, which is what lets
+the engine fold component state into the accumulated ``_STATE_ATTRS``
+snapshot mechanism unchanged.
+
+Each role has a registry (:data:`TAG_ORGANIZATIONS`, :data:`HIT_PREDICTORS`,
+:data:`FETCH_POLICIES`, :data:`WRITEBACK_POLICIES`) mapping a *kind* name to
+a factory, so a :class:`repro.dramcache.spec.DesignSpec` can name its parts
+declaratively -- and downstream code can register new variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.cache.replacement import LruPolicy
+from repro.config.cache_configs import (
+    AlloyCacheConfig,
+    FOOTPRINT_TABLE_ENTRIES,
+    FootprintCacheConfig,
+    SINGLETON_TABLE_ENTRIES,
+    UnisonCacheConfig,
+    footprint_tag_array_for_capacity,
+    way_predictor_index_bits_for_capacity,
+)
+from repro.core.row_layout import UnisonRowLayout
+from repro.predictors.footprint import FootprintPredictor
+from repro.predictors.miss import MissPredictor
+from repro.predictors.singleton import SingletonTable
+from repro.predictors.way import WayPredictor
+from repro.stats.counters import StatGroup
+from repro.trace.record import MemoryAccess
+from repro.utils.bitvector import BitVector
+from repro.utils.residue import ResidueMapper
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dramcache.composed import ComposedDramCache
+    from repro.sim.registry import DesignBuildContext
+
+
+# --------------------------------------------------------------------- #
+# Engine <-> component value objects
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Lookup:
+    """Where a request landed in the tag organization (no devices touched)."""
+
+    #: Page number in the organization's page geometry (== block address for
+    #: block-granular organizations with one block per page).
+    page: int
+    set_index: int
+    #: Block offset within the page (0 for block-granular organizations).
+    offset: int
+    #: Way the page/block resides in, or -1 when absent.
+    way: int
+    #: The requested block's data is present (a hit).
+    block_hit: bool
+    #: The enclosing frame is resident (page organizations may have the page
+    #: without the block -- the footprint-underprediction path).
+    page_hit: bool
+
+
+@dataclass(frozen=True)
+class HitPrediction:
+    """What the hit predictor contributed to this access."""
+
+    #: Cycles the predictor lookup adds to every access it filters.
+    latency_cycles: int = 0
+    #: The access is predicted to miss (MAP-I style): the off-chip request is
+    #: issued in parallel with -- or instead of -- the cache lookup.
+    predicted_miss: bool = False
+    #: Predicted way, or ``None`` when no way prediction is in play.
+    way: Optional[int] = None
+    #: Penalty paid when ``way`` turns out wrong.
+    mispredict_penalty: int = 0
+
+
+#: A no-op prediction shared by every component that has nothing to say.
+NO_PREDICTION = HitPrediction()
+
+
+@dataclass(frozen=True)
+class FetchDecision:
+    """What the fetch policy wants brought on chip for a trigger miss."""
+
+    #: Blocks of the page to fetch (always includes the trigger block).
+    footprint: Optional[BitVector] = None
+    #: Forward the block without allocating (singleton bypass).
+    bypass: bool = False
+    #: The footprint came from a trained history entry.
+    from_history: bool = False
+    #: On a bypass: remember the page in the singleton table.
+    note_singleton: bool = False
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """What a trigger-miss allocation cost."""
+
+    offchip_latency: int
+    blocks_fetched: int
+    blocks_written: int
+
+
+# --------------------------------------------------------------------- #
+# Component registries
+# --------------------------------------------------------------------- #
+class ComponentRegistry:
+    """Kind -> factory registry for one policy role."""
+
+    def __init__(self, role: str) -> None:
+        self.role = role
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, kind: str, factory: Callable, *,
+                 replace: bool = False) -> Callable:
+        key = kind.lower()
+        if not replace and key in self._factories:
+            raise ValueError(
+                f"{self.role} component {kind!r} is already registered"
+            )
+        self._factories[key] = factory
+        return factory
+
+    def resolve(self, kind: str) -> Callable:
+        factory = self._factories.get(kind.lower())
+        if factory is None:
+            raise ValueError(
+                f"unknown {self.role} component {kind!r}; "
+                f"options: {sorted(self._factories)}"
+            )
+        return factory
+
+    def kinds(self) -> "tuple[str, ...]":
+        return tuple(self._factories)
+
+    def __contains__(self, kind: object) -> bool:
+        return isinstance(kind, str) and kind.lower() in self._factories
+
+
+#: Tag-organization factories: ``factory(context, **params) -> TagOrganization``.
+TAG_ORGANIZATIONS = ComponentRegistry("tag organization")
+#: Hit-predictor factories: ``factory(context, tags, **params) -> HitPredictor``.
+HIT_PREDICTORS = ComponentRegistry("hit predictor")
+#: Fetch-policy factories: ``factory(context, tags, **params) -> FetchPolicy``.
+FETCH_POLICIES = ComponentRegistry("fetch policy")
+#: Writeback-policy factories: ``factory(context, tags, **params) -> WritebackPolicy``.
+WRITEBACK_POLICIES = ComponentRegistry("writeback policy")
+
+
+class CachePolicyComponent:
+    """Base for all policy components: hooks the engine calls uniformly.
+
+    Components never store a reference to the engine or its device models;
+    every method receives the engine explicitly.  This keeps a component a
+    self-contained bag of mutable state that ``copy.deepcopy`` (the
+    :class:`~repro.dramcache.base.StateSnapshot` mechanism) and ``pickle``
+    (the on-disk checkpoint store) both handle without dragging the devices
+    along twice.
+    """
+
+    #: Kind name the component registers under (reports/``repro designs``).
+    kind: str = ""
+
+    def reset_stats(self) -> None:
+        """Forget measurement counters; learned state persists."""
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        """Metrics folded into :meth:`DramCacheModel.extra_metrics`."""
+        return {}
+
+    def stats_children(self) -> List[StatGroup]:
+        """Stat groups merged into the design's :meth:`stats` output."""
+        return []
+
+    def contribute_stats(self, group: StatGroup) -> None:
+        """Scalars set directly on the design's stat group."""
+
+
+# --------------------------------------------------------------------- #
+# Writeback policies
+# --------------------------------------------------------------------- #
+class WritebackPolicy(CachePolicyComponent):
+    """How dirty blocks leave the cache at eviction time."""
+
+    def writeback_block(self, engine: "ComposedDramCache", block: int) -> int:
+        raise NotImplementedError
+
+    def writeback_blocks(self, engine: "ComposedDramCache",
+                         blocks: List[int]) -> int:
+        raise NotImplementedError
+
+
+class WritebackDirtyPolicy(WritebackPolicy):
+    """Write dirty blocks off chip when their frame is evicted (default)."""
+
+    kind = "dirty"
+
+    def writeback_block(self, engine: "ComposedDramCache", block: int) -> int:
+        engine.memory.write_block(block, engine._now)
+        engine.cache_stats.offchip_writeback_blocks += 1
+        return 1
+
+    def writeback_blocks(self, engine: "ComposedDramCache",
+                         blocks: List[int]) -> int:
+        if not blocks:
+            return 0
+        engine.memory.write_blocks(blocks, engine._now)
+        engine.cache_stats.offchip_writeback_blocks += len(blocks)
+        return len(blocks)
+
+
+class DropDirtyPolicy(WritebackPolicy):
+    """Discard dirty data on eviction (reference/ablation variant)."""
+
+    kind = "none"
+
+    def writeback_block(self, engine: "ComposedDramCache", block: int) -> int:
+        return 0
+
+    def writeback_blocks(self, engine: "ComposedDramCache",
+                         blocks: List[int]) -> int:
+        return 0
+
+
+def _parameterless(role: str, kind: str, component_class):
+    """A factory for components that take no parameters.
+
+    Rejects stray params instead of swallowing them, so a typo'd spec
+    parameter fails at build time on every component kind, not only the
+    keyword-signature factories.
+    """
+
+    def factory(context, tags, **params):
+        if params:
+            raise ValueError(
+                f"{role} component {kind!r} takes no parameters; "
+                f"got {sorted(params)}"
+            )
+        return component_class()
+
+    return factory
+
+
+WRITEBACK_POLICIES.register(
+    "dirty", _parameterless("writeback policy", "dirty",
+                            WritebackDirtyPolicy))
+WRITEBACK_POLICIES.register(
+    "none", _parameterless("writeback policy", "none", DropDirtyPolicy))
+
+
+# --------------------------------------------------------------------- #
+# Hit predictors
+# --------------------------------------------------------------------- #
+class HitPredictor(CachePolicyComponent):
+    """Per-access prediction that modulates the lookup path."""
+
+    def observe(self, engine: "ComposedDramCache", request: MemoryAccess,
+                lookup: Lookup) -> HitPrediction:
+        raise NotImplementedError
+
+
+class NoHitPrediction(HitPredictor):
+    """No prediction: the organization's natural lookup path is used."""
+
+    kind = "none"
+
+    def observe(self, engine: "ComposedDramCache", request: MemoryAccess,
+                lookup: Lookup) -> HitPrediction:
+        return NO_PREDICTION
+
+
+class OracleWayPrediction(NoHitPrediction):
+    """Way prediction degenerated to perfect knowledge.
+
+    A direct-mapped organization (or an ablation that removes the
+    predictor) knows the way without predicting; behaviourally identical
+    to :class:`NoHitPrediction`, but it keeps reporting the
+    ``way_prediction_accuracy`` metric as 1.0 -- matching what the legacy
+    designs always published for these configurations.
+    """
+
+    kind = "oracle-way"
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        return {"way_prediction_accuracy": 1.0}
+
+
+class DisabledMissPrediction(NoHitPrediction):
+    """MAP-I prediction switched off, metrics still published as zeros."""
+
+    kind = "no-map-i"
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        return {
+            "miss_prediction_accuracy": 0.0,
+            "miss_predictor_overfetch": 0.0,
+        }
+
+
+class WayPredictionPolicy(HitPredictor):
+    """Unison's page-granular way predictor (Section III-A.6).
+
+    Records every access to a resident frame (the controller reads the
+    predicted way's block *in unison* with the tags) and reports the way it
+    would have read, plus the penalty a misprediction costs.
+    """
+
+    kind = "way"
+
+    def __init__(self, predictor: WayPredictor,
+                 mispredict_penalty_cycles: int = 12) -> None:
+        self.predictor = predictor
+        self.mispredict_penalty_cycles = mispredict_penalty_cycles
+
+    def observe(self, engine: "ComposedDramCache", request: MemoryAccess,
+                lookup: Lookup) -> HitPrediction:
+        if not lookup.page_hit:
+            return NO_PREDICTION
+        correct = self.predictor.record(lookup.page, lookup.way)
+        way = (lookup.way if correct
+               else (lookup.way + 1) % self.predictor.associativity)
+        return HitPrediction(
+            way=way, mispredict_penalty=self.mispredict_penalty_cycles
+        )
+
+    def reset_stats(self) -> None:
+        self.predictor.reset_stats()
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        return {"way_prediction_accuracy": self.predictor.accuracy.value}
+
+    def stats_children(self) -> List[StatGroup]:
+        return [self.predictor.stats()]
+
+
+class MissPredictionPolicy(HitPredictor):
+    """Alloy's MAP-I style per-core miss predictor (Section II-A).
+
+    Every access pays the predictor's (small) latency; predicted misses skip
+    the in-cache lookup and go off chip immediately, at the price of wasted
+    off-chip fetches when the prediction is wrong.
+    """
+
+    kind = "map-i"
+
+    def __init__(self, predictor: MissPredictor,
+                 latency_cycles: int = 1) -> None:
+        self.predictor = predictor
+        self.latency_cycles = latency_cycles
+
+    def observe(self, engine: "ComposedDramCache", request: MemoryAccess,
+                lookup: Lookup) -> HitPrediction:
+        predicted_miss = self.predictor.record(
+            request.core_id, request.pc, was_miss=not lookup.block_hit
+        )
+        return HitPrediction(
+            latency_cycles=self.latency_cycles, predicted_miss=predicted_miss
+        )
+
+    def reset_stats(self) -> None:
+        self.predictor.reset_stats()
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        hits = engine.cache_stats.hits
+        return {
+            "miss_prediction_accuracy": self.predictor.miss_identification.value,
+            "miss_predictor_overfetch": (
+                self.predictor.false_misses / hits if hits else 0.0
+            ),
+        }
+
+    def stats_children(self) -> List[StatGroup]:
+        return [self.predictor.stats()]
+
+
+def _build_way_predictor(context: "DesignBuildContext", tags,
+                         index_bits: Optional[int] = None,
+                         mispredict_penalty_cycles: Optional[int] = None,
+                         ) -> HitPredictor:
+    associativity = getattr(tags, "associativity", 1)
+    if associativity <= 1:
+        # A direct-mapped organization knows the way; prediction degenerates
+        # to the plain lookup path (matches the legacy use_way_prediction
+        # gating) while still reporting perfect accuracy.
+        return OracleWayPrediction()
+    if index_bits is None:
+        # The predictor is sized for the *paper* capacity (Section IV).
+        index_bits = way_predictor_index_bits_for_capacity(
+            context.paper_capacity_bytes)
+    if mispredict_penalty_cycles is None:
+        mispredict_penalty_cycles = getattr(
+            tags, "way_mispredict_penalty_cycles", 12)
+    return WayPredictionPolicy(
+        WayPredictor(index_bits=index_bits, associativity=associativity),
+        mispredict_penalty_cycles=mispredict_penalty_cycles,
+    )
+
+
+def _build_miss_predictor(context: "DesignBuildContext", tags,
+                          entries_per_core: int = 256,
+                          latency_cycles: int = 1) -> MissPredictionPolicy:
+    return MissPredictionPolicy(
+        MissPredictor(num_cores=context.num_cores,
+                      entries_per_core=entries_per_core),
+        latency_cycles=latency_cycles,
+    )
+
+
+HIT_PREDICTORS.register(
+    "none", _parameterless("hit predictor", "none", NoHitPrediction))
+HIT_PREDICTORS.register("way", _build_way_predictor)
+HIT_PREDICTORS.register("map-i", _build_miss_predictor)
+
+
+# --------------------------------------------------------------------- #
+# Fetch policies
+# --------------------------------------------------------------------- #
+class FetchPolicy(CachePolicyComponent):
+    """Which blocks a trigger-miss allocation brings on chip."""
+
+    def plan(self, engine: "ComposedDramCache", request: MemoryAccess,
+             lookup: Lookup) -> FetchDecision:
+        raise NotImplementedError
+
+    def on_bypass(self, engine: "ComposedDramCache", request: MemoryAccess,
+                  lookup: Lookup, decision: FetchDecision) -> None:
+        """Bookkeeping after the engine serviced a bypassed miss."""
+
+    def learn_eviction(self, trigger_pc: int, trigger_offset: int,
+                       demanded: BitVector, predicted: BitVector,
+                       from_history: bool) -> None:
+        """Eviction-time training with the frame's observed footprint."""
+
+
+class DemandBlockFetch(FetchPolicy):
+    """Fetch only the block that missed (Alloy / Loh-Hill behaviour)."""
+
+    kind = "demand"
+
+    def plan(self, engine: "ComposedDramCache", request: MemoryAccess,
+             lookup: Lookup) -> FetchDecision:
+        width = engine.tags.blocks_per_page
+        return FetchDecision(
+            footprint=BitVector.from_indices(width, [lookup.offset])
+        )
+
+
+class FullPageFetch(FetchPolicy):
+    """Fetch the whole page on a trigger miss (classic page-based cache)."""
+
+    kind = "full-page"
+
+    def plan(self, engine: "ComposedDramCache", request: MemoryAccess,
+             lookup: Lookup) -> FetchDecision:
+        return FetchDecision(footprint=BitVector.ones(engine.tags.blocks_per_page))
+
+
+class FootprintFetch(FetchPolicy):
+    """Footprint-predicted fetching with singleton bypass (Section III-A).
+
+    Owns the footprint history table and the singleton table; learns at
+    eviction time from the frame's demanded-block vector (the tag
+    organization calls :meth:`learn_eviction` while evicting).
+    """
+
+    kind = "footprint"
+
+    def __init__(self, predictor: FootprintPredictor,
+                 singleton_table: SingletonTable) -> None:
+        self.predictor = predictor
+        self.singleton_table = singleton_table
+
+    def plan(self, engine: "ComposedDramCache", request: MemoryAccess,
+             lookup: Lookup) -> FetchDecision:
+        # A prior singleton bypass of this page may be contradicted by this
+        # access; the singleton table corrects the history table if so.
+        correction = self.singleton_table.record_access(lookup.page,
+                                                        lookup.offset)
+        if correction is not None:
+            trigger_pc, trigger_offset, observed = correction
+            self.predictor.update(trigger_pc, trigger_offset, observed)
+
+        prediction = self.predictor.predict(request.pc, lookup.offset)
+        if prediction.is_singleton and prediction.from_history:
+            return FetchDecision(
+                bypass=True,
+                from_history=True,
+                note_singleton=correction is None,
+            )
+        footprint = prediction.footprint.copy()
+        footprint.set(lookup.offset)
+        return FetchDecision(
+            footprint=footprint, from_history=prediction.from_history
+        )
+
+    def on_bypass(self, engine: "ComposedDramCache", request: MemoryAccess,
+                  lookup: Lookup, decision: FetchDecision) -> None:
+        if decision.note_singleton:
+            self.singleton_table.insert(lookup.page, request.pc, lookup.offset)
+
+    def learn_eviction(self, trigger_pc: int, trigger_offset: int,
+                       demanded: BitVector, predicted: BitVector,
+                       from_history: bool) -> None:
+        actual = demanded.copy()
+        if not actual.any():
+            actual.set(trigger_offset)
+        self.predictor.update(trigger_pc, trigger_offset, actual)
+        self.predictor.record_outcome(predicted, actual,
+                                      from_history=from_history)
+
+    def reset_stats(self) -> None:
+        self.predictor.reset_stats()
+
+    def extra_metrics(self, engine: "ComposedDramCache") -> Dict[str, float]:
+        return {
+            "footprint_accuracy": self.predictor.accuracy_ratio,
+            "footprint_overfetch": self.predictor.overfetch_ratio,
+        }
+
+    def stats_children(self) -> List[StatGroup]:
+        return [self.predictor.stats(), self.singleton_table.stats()]
+
+
+def _build_footprint_fetch(context, tags,
+                           table_entries: int = FOOTPRINT_TABLE_ENTRIES,
+                           singleton_entries: int = SINGLETON_TABLE_ENTRIES,
+                           ) -> FootprintFetch:
+    blocks = tags.blocks_per_page
+    return FootprintFetch(
+        FootprintPredictor(blocks_per_page=blocks, num_entries=table_entries),
+        SingletonTable(num_entries=singleton_entries, blocks_per_page=blocks),
+    )
+
+
+FETCH_POLICIES.register(
+    "demand", _parameterless("fetch policy", "demand", DemandBlockFetch))
+FETCH_POLICIES.register(
+    "full-page", _parameterless("fetch policy", "full-page", FullPageFetch))
+FETCH_POLICIES.register("footprint", _build_footprint_fetch)
+
+
+# --------------------------------------------------------------------- #
+# Tag organizations
+# --------------------------------------------------------------------- #
+@dataclass
+class PageFrame:
+    """One way of one set of a page-based organization."""
+
+    valid: bool = False
+    page_number: int = -1
+    #: Blocks present in the cache (fetched by the footprint or on demand).
+    vbits: BitVector = field(default_factory=lambda: BitVector(15))
+    #: Blocks written by the CPU while resident.
+    dbits: BitVector = field(default_factory=lambda: BitVector(15))
+    #: Blocks actually demanded by the CPU while resident (the true footprint).
+    demanded: BitVector = field(default_factory=lambda: BitVector(15))
+    #: Footprint the fetch policy brought in at allocation.
+    predicted: BitVector = field(default_factory=lambda: BitVector(15))
+    trigger_pc: int = 0
+    trigger_offset: int = 0
+    #: Whether the fetched footprint came from a trained history entry.
+    predicted_from_history: bool = False
+
+
+class TagOrganization(CachePolicyComponent):
+    """Array layout, placement, lookup/allocation mechanics, and latencies."""
+
+    #: Block granularity of the fetch-policy page view (1 == block-based).
+    blocks_per_page: int = 1
+    #: Ways per set (1 == direct-mapped).
+    associativity: int = 1
+    capacity_bytes: int = 0
+
+    # -- placement ----------------------------------------------------- #
+    def probe(self, request: MemoryAccess) -> Lookup:
+        raise NotImplementedError
+
+    # -- hit path ------------------------------------------------------ #
+    def touch(self, engine: "ComposedDramCache", request: MemoryAccess,
+              lookup: Lookup) -> None:
+        """Bookkeeping on any access to a resident frame."""
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        raise NotImplementedError
+
+    def on_hit_write(self, engine: "ComposedDramCache",
+                     request: MemoryAccess, lookup: Lookup) -> None:
+        """Device write + dirty bookkeeping for a write hit."""
+
+    # -- miss path ----------------------------------------------------- #
+    def miss_lookup_latency(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            pred: HitPrediction) -> int:
+        """Cycles spent discovering the miss (may read the in-DRAM tags)."""
+        return 0
+
+    def fill_block(self, engine: "ComposedDramCache", request: MemoryAccess,
+                   lookup: Lookup) -> None:
+        """Install the demand block into an already-resident frame."""
+        raise NotImplementedError
+
+    def allocate(self, engine: "ComposedDramCache", request: MemoryAccess,
+                 lookup: Lookup, decision: FetchDecision) -> AllocationOutcome:
+        """Evict a victim, fetch the decided footprint, install the frame."""
+        raise NotImplementedError
+
+
+class _SetAssocPageTags(TagOrganization):
+    """Shared mechanics of the set-associative page organizations.
+
+    Subclasses provide the device-latency model (in-DRAM vs SRAM tags) and
+    the row-layout writes; placement, LRU replacement, footprint bookkeeping
+    and eviction-time training are identical.
+    """
+
+    def __init__(self, num_sets: int, associativity: int,
+                 blocks_per_page: int, capacity_bytes: int) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.blocks_per_page = blocks_per_page
+        self.capacity_bytes = capacity_bytes
+        self.frames: List[List[PageFrame]] = [
+            [self._new_frame() for _ in range(associativity)]
+            for _ in range(num_sets)
+        ]
+        self.lru: List[LruPolicy] = [
+            LruPolicy(associativity) for _ in range(num_sets)
+        ]
+
+    def _new_frame(self) -> PageFrame:
+        blocks = self.blocks_per_page
+        return PageFrame(
+            vbits=BitVector(blocks),
+            dbits=BitVector(blocks),
+            demanded=BitVector(blocks),
+            predicted=BitVector(blocks),
+        )
+
+    def _find_way(self, set_index: int, page: int) -> int:
+        for way, frame in enumerate(self.frames[set_index]):
+            if frame.valid and frame.page_number == page:
+                return way
+        return -1
+
+    def _locate(self, block_address: int) -> "tuple[int, int, int]":
+        """(page, set_index, offset) for a block address."""
+        raise NotImplementedError
+
+    def probe(self, request: MemoryAccess) -> Lookup:
+        page, set_index, offset = self._locate(request.block_address)
+        way = self._find_way(set_index, page)
+        block_hit = way >= 0 and self.frames[set_index][way].vbits.get(offset)
+        return Lookup(page=page, set_index=set_index, offset=offset, way=way,
+                      block_hit=block_hit, page_hit=way >= 0)
+
+    def touch(self, engine: "ComposedDramCache", request: MemoryAccess,
+              lookup: Lookup) -> None:
+        frame = self.frames[lookup.set_index][lookup.way]
+        frame.demanded.set(lookup.offset)
+        if request.is_write:
+            frame.dbits.set(lookup.offset)
+        self.lru[lookup.set_index].on_access(lookup.way)
+
+    def fill_block(self, engine: "ComposedDramCache", request: MemoryAccess,
+                   lookup: Lookup) -> None:
+        frame = self.frames[lookup.set_index][lookup.way]
+        frame.vbits.set(lookup.offset)
+        self._write_block_device(engine, lookup.set_index, lookup.way,
+                                 lookup.offset)
+
+    # -- device hooks subclasses fill in ------------------------------- #
+    def _write_block_device(self, engine: "ComposedDramCache", set_index: int,
+                            way: int, offset: int) -> None:
+        raise NotImplementedError
+
+    def _read_eviction_metadata(self, engine: "ComposedDramCache",
+                                set_index: int, way: int) -> None:
+        """Read the (PC, offset) pair from the row (in-DRAM tags only)."""
+
+    def _fill_frame_device(self, engine: "ComposedDramCache", set_index: int,
+                           way: int, offsets: List[int]) -> None:
+        raise NotImplementedError
+
+    def _count_conflict_eviction(self, engine: "ComposedDramCache") -> None:
+        """Organizations that attribute evictions to conflicts count here."""
+
+    # -- allocation/eviction ------------------------------------------- #
+    def _evict(self, engine: "ComposedDramCache", set_index: int,
+               way: int) -> int:
+        frame = self.frames[set_index][way]
+        if not frame.valid:
+            return 0
+        engine.cache_stats.pages_evicted += 1
+        self._count_conflict_eviction(engine)
+        self._read_eviction_metadata(engine, set_index, way)
+        engine.fetch.learn_eviction(
+            frame.trigger_pc, frame.trigger_offset, frame.demanded,
+            frame.predicted, frame.predicted_from_history,
+        )
+        dirty_offsets = frame.dbits.intersection(frame.vbits).indices()
+        written = 0
+        if dirty_offsets:
+            base_block = frame.page_number * self.blocks_per_page
+            written = engine.writeback.writeback_blocks(
+                engine, [base_block + o for o in dirty_offsets]
+            )
+        frame.valid = False
+        frame.page_number = -1
+        return written
+
+    def allocate(self, engine: "ComposedDramCache", request: MemoryAccess,
+                 lookup: Lookup, decision: FetchDecision) -> AllocationOutcome:
+        set_index = lookup.set_index
+        victim_way = self.lru[set_index].victim(
+            [frame.valid for frame in self.frames[set_index]]
+        )
+        written = self._evict(engine, set_index, victim_way)
+
+        footprint = decision.footprint
+        fetch_offsets = footprint.indices()
+        base_block = lookup.page * self.blocks_per_page
+        fetch_blocks = [base_block + o for o in fetch_offsets]
+        offchip_latency = engine.memory.fetch_blocks(fetch_blocks, engine._now)
+        engine.cache_stats.offchip_demand_blocks += 1
+        engine.cache_stats.offchip_prefetch_blocks += len(fetch_blocks) - 1
+
+        frame = self.frames[set_index][victim_way]
+        frame.valid = True
+        frame.page_number = lookup.page
+        frame.vbits = footprint.copy()
+        frame.dbits = BitVector(self.blocks_per_page)
+        frame.demanded = BitVector.from_indices(self.blocks_per_page,
+                                                [lookup.offset])
+        frame.predicted = footprint.copy()
+        frame.predicted_from_history = decision.from_history
+        frame.trigger_pc = request.pc
+        frame.trigger_offset = lookup.offset
+        if request.is_write:
+            frame.dbits.set(lookup.offset)
+        self.lru[set_index].on_fill(victim_way)
+        engine.cache_stats.pages_allocated += 1
+
+        self._fill_frame_device(engine, set_index, victim_way, fetch_offsets)
+        return AllocationOutcome(
+            offchip_latency=offchip_latency,
+            blocks_fetched=len(fetch_blocks),
+            blocks_written=written,
+        )
+
+
+class DramPageTags(_SetAssocPageTags):
+    """Unison's organization: tags embedded in the DRAM rows (Figure 2).
+
+    The tag burst and the (way-predicted) data block are read *in unison* --
+    two back-to-back, overlapped reads to the same row -- so a hit costs one
+    DRAM access plus the tag-transfer overhead.  ``hit_path="serialized"``
+    models the same organization without way knowledge: the tag read must
+    complete before the data read is issued (the ``unison-nowp`` hybrid).
+    """
+
+    kind = "dram-page"
+
+    def __init__(self, config: UnisonCacheConfig,
+                 hit_path: str = "overlapped") -> None:
+        config.validate()
+        if hit_path not in ("overlapped", "serialized"):
+            raise ValueError(
+                f"hit_path must be 'overlapped' or 'serialized', "
+                f"got {hit_path!r}"
+            )
+        super().__init__(
+            num_sets=config.num_sets,
+            associativity=config.associativity,
+            blocks_per_page=config.blocks_per_page,
+            capacity_bytes=config.capacity_bytes,
+        )
+        self.config = config
+        self.hit_path = hit_path
+        self.layout = UnisonRowLayout(config)
+        self.mapper = ResidueMapper(
+            blocks_per_page=config.blocks_per_page,
+            num_sets=config.num_sets,
+        )
+
+    @property
+    def way_mispredict_penalty_cycles(self) -> int:
+        return self.config.way_mispredict_penalty_cycles
+
+    def _locate(self, block_address: int) -> "tuple[int, int, int]":
+        location = self.mapper.locate(block_address)
+        return (location.page_number, location.set_index,
+                location.block_offset)
+
+    # -- latency mechanics --------------------------------------------- #
+    def _tag_frame(self, set_index: int) -> int:
+        """Frame whose row holds the set's tag metadata (the set's first way)."""
+        return self.layout.frame_index(set_index, 0)
+
+    def _tag_read(self, engine: "ComposedDramCache", set_index: int) -> int:
+        tag_frame = self._tag_frame(set_index)
+        result = engine.stacked.read(
+            self.layout.frame_row(tag_frame),
+            self.layout.presence_metadata_offset(tag_frame),
+            self.layout.presence_bytes_per_set,
+            engine._now,
+        )
+        return result.latency_cpu_cycles
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        read_way = pred.way if pred.way is not None else lookup.way
+        tag_latency = self._tag_read(engine, lookup.set_index)
+        data_frame = self.layout.frame_index(lookup.set_index, read_way)
+        data_result = engine.stacked.read_block(
+            self.layout.frame_row(data_frame),
+            self.layout.block_offset(data_frame, lookup.offset),
+            engine._now,
+        )
+        if self.hit_path == "serialized":
+            # No way knowledge: the tag read resolves the way before the data
+            # read can be issued, so the two latencies add (Loh-Hill style).
+            latency = tag_latency + data_result.latency_cpu_cycles
+        else:
+            # The tag burst goes first and the data read follows back-to-back
+            # in the same open row: the pair costs a single row access plus
+            # the tag-transfer overhead (Section III-A.6).
+            latency = max(tag_latency, data_result.latency_cpu_cycles)
+        latency += self.config.tag_read_overhead_cycles
+        if pred.way is not None and pred.way != lookup.way:
+            # Misprediction: the correct way is re-read from the now-open row
+            # buffer (cheap, Section III-A.6).
+            latency += pred.mispredict_penalty
+        return latency
+
+    def on_hit_write(self, engine: "ComposedDramCache",
+                     request: MemoryAccess, lookup: Lookup) -> None:
+        self._write_block_device(engine, lookup.set_index, lookup.way,
+                                 lookup.offset)
+
+    def miss_lookup_latency(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            pred: HitPrediction) -> int:
+        """Discovering a miss requires reading the tags from DRAM."""
+        return (self._tag_read(engine, lookup.set_index)
+                + self.config.tag_read_overhead_cycles)
+
+    # -- device hooks --------------------------------------------------- #
+    def _write_block_device(self, engine: "ComposedDramCache", set_index: int,
+                            way: int, offset: int) -> None:
+        frame_id = self.layout.frame_index(set_index, way)
+        engine.stacked.write(
+            self.layout.frame_row(frame_id),
+            self.layout.block_offset(frame_id, offset),
+            self.config.block_size,
+            engine._now,
+        )
+
+    def _read_eviction_metadata(self, engine: "ComposedDramCache",
+                                set_index: int, way: int) -> None:
+        # The (PC, offset) pair and bit vectors are read from the row (off
+        # the critical path) to train the footprint predictor.
+        frame_id = self.layout.frame_index(set_index, way)
+        engine.stacked.read(
+            self.layout.frame_row(frame_id),
+            self.layout.other_metadata_offset(frame_id),
+            self.layout.pc_offset_bytes_per_page,
+            engine._now,
+        )
+
+    def _fill_frame_device(self, engine: "ComposedDramCache", set_index: int,
+                           way: int, offsets: List[int]) -> None:
+        frame_id = self.layout.frame_index(set_index, way)
+        row = self.layout.frame_row(frame_id)
+        engine.stacked.fill_blocks(
+            row,
+            [self.layout.block_offset(frame_id, o) for o in offsets],
+            engine._now,
+        )
+        engine.stacked.write(
+            row,
+            self.layout.presence_metadata_offset(frame_id),
+            self.layout.presence_bytes_per_page,
+            engine._now,
+        )
+
+    def _count_conflict_eviction(self, engine: "ComposedDramCache") -> None:
+        engine.cache_stats.conflict_evictions += 1
+
+
+class SramPageTags(_SetAssocPageTags):
+    """Footprint Cache's organization: SRAM tags, page-granular DRAM data.
+
+    Every access pays the capacity-dependent SRAM tag latency (Table IV);
+    data blocks live packed page-by-page in the stacked DRAM rows.
+    """
+
+    kind = "sram-page"
+
+    def __init__(self, config: FootprintCacheConfig,
+                 tag_latency_cycles: Optional[int] = None) -> None:
+        config.validate()
+        associativity = min(config.associativity, max(1, config.num_pages))
+        super().__init__(
+            num_sets=config.num_sets,
+            associativity=associativity,
+            blocks_per_page=config.blocks_per_page,
+            capacity_bytes=config.capacity_bytes,
+        )
+        self.config = config
+        self.tag_latency_cycles = (
+            tag_latency_cycles
+            if tag_latency_cycles is not None
+            else config.tag_array.lookup_latency_cycles
+        )
+        self.pages_per_row = max(1, config.row_buffer_size // config.page_size)
+
+    def _locate(self, block_address: int) -> "tuple[int, int, int]":
+        page = block_address // self.blocks_per_page
+        offset = block_address % self.blocks_per_page
+        return page, page % self.num_sets, offset
+
+    def _row_of(self, set_index: int, way: int) -> "tuple[int, int]":
+        frame_id = set_index * self.associativity + way
+        row = frame_id // self.pages_per_row
+        slot = frame_id % self.pages_per_row
+        return row, slot * self.config.page_size
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        row, page_base = self._row_of(lookup.set_index, lookup.way)
+        data = engine.stacked.read(
+            row, page_base + lookup.offset * self.config.block_size,
+            self.config.block_size, engine._now,
+        )
+        return self.tag_latency_cycles + data.latency_cpu_cycles
+
+    def on_hit_write(self, engine: "ComposedDramCache",
+                     request: MemoryAccess, lookup: Lookup) -> None:
+        self._write_block_device(engine, lookup.set_index, lookup.way,
+                                 lookup.offset)
+
+    def miss_lookup_latency(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            pred: HitPrediction) -> int:
+        """The SRAM lookup resolves hit/miss; no DRAM access needed."""
+        return self.tag_latency_cycles
+
+    def _write_block_device(self, engine: "ComposedDramCache", set_index: int,
+                            way: int, offset: int) -> None:
+        row, page_base = self._row_of(set_index, way)
+        engine.stacked.write(
+            row, page_base + offset * self.config.block_size,
+            self.config.block_size, engine._now,
+        )
+
+    def _fill_frame_device(self, engine: "ComposedDramCache", set_index: int,
+                           way: int, offsets: List[int]) -> None:
+        row, page_base = self._row_of(set_index, way)
+        engine.stacked.fill_blocks(
+            row,
+            [page_base + o * self.config.block_size for o in offsets],
+            engine._now,
+        )
+
+
+class DirectMappedBlockTags(TagOrganization):
+    """Alloy's organization: direct-mapped tag-and-data (TAD) blocks.
+
+    A hit streams the whole 72-byte TAD in one DRAM access.  With
+    ``page_blocks > 1`` the organization keeps its per-block placement but
+    presents a multi-block page view to the fetch policy, installing each
+    fetched block into its own direct-mapped frame -- the ``alloy+footprint``
+    hybrid.  A small region observer then reconstructs per-page demanded
+    footprints so eviction-time learning still works without page frames.
+    """
+
+    kind = "direct-mapped"
+
+    def __init__(self, config: AlloyCacheConfig, page_blocks: int = 1,
+                 region_observer_entries: int = 4096) -> None:
+        config.validate()
+        if page_blocks < 1:
+            raise ValueError("page_blocks must be positive")
+        self.config = config
+        self.blocks_per_page = page_blocks
+        self.associativity = 1
+        self.capacity_bytes = config.capacity_bytes
+        self.num_blocks = config.num_blocks
+        # Direct-mapped arrays: tag per frame (-1 == invalid) and dirty flag.
+        self.tag_array: List[int] = [-1] * self.num_blocks
+        self.dirty: List[bool] = [False] * self.num_blocks
+        # Region observer (page_blocks > 1 only): page -> observed footprint,
+        # an LRU-bounded stand-in for the page frame's demanded vector
+        # (insertion-ordered dict; demands re-insert at the back).
+        self.region_observer_entries = region_observer_entries
+        self._regions: "Dict[int, tuple[int, int, BitVector, BitVector, bool]]" = {}
+
+    # -- placement ------------------------------------------------------ #
+    def _frame_of(self, block_address: int) -> int:
+        return block_address % self.num_blocks
+
+    def _tag_of(self, block_address: int) -> int:
+        return block_address // self.num_blocks
+
+    def _row_of_frame(self, frame: int) -> "tuple[int, int]":
+        row = frame // self.config.blocks_per_row
+        slot = frame % self.config.blocks_per_row
+        return row, slot * self.config.tad_bytes
+
+    def probe(self, request: MemoryAccess) -> Lookup:
+        block = request.block_address
+        frame = self._frame_of(block)
+        hit = self.tag_array[frame] == self._tag_of(block)
+        return Lookup(
+            page=block // self.blocks_per_page,
+            set_index=frame,
+            offset=block % self.blocks_per_page,
+            way=0 if hit else -1,
+            block_hit=hit,
+            page_hit=hit,
+        )
+
+    # -- hit path -------------------------------------------------------- #
+    def touch(self, engine: "ComposedDramCache", request: MemoryAccess,
+              lookup: Lookup) -> None:
+        self._observe_demand(lookup)
+
+    def _tad_read(self, engine: "ComposedDramCache", frame: int) -> int:
+        row, offset = self._row_of_frame(frame)
+        result = engine.stacked.read(row, offset, self.config.tad_bytes,
+                                     engine._now)
+        return result.latency_cpu_cycles
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        return self._tad_read(engine, lookup.set_index)
+
+    def on_hit_write(self, engine: "ComposedDramCache",
+                     request: MemoryAccess, lookup: Lookup) -> None:
+        frame = lookup.set_index
+        row, offset = self._row_of_frame(frame)
+        engine.stacked.write(row, offset, self.config.tad_bytes, engine._now)
+        self.dirty[frame] = True
+
+    def miss_lookup_latency(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            pred: HitPrediction) -> int:
+        if pred.predicted_miss:
+            # Correctly predicted miss: the off-chip request is issued
+            # immediately, hiding the DRAM-cache lookup entirely.
+            return 0
+        return self._tad_read(engine, lookup.set_index)
+
+    # -- region observer (footprint-fetch hybrids) ----------------------- #
+    def _observe_demand(self, lookup: Lookup) -> None:
+        if self.blocks_per_page <= 1:
+            return
+        entry = self._regions.pop(lookup.page, None)
+        if entry is not None:
+            entry[2].set(lookup.offset)
+            # Re-insert at the back: a still-demanded region stays resident
+            # in the observer (true LRU, matching the page frames it
+            # stands in for).
+            self._regions[lookup.page] = entry
+
+    def _observe_allocation(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            decision: FetchDecision) -> None:
+        if self.blocks_per_page <= 1:
+            return
+        stale = self._regions.pop(lookup.page, None)
+        if stale is None and len(self._regions) >= self.region_observer_entries:
+            # Capacity eviction: the least-recently-demanded region learns.
+            lru_page = next(iter(self._regions))
+            stale = self._regions.pop(lru_page)
+        if stale is not None:
+            engine.fetch.learn_eviction(stale[0], stale[1], stale[2],
+                                        stale[3], stale[4])
+        demanded = BitVector.from_indices(self.blocks_per_page,
+                                          [lookup.offset])
+        self._regions[lookup.page] = (
+            request.pc, lookup.offset, demanded,
+            decision.footprint.copy(), decision.from_history,
+        )
+
+    # -- miss path ------------------------------------------------------- #
+    def fill_block(self, engine: "ComposedDramCache", request: MemoryAccess,
+                   lookup: Lookup) -> None:  # pragma: no cover - unreachable
+        raise RuntimeError(
+            "a direct-mapped block organization has no partial pages"
+        )
+
+    def _install(self, engine: "ComposedDramCache", block: int,
+                 dirty: bool) -> int:
+        """Install one fetched block; returns dirty blocks written back."""
+        frame = self._frame_of(block)
+        tag = self._tag_of(block)
+        written = 0
+        if self.tag_array[frame] >= 0 and self.dirty[frame]:
+            victim_block = self.tag_array[frame] * self.num_blocks + frame
+            written = engine.writeback.writeback_block(engine, victim_block)
+        if self.tag_array[frame] >= 0:
+            engine.cache_stats.pages_evicted += 1
+        self.tag_array[frame] = tag
+        self.dirty[frame] = dirty
+        engine.cache_stats.pages_allocated += 1
+        row, offset = self._row_of_frame(frame)
+        engine.stacked.write(row, offset, self.config.tad_bytes, engine._now)
+        return written
+
+    def allocate(self, engine: "ComposedDramCache", request: MemoryAccess,
+                 lookup: Lookup, decision: FetchDecision) -> AllocationOutcome:
+        offsets = decision.footprint.indices()
+        base_block = lookup.page * self.blocks_per_page
+        if len(offsets) == 1:
+            offchip = engine.memory.read_block(request.block_address,
+                                               engine._now)
+            engine.cache_stats.offchip_demand_blocks += 1
+            written = self._install(engine, request.block_address,
+                                    request.is_write)
+            return AllocationOutcome(offchip_latency=offchip,
+                                     blocks_fetched=1, blocks_written=written)
+        # Multi-block footprint (hybrid): fetch the region, install each
+        # block into its own direct-mapped frame.
+        fetch_blocks = [base_block + o for o in offsets]
+        offchip = engine.memory.fetch_blocks(fetch_blocks, engine._now)
+        engine.cache_stats.offchip_demand_blocks += 1
+        engine.cache_stats.offchip_prefetch_blocks += len(fetch_blocks) - 1
+        written = 0
+        for block in fetch_blocks:
+            written += self._install(
+                engine, block,
+                dirty=request.is_write and block == request.block_address,
+            )
+        self._observe_allocation(engine, request, lookup, decision)
+        return AllocationOutcome(offchip_latency=offchip,
+                                 blocks_fetched=len(fetch_blocks),
+                                 blocks_written=written)
+
+
+class MissMapBlockTags(TagOrganization):
+    """Loh-Hill's organization: set-per-row tags-in-DRAM behind a MissMap.
+
+    Each DRAM row forms one set whose first block slots hold the tags for
+    the remaining data blocks; a hit pays MissMap latency plus the
+    serialized tag-then-data reads (the row stays open, so the data read is
+    a row-buffer hit).  The on-chip MissMap lets true misses skip the
+    in-DRAM tag lookup entirely.
+    """
+
+    kind = "missmap"
+
+    #: Bytes of tag metadata kept per data block (tag + state bits).
+    TAG_ENTRY_BYTES = 6
+
+    def __init__(self, capacity_bytes: int, row_buffer_size: int = 8 * 1024,
+                 block_size: int = 64,
+                 missmap_latency_cycles: int = 8) -> None:
+        if row_buffer_size % block_size:
+            raise ValueError("row_buffer_size must be a multiple of block_size")
+        self.capacity_bytes = capacity_bytes
+        self.blocks_per_page = 1
+        self.block_size = block_size
+        self.row_buffer_size = row_buffer_size
+        self.missmap_latency_cycles = missmap_latency_cycles
+
+        blocks_per_row = row_buffer_size // block_size
+        # Reserve the smallest number of block slots whose bytes can hold
+        # the tag entries of all remaining slots (2 KB rows -> 3 tag + 29
+        # data blocks, exactly the original design).
+        tag_blocks = 1
+        while ((blocks_per_row - tag_blocks) * self.TAG_ENTRY_BYTES
+               > tag_blocks * block_size):
+            tag_blocks += 1
+        self.tag_blocks_per_row = tag_blocks
+        #: Data blocks per set.
+        self.associativity = blocks_per_row - tag_blocks
+        self.num_sets = capacity_bytes // row_buffer_size
+        if self.num_sets < 1:
+            raise ValueError("capacity must hold at least one DRAM row")
+
+        self.tag_array: List[List[int]] = [
+            [-1] * self.associativity for _ in range(self.num_sets)
+        ]
+        self.dirty: List[List[bool]] = [
+            [False] * self.associativity for _ in range(self.num_sets)
+        ]
+        self.lru: List[LruPolicy] = [
+            LruPolicy(self.associativity) for _ in range(self.num_sets)
+        ]
+        # The MissMap: presence bits for every block the cache may hold.
+        self.missmap: Dict[int, bool] = {}
+
+    def _locate(self, block_address: int) -> "tuple[int, int]":
+        return block_address % self.num_sets, block_address // self.num_sets
+
+    def _find_way(self, set_index: int, tag: int) -> int:
+        for way, existing in enumerate(self.tag_array[set_index]):
+            if existing == tag:
+                return way
+        return -1
+
+    def probe(self, request: MemoryAccess) -> Lookup:
+        block = request.block_address
+        set_index, tag = self._locate(block)
+        way = self._find_way(set_index, tag)
+        present = self.missmap.get(block, False)
+        return Lookup(page=block, set_index=set_index, offset=0, way=way,
+                      block_hit=present, page_hit=present)
+
+    def touch(self, engine: "ComposedDramCache", request: MemoryAccess,
+              lookup: Lookup) -> None:
+        self.lru[lookup.set_index].on_access(max(lookup.way, 0))
+
+    def _tag_read(self, engine: "ComposedDramCache", set_index: int) -> int:
+        result = engine.stacked.read(
+            set_index, 0, self.tag_blocks_per_row * self.block_size,
+            engine._now,
+        )
+        return result.latency_cpu_cycles
+
+    def _data_read(self, engine: "ComposedDramCache", set_index: int,
+                   way: int) -> int:
+        offset = (self.tag_blocks_per_row + way) * self.block_size
+        result = engine.stacked.read(set_index, offset, self.block_size,
+                                     engine._now)
+        return result.latency_cpu_cycles
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        # Tag read, then the data read (serialized; the data read hits the
+        # open row).
+        tag_latency = self._tag_read(engine, lookup.set_index)
+        data_latency = self._data_read(engine, lookup.set_index,
+                                       max(lookup.way, 0))
+        return self.missmap_latency_cycles + tag_latency + data_latency
+
+    def on_hit_write(self, engine: "ComposedDramCache",
+                     request: MemoryAccess, lookup: Lookup) -> None:
+        self.dirty[lookup.set_index][max(lookup.way, 0)] = True
+
+    def miss_lookup_latency(self, engine: "ComposedDramCache",
+                            request: MemoryAccess, lookup: Lookup,
+                            pred: HitPrediction) -> int:
+        # The MissMap already said "absent": no in-DRAM tag read happens.
+        return self.missmap_latency_cycles
+
+    def allocate(self, engine: "ComposedDramCache", request: MemoryAccess,
+                 lookup: Lookup, decision: FetchDecision) -> AllocationOutcome:
+        offchip = engine.memory.read_block(request.block_address, engine._now)
+        engine.cache_stats.offchip_demand_blocks += 1
+
+        set_index = lookup.set_index
+        tag = request.block_address // self.num_sets
+        written = 0
+        victim_way = self.lru[set_index].victim(
+            [existing >= 0 for existing in self.tag_array[set_index]]
+        )
+        victim_tag = self.tag_array[set_index][victim_way]
+        if victim_tag >= 0:
+            victim_block = victim_tag * self.num_sets + set_index
+            self.missmap.pop(victim_block, None)
+            if self.dirty[set_index][victim_way]:
+                written = engine.writeback.writeback_block(engine,
+                                                           victim_block)
+            engine.cache_stats.pages_evicted += 1
+        self.tag_array[set_index][victim_way] = tag
+        self.dirty[set_index][victim_way] = request.is_write
+        self.lru[set_index].on_fill(victim_way)
+        self.missmap[request.block_address] = True
+        engine.cache_stats.pages_allocated += 1
+        # Update the in-row tag block and write the data block.
+        engine.stacked.write(set_index, 0, self.block_size, engine._now)
+        engine.stacked.write(
+            set_index,
+            (self.tag_blocks_per_row + victim_way) * self.block_size,
+            self.block_size, engine._now,
+        )
+        return AllocationOutcome(offchip_latency=offchip, blocks_fetched=1,
+                                 blocks_written=written)
+
+    def contribute_stats(self, group: StatGroup) -> None:
+        group.set("missmap_entries", len(self.missmap))
+
+
+class AlwaysHitTags(TagOrganization):
+    """The ideal reference point: every access hits, no tag overhead."""
+
+    kind = "always-hit"
+
+    def __init__(self, capacity_bytes: int, row_buffer_size: int = 8 * 1024,
+                 block_size: int = 64) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.blocks_per_page = 1
+        self.associativity = 1
+        self.row_buffer_size = row_buffer_size
+        self.block_size = block_size
+
+    def probe(self, request: MemoryAccess) -> Lookup:
+        return Lookup(page=request.block_address, set_index=0, offset=0,
+                      way=0, block_hit=True, page_hit=True)
+
+    def block_hit_latency(self, engine: "ComposedDramCache",
+                          request: MemoryAccess, lookup: Lookup,
+                          pred: HitPrediction) -> int:
+        row = request.address // self.row_buffer_size
+        offset = ((request.address % self.row_buffer_size)
+                  // self.block_size * self.block_size)
+        result = engine.stacked.read(row, offset, self.block_size,
+                                     engine._now)
+        return result.latency_cpu_cycles
+
+
+class NoCacheTags(TagOrganization):
+    """No stacked-DRAM cache at all: every request goes off chip."""
+
+    kind = "no-cache"
+
+    def __init__(self) -> None:
+        self.capacity_bytes = 1
+        self.blocks_per_page = 1
+        self.associativity = 1
+
+    def probe(self, request: MemoryAccess) -> Lookup:
+        return Lookup(page=request.block_address, set_index=0, offset=0,
+                      way=-1, block_hit=False, page_hit=False)
+
+    def allocate(self, engine: "ComposedDramCache", request: MemoryAccess,
+                 lookup: Lookup, decision: FetchDecision) -> AllocationOutcome:
+        if request.is_write:
+            latency = engine.memory.write_block(request.block_address,
+                                                engine._now)
+            engine.cache_stats.offchip_writeback_blocks += 1
+            return AllocationOutcome(offchip_latency=latency,
+                                     blocks_fetched=0, blocks_written=1)
+        latency = engine.memory.read_block(request.block_address, engine._now)
+        engine.cache_stats.offchip_demand_blocks += 1
+        return AllocationOutcome(offchip_latency=latency, blocks_fetched=1,
+                                 blocks_written=0)
+
+
+# --------------------------------------------------------------------- #
+# Tag-organization factories
+# --------------------------------------------------------------------- #
+def _build_dram_page_tags(context: "DesignBuildContext",
+                          blocks_per_page: int = 15,
+                          associativity: int = 4,
+                          hit_path: str = "overlapped") -> DramPageTags:
+    if context.associativity is not None:
+        associativity = context.associativity
+    # Way prediction is owned by the hit-predictor component, not the tag
+    # organization: the config's predictor fields stay at their defaults
+    # here (the organization never consults them).
+    config = UnisonCacheConfig(
+        capacity=context.scaled_capacity_bytes,
+        blocks_per_page=blocks_per_page,
+        associativity=associativity,
+    )
+    return DramPageTags(config, hit_path=hit_path)
+
+
+def _build_sram_page_tags(context: "DesignBuildContext",
+                          page_size: int = 2048,
+                          associativity: int = 32) -> SramPageTags:
+    if context.associativity is not None:
+        associativity = context.associativity
+    # The SRAM tag latency is dictated by the *paper* capacity (Table IV).
+    tag_latency = footprint_tag_array_for_capacity(
+        context.paper_capacity_bytes
+    ).lookup_latency_cycles
+    config = FootprintCacheConfig(
+        capacity=context.scaled_capacity_bytes,
+        page_size=page_size,
+        associativity=associativity,
+    )
+    return SramPageTags(config, tag_latency_cycles=tag_latency)
+
+
+def _build_direct_mapped_tags(context: "DesignBuildContext",
+                              page_blocks: int = 1,
+                              region_observer_entries: int = 4096,
+                              ) -> DirectMappedBlockTags:
+    return DirectMappedBlockTags(
+        AlloyCacheConfig(capacity=context.scaled_capacity_bytes),
+        page_blocks=page_blocks,
+        region_observer_entries=region_observer_entries,
+    )
+
+
+def _build_missmap_tags(context: "DesignBuildContext",
+                        missmap_latency_cycles: int = 8) -> MissMapBlockTags:
+    return MissMapBlockTags(
+        context.scaled_capacity_bytes,
+        missmap_latency_cycles=missmap_latency_cycles,
+    )
+
+
+def _build_always_hit_tags(context: "DesignBuildContext") -> AlwaysHitTags:
+    return AlwaysHitTags(context.scaled_capacity_bytes)
+
+
+def _build_no_cache_tags(context: "DesignBuildContext") -> NoCacheTags:
+    return NoCacheTags()
+
+
+TAG_ORGANIZATIONS.register("dram-page", _build_dram_page_tags)
+TAG_ORGANIZATIONS.register("sram-page", _build_sram_page_tags)
+TAG_ORGANIZATIONS.register("direct-mapped", _build_direct_mapped_tags)
+TAG_ORGANIZATIONS.register("missmap", _build_missmap_tags)
+TAG_ORGANIZATIONS.register("always-hit", _build_always_hit_tags)
+TAG_ORGANIZATIONS.register("no-cache", _build_no_cache_tags)
+
+
+__all__ = [
+    "AllocationOutcome",
+    "AlwaysHitTags",
+    "CachePolicyComponent",
+    "ComponentRegistry",
+    "DemandBlockFetch",
+    "DirectMappedBlockTags",
+    "DisabledMissPrediction",
+    "DramPageTags",
+    "DropDirtyPolicy",
+    "FETCH_POLICIES",
+    "FetchDecision",
+    "FetchPolicy",
+    "FootprintFetch",
+    "FullPageFetch",
+    "HIT_PREDICTORS",
+    "HitPredictor",
+    "HitPrediction",
+    "Lookup",
+    "MissMapBlockTags",
+    "MissPredictionPolicy",
+    "NoCacheTags",
+    "NoHitPrediction",
+    "OracleWayPrediction",
+    "PageFrame",
+    "SramPageTags",
+    "TAG_ORGANIZATIONS",
+    "TagOrganization",
+    "WRITEBACK_POLICIES",
+    "WayPredictionPolicy",
+    "WritebackDirtyPolicy",
+    "WritebackPolicy",
+]

@@ -20,12 +20,18 @@ methodology for the reproduction's trace-driven models:
   functional-warming prologue before each window, and keeps measuring
   windows until the confidence interval converges or the window budget is
   exhausted.
+* :mod:`repro.sampling.checkpoints` -- the on-disk
+  :class:`~repro.sampling.checkpoints.CheckpointStore`: warm checkpoints
+  pickled next to the trace store so the prologue replay survives across
+  processes and sessions, invalidated whenever the design's component spec
+  (its registry token) changes.
 
 Sampled runs plug into the declarative experiment API: set ``sampling=`` on
 a :class:`~repro.sim.spec.SweepSpec` (or per-trial override) and the sweep
 executor runs every cell sampled; ``repro sample`` is the CLI entry point.
 """
 
+from repro.sampling.checkpoints import CheckpointStore
 from repro.sampling.seekable import (
     FileWindows,
     InMemoryWindows,
@@ -47,6 +53,7 @@ from repro.sampling.runner import (
 )
 
 __all__ = [
+    "CheckpointStore",
     "FileWindows",
     "InMemoryWindows",
     "IndexedWindowReader",

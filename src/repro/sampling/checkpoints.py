@@ -1,0 +1,275 @@
+"""On-disk warm-state checkpoints for sampled measurement.
+
+The windowed sampler's one long replay is the functional-warming prologue
+that produces each design's warm :class:`~repro.dramcache.base.StateSnapshot`
+checkpoint.  Within one process that checkpoint already seeds every
+measurement window; this module makes it survive *across* processes and
+sessions by pickling it next to the trace-store entry it was warmed on.
+
+Keying and invalidation
+-----------------------
+
+A checkpoint is valid only for the exact (trace, design, prologue) it was
+produced by, so the file name is a SHA-256 over:
+
+* the **trace identity** -- for synthetic workloads the same profile/config
+  fields (plus generator version) that key the trace store; for trace files
+  the resolved path, size, and mtime;
+* the **design identity** -- the registry entry's stable token.  For
+  spec-registered designs that is the canonical
+  :meth:`repro.dramcache.spec.DesignSpec.token`, so *changing any component
+  or parameter of a design invalidates its stale checkpoints*; for plain
+  builder registrations it is the builder's qualified name;
+* the **build parameters** (capacity, scale, cores, associativity) and the
+  **prologue extent** (checkpoint access range);
+* two versions: the snapshot-layout format version here, and
+  :data:`repro.dramcache.base.MODEL_BEHAVIOR_VERSION` -- bumped whenever
+  model *implementation* changes what a design computes, since the
+  composition token cannot see code edits inside unchanged components.
+
+Storage lives under ``<trace store root>/checkpoints`` by default, so the
+same ``REPRO_TRACE_STORE`` switch that relocates or disables trace caching
+governs checkpoints too; ``REPRO_CHECKPOINTS=0`` disables checkpoints alone.
+Corrupt, unreadable, or version-mismatched files are treated as misses --
+the sampler silently falls back to replaying the prologue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.dramcache.base import StateSnapshot
+from repro.trace.store import configured_root
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.tracefile import TraceFileWorkload
+
+#: Bumped whenever the pickled snapshot layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Environment switch: ``0``/``off``/``false`` disables the checkpoint store.
+ENV_CHECKPOINTS = "REPRO_CHECKPOINTS"
+
+
+def checkpoints_enabled() -> bool:
+    """Whether on-disk checkpoints are enabled for this process."""
+    value = os.environ.get(ENV_CHECKPOINTS, "").strip().lower()
+    if value in ("0", "off", "false", "no"):
+        return False
+    return configured_root() is not None
+
+
+def default_root() -> Optional[Path]:
+    """The default checkpoint directory (inside the trace store), or None."""
+    if not checkpoints_enabled():
+        return None
+    root = configured_root()
+    return None if root is None else root / "checkpoints"
+
+
+def trace_token(workload, config) -> str:
+    """Stable identity of the access stream a checkpoint was warmed on.
+
+    Synthetic workloads reuse the trace store's canonical
+    :func:`repro.trace.store.trace_key_string` verbatim, so the checkpoint
+    key and the trace-store key can never drift apart: anything that
+    regenerates a trace (a new generator version, a new identity field)
+    invalidates the warm states built on the old one.
+    """
+    if isinstance(workload, WorkloadProfile):
+        from repro.trace.store import trace_key_string
+
+        return "synthetic:" + trace_key_string(
+            workload, config.scale, config.num_cores, config.seed,
+            config.num_accesses,
+        )
+    if isinstance(workload, TraceFileWorkload):
+        path = Path(workload.path).resolve()
+        try:
+            stat = path.stat()
+            stamp = f"{stat.st_size}:{stat.st_mtime_ns}"
+        except OSError:
+            stamp = "missing"
+        return (f"file:{path};{stamp};accesses={config.num_accesses}")
+    return f"opaque:{workload!r};accesses={config.num_accesses}"
+
+
+def sequence_token(trace) -> str:
+    """Identity of an explicitly injected, pre-materialized access sequence.
+
+    ``WindowedSampler.compare(..., trace=...)`` measures whatever sequence
+    the caller hands it, which need not be the canonical trace of the
+    (workload, config) pair -- so checkpoints for injected traces key on a
+    digest over the *full* sequence content.  Any single-record difference
+    changes the token; callers that know a cheaper authoritative identity
+    (the sweep executor injecting the canonical cached trace) pass it as
+    ``trace_identity`` instead and skip the hash.
+    """
+    digest = hashlib.sha256()
+    for access in trace:
+        digest.update(repr(tuple(access)).encode("utf-8"))
+    return f"sequence:n={len(trace)};sha256={digest.hexdigest()}"
+
+
+def design_token(design_name: str) -> str:
+    """The registry entry's stable identity for ``design_name``.
+
+    Spec-registered designs hash their full component declaration, so any
+    edit to the design's composition invalidates existing checkpoints.
+    """
+    from repro.sim.registry import DESIGNS
+
+    return DESIGNS.resolve(design_name).token()
+
+
+class CheckpointStore:
+    """Pickled :class:`StateSnapshot` files next to the trace store."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def default(cls) -> Optional["CheckpointStore"]:
+        """The store at the configured location, or ``None`` if disabled."""
+        root = default_root()
+        return None if root is None else cls(root)
+
+    # ------------------------------------------------------------------ #
+    def key(self, *, trace: str, design: str, capacity: str, scale: int,
+            num_cores: int, associativity: Optional[int],
+            checkpoint_start: int, checkpoint_stop: int) -> str:
+        """Content-addressed file key for one warm checkpoint."""
+        from repro.dramcache.base import MODEL_BEHAVIOR_VERSION
+
+        payload = "|".join([
+            f"v{CHECKPOINT_FORMAT_VERSION}",
+            f"model=v{MODEL_BEHAVIOR_VERSION}",
+            trace,
+            design,
+            f"capacity={capacity}",
+            f"scale={scale}",
+            f"cores={num_cores}",
+            f"assoc={associativity}",
+            f"prologue={checkpoint_start}:{checkpoint_stop}",
+        ])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.ckpt"
+
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> Optional[StateSnapshot]:
+        """The stored snapshot for ``key``, or ``None`` on any miss/damage."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                version, snapshot = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError, ValueError):
+            return None
+        if version != CHECKPOINT_FORMAT_VERSION:
+            return None
+        if not isinstance(snapshot, StateSnapshot):
+            return None
+        try:
+            os.utime(path)  # LRU recency for gc()
+        except OSError:
+            pass
+        return snapshot
+
+    def save(self, key: str, snapshot: StateSnapshot) -> bool:
+        """Atomically persist ``snapshot``; returns False on any IO failure.
+
+        A failed save never breaks a measurement -- the caller already holds
+        the in-memory snapshot it is about to measure with.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.root),
+                                            suffix=".ckpt.tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump((CHECKPOINT_FORMAT_VERSION, snapshot),
+                                handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.ckpt"))
+        except OSError:
+            return 0
+
+    def total_bytes(self) -> int:
+        total = 0
+        try:
+            for path in self.root.glob("*.ckpt"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict least-recently-used checkpoints down to ``max_bytes``.
+
+        Also sweeps stale temp files.  Returns the bytes reclaimed.
+        """
+        reclaimed = 0
+        try:
+            entries = []
+            for path in self.root.iterdir():
+                if path.name.endswith(".ckpt.tmp"):
+                    try:
+                        reclaimed += path.stat().st_size
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if path.suffix == ".ckpt":
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime_ns, stat.st_size, path))
+        except OSError:
+            return reclaimed
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+                total -= size
+                reclaimed += size
+            except OSError:
+                pass
+        return reclaimed
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "checkpoints_enabled",
+    "default_root",
+    "design_token",
+    "sequence_token",
+    "trace_token",
+]

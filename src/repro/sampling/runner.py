@@ -207,15 +207,39 @@ class SampledRun:
 
 
 class WindowedSampler:
-    """Runs checkpointed, window-scheduled, adaptively-terminated trials."""
+    """Runs checkpointed, window-scheduled, adaptively-terminated trials.
+
+    ``use_checkpoints`` controls the on-disk warm-state store
+    (:mod:`repro.sampling.checkpoints`): ``None`` (default) enables it
+    whenever the trace store is enabled, ``False`` forces prologue replay,
+    ``True`` requires the configured store.  Checkpoints are keyed on the
+    trace identity, the design's registry token (its component spec), the
+    build parameters, and the prologue extent -- a hit skips the one long
+    replay entirely, bit-identically.
+    """
 
     def __init__(self, sampling: Optional[SamplingConfig] = None,
                  config: Optional[ExperimentConfig] = None,
-                 system: Optional[SystemConfig] = None) -> None:
+                 system: Optional[SystemConfig] = None,
+                 use_checkpoints: Optional[bool] = None) -> None:
         self.sampling = sampling or SamplingConfig()
         self.config = config or ExperimentConfig()
         self.system = system or SystemConfig()
         self.performance = PerformanceModel(self.system)
+        self.use_checkpoints = use_checkpoints
+
+    def _checkpoint_store(self):
+        from repro.sampling.checkpoints import CheckpointStore
+
+        if self.use_checkpoints is False:
+            return None
+        store = CheckpointStore.default()
+        if store is None and self.use_checkpoints is True:
+            raise ValueError(
+                "on-disk checkpoints requested but the checkpoint store is "
+                "disabled (REPRO_TRACE_STORE / REPRO_CHECKPOINTS)"
+            )
+        return store
 
     # ------------------------------------------------------------------ #
     def _provider(self, workload: Workload,
@@ -271,12 +295,17 @@ class WindowedSampler:
                 capacity: SizeLike,
                 trace: Optional[Sequence[MemoryAccess]] = None,
                 associativity: Optional[int] = None,
-                labels: Optional[Sequence[str]] = None) -> SampledRun:
+                labels: Optional[Sequence[str]] = None,
+                trace_identity: Optional[str] = None) -> SampledRun:
         """Sample every design over the *same* windows (matched pairs).
 
         ``trace`` injects a pre-materialized access sequence (the sweep
         executor's cached traces); otherwise the workload decides -- binary
         trace files are windowed seekably, synthetic profiles are generated.
+        ``trace_identity`` names the injected sequence for checkpoint
+        keying when the caller knows its authoritative identity (the
+        executor passes the generator-versioned trace token); without it an
+        injected sequence is identified by a full content hash.
         """
         if not design_names:
             raise ValueError("need at least one design to sample")
@@ -293,15 +322,34 @@ class WindowedSampler:
         provider = self._provider(workload, trace)
         try:
             return self._compare(provider, design_names, labels, workload,
-                                 capacity, associativity)
+                                 capacity, associativity, trace,
+                                 trace_identity)
         finally:
             provider.close()
 
     def _compare(self, provider, design_names, labels, workload, capacity,
-                 associativity) -> SampledRun:
+                 associativity, trace=None,
+                 trace_identity=None) -> SampledRun:
+        from repro.sampling.checkpoints import (
+            design_token,
+            sequence_token,
+            trace_token,
+        )
+
         plan = plan_windows(provider.total, self.config.warmup_fraction,
                             self.sampling)
-        prologue = provider.read(plan.checkpoint_start, plan.checkpoint_stop)
+        store = self._checkpoint_store()
+        if store is None:
+            stream_token = ""
+        elif trace is not None:
+            # An injected sequence need not be the canonical trace of the
+            # (workload, config) pair: key on the caller's authoritative
+            # identity, or failing that on the full sequence content.
+            stream_token = (trace_identity if trace_identity is not None
+                            else sequence_token(trace))
+        else:
+            stream_token = trace_token(workload, self.config)
+        prologue: Optional[Sequence[MemoryAccess]] = None
 
         designs = []
         for name, label in zip(design_names, labels):
@@ -309,10 +357,38 @@ class WindowedSampler:
                 name, capacity, scale=self.config.scale,
                 num_cores=self.config.num_cores, associativity=associativity,
             )
-            # The one long replay: functional warming up to the measurement
-            # region, frozen once, restored before every window.
-            design.warm_up(prologue)
-            checkpoint = design.snapshot_state()
+            checkpoint = None
+            key = None
+            if store is not None:
+                key = store.key(
+                    trace=stream_token,
+                    design=design_token(name),
+                    capacity=format_size(parse_size(capacity)),
+                    scale=self.config.scale,
+                    num_cores=self.config.num_cores,
+                    associativity=associativity,
+                    checkpoint_start=plan.checkpoint_start,
+                    checkpoint_stop=plan.checkpoint_stop,
+                )
+                checkpoint = store.load(key)
+                if checkpoint is not None:
+                    try:
+                        design.restore_state(checkpoint)
+                    except ValueError:
+                        # Stale shape (e.g. a design redefined in-process
+                        # under the same token): fall back to warming.
+                        checkpoint = None
+            if checkpoint is None:
+                # The one long replay: functional warming up to the
+                # measurement region, frozen once, restored before every
+                # window -- and persisted so later processes skip it too.
+                if prologue is None:
+                    prologue = provider.read(plan.checkpoint_start,
+                                             plan.checkpoint_stop)
+                design.warm_up(prologue)
+                checkpoint = design.snapshot_state()
+                if store is not None and key is not None:
+                    store.save(key, checkpoint)
             series = {metric: WindowSeries(f"{metric}[{label}]")
                       for metric in TRACKED_METRICS}
             designs.append((label, design, checkpoint, series))
@@ -379,7 +455,8 @@ class WindowedSampler:
                    capacity: SizeLike,
                    trace: Optional[Sequence[MemoryAccess]] = None,
                    associativity: Optional[int] = None,
-                   label: Optional[str] = None) -> ExperimentResult:
+                   label: Optional[str] = None,
+                   trace_identity: Optional[str] = None) -> ExperimentResult:
         """Sample one design and aggregate into an :class:`ExperimentResult`.
 
         The sampled counterpart of
@@ -391,6 +468,7 @@ class WindowedSampler:
             [design_name], workload, capacity, trace=trace,
             associativity=associativity,
             labels=[label] if label is not None else None,
+            trace_identity=trace_identity,
         )
         return run.results()[0]
 

@@ -25,7 +25,11 @@ tractable:
   results to the serial path, in the same deterministic trial order.
   Before forking, the parent pre-builds every distinct trace and baseline
   the grid needs, so workers inherit populated caches and spend their time
-  simulating designs, not regenerating traces.
+  simulating designs, not regenerating traces.  Trials are scheduled in
+  *trace-affine batches* (:func:`group_trials_by_trace`): every batch
+  replays a single trace, so on spawn-based platforms -- where nothing is
+  inherited -- each worker loads from the trace store only the traces its
+  own batches need.
 """
 
 from __future__ import annotations
@@ -167,6 +171,48 @@ def _warm_caches(trials: Sequence[ExperimentSpec]) -> None:
                         cached_trace(runner, trial.workload))
 
 
+def group_trials_by_trace(trials: Sequence[ExperimentSpec],
+                          ) -> List[List[int]]:
+    """Partition trial indices into groups sharing one materialized trace.
+
+    Spawn-based platforms (Windows, macOS) cannot inherit the parent's
+    pre-warmed caches by fork, so every worker pays for each trace it
+    touches.  Scheduling whole trace-groups onto one worker means a worker
+    loads only the traces its own trials replay -- once each -- instead of
+    every trace the grid mentions.  Groups keep first-appearance order and
+    preserve the in-group trial order, so reassembling group results by
+    index reproduces the deterministic grid order exactly.
+    """
+    groups: Dict[TraceKey, List[int]] = {}
+    for index, trial in enumerate(trials):
+        key = trace_key(trial.workload, trial.config)
+        groups.setdefault(key, []).append(index)
+    return list(groups.values())
+
+
+def _chunk_groups(groups: List[List[int]], total: int,
+                  workers: int) -> List[List[int]]:
+    """Split trace-groups into batches sized to keep ``workers`` busy.
+
+    One batch per trace-group is ideal for locality but serializes a grid
+    dominated by one workload; chunking each group to roughly a quarter of
+    a fair per-worker share restores parallelism while every batch still
+    touches a single trace.
+    """
+    chunk_size = max(1, -(-total // (workers * 4)))
+    batches = []
+    for group in groups:
+        for start in range(0, len(group), chunk_size):
+            batches.append(group[start:start + chunk_size])
+    return batches
+
+
+def _run_trial_batch(trials: Sequence[ExperimentSpec],
+                     ) -> List[ExperimentResult]:
+    """Worker entry point: run a batch of trials sharing one trace."""
+    return [run_trial(trial) for trial in trials]
+
+
 def run_trial(trial: ExperimentSpec) -> ExperimentResult:
     """Run one trial, reusing the process-wide trace/baseline caches.
 
@@ -197,18 +243,26 @@ def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
     sampler = WindowedSampler(trial.sampling, config=trial.config,
                               system=trial.system)
     trace = None
+    trace_identity = None
     if not (isinstance(trial.workload, TraceFileWorkload)
             and is_binary_trace(trial.workload.path)):
         # Synthetic (and non-binary file) workloads replay the same cached
         # trace full runs use; binary files stay on disk and are windowed
         # through the mmap/chunk-index readers instead.
+        from repro.sampling.checkpoints import trace_token
+
         runner = ExperimentRunner(trial.config, system=trial.system)
         trace = cached_trace(runner, trial.workload)
+        # The cached trace is canonical for (workload, config) by
+        # construction, so on-disk checkpoints key on the authoritative
+        # generator-versioned identity rather than a content hash.
+        trace_identity = trace_token(trial.workload, trial.config)
     return sampler.run_design(
         trial.design, trial.workload, trial.capacity,
         trace=trace,
         associativity=trial.associativity,
         label=trial.label,
+        trace_identity=trace_identity,
     )
 
 
@@ -219,6 +273,11 @@ class SweepExecutor:
     semantics; ``workers > 1`` distributes trials over a process pool and is
     guaranteed to produce identical results.  ``workers=None`` picks
     ``os.cpu_count()``.
+
+    ``progress`` fires once per trial.  The serial path reports trials in
+    grid order; the parallel path reports them in trace-batch order (each
+    batch announced as the executor starts waiting on it), so indices may
+    interleave -- results are still assembled in exact grid order.
     """
 
     def __init__(self, workers: Optional[int] = 1,
@@ -249,13 +308,25 @@ class SweepExecutor:
         # Pre-build every distinct trace/baseline in the parent so forked
         # workers inherit them instead of regenerating per worker.
         _warm_caches(trials)
+        # Store-aware scheduling: batch trials so each batch replays a
+        # single trace.  Fork platforms inherit the warm caches anyway;
+        # spawn platforms now load per worker only the traces that
+        # worker's batches actually replay (each served from the on-disk
+        # trace store rather than regenerated).
+        batches = _chunk_groups(group_trials_by_trace(trials), len(trials),
+                                workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run_trial, trial) for trial in trials]
-            results = []
-            for index, (trial, future) in enumerate(zip(trials, futures)):
+            futures = [
+                pool.submit(_run_trial_batch, [trials[i] for i in batch])
+                for batch in batches
+            ]
+            results: List[Optional[ExperimentResult]] = [None] * len(trials)
+            for batch, future in zip(batches, futures):
                 if self.progress is not None:
-                    self.progress(index, len(trials), trial)
-                results.append(future.result())
+                    for index in batch:
+                        self.progress(index, len(trials), trials[index])
+                for index, result in zip(batch, future.result()):
+                    results[index] = result
         return ResultSet(results)
 
 
@@ -268,4 +339,4 @@ def run_sweep(spec: SweepSpec, workers: Optional[int] = 1,
 
 __all__ = ["SweepExecutor", "run_sweep", "run_trial", "cached_trace",
            "cached_baseline", "trace_key", "clear_caches", "TraceKey",
-           "get_trace_store"]
+           "get_trace_store", "group_trials_by_trace"]

@@ -1,9 +1,11 @@
 """Design factory: thin, backwards-compatible front end to the registry.
 
-Construction logic lives with the designs themselves: each family registers a
-builder in :data:`repro.sim.registry.DESIGNS` (see ``core/unison.py`` and
-``baselines/*.py``).  :func:`make_design` resolves a name in that registry and
-:data:`DESIGN_NAMES` is derived from it, so this module contains no
+Construction logic lives in the design catalog: every shipped design is a
+declarative :class:`repro.dramcache.spec.DesignSpec` registered in
+:data:`repro.sim.registry.DESIGNS` by :mod:`repro.dramcache.designs` (new
+designs register there, or at runtime via ``DESIGNS.register_spec`` /
+``@register_design``).  :func:`make_design` resolves a name in that registry
+and :data:`DESIGN_NAMES` is derived from it, so this module contains no
 design-specific branches.
 
 Capacity semantics (shared by every design, see
@@ -18,14 +20,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-# Importing the design modules is what populates the registry.  They are
-# imported for their registration side effects only.
-import repro.baselines.alloy  # noqa: F401
-import repro.baselines.footprint  # noqa: F401
-import repro.baselines.ideal  # noqa: F401
-import repro.baselines.loh_hill  # noqa: F401
-import repro.baselines.no_cache  # noqa: F401
-import repro.core.unison  # noqa: F401
+# Importing the design catalog is what populates the registry: every shipped
+# design -- the canonical six families and the component-composed hybrids --
+# registers there as a declarative DesignSpec.
+import repro.dramcache.designs  # noqa: F401
 from repro.dramcache.base import DramCacheModel
 from repro.sim.registry import DESIGNS
 from repro.utils.units import SizeLike

@@ -68,9 +68,32 @@ class DesignEntry:
     supports_associativity: bool = False
     #: Keyword defaults forwarded to the builder (variant parameters).
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: The declarative :class:`repro.dramcache.spec.DesignSpec` this entry
+    #: was registered from, if any (``None`` for plain builder functions).
+    #: Spec entries expose their component breakdown to ``repro designs``
+    #: and a stable identity token to the checkpoint store.
+    spec: Optional[Any] = None
 
     def build(self, context: DesignBuildContext) -> "DramCacheModel":
         return self.builder(context, **dict(self.params))
+
+    def token(self) -> str:
+        """Stable identity of this entry's construction *recipe*.
+
+        Used (together with capacity/scale/cores) to key on-disk warm-state
+        checkpoints: changing a spec component or parameter -- or swapping
+        in a differently-named builder -- changes the token.  It cannot see
+        *implementation* edits inside an unchanged recipe (a bug fix in a
+        component, a builder body edit); those must bump
+        :data:`repro.dramcache.base.MODEL_BEHAVIOR_VERSION`, which the
+        checkpoint store keys on alongside this token.
+        """
+        if self.spec is not None:
+            return self.spec.token()
+        builder = self.builder
+        params = ",".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return (f"builder:{getattr(builder, '__module__', '?')}."
+                f"{getattr(builder, '__qualname__', repr(builder))}({params})")
 
 
 class DesignRegistry:
@@ -97,6 +120,29 @@ class DesignRegistry:
             description=description,
             supports_associativity=supports_associativity,
             params=dict(params),
+        )
+        self._entries[key] = entry
+        return entry
+
+    def register_spec(self, spec: Any, *, replace: bool = False) -> DesignEntry:
+        """Register a declarative design spec under its own name.
+
+        ``spec`` is duck-typed (a :class:`repro.dramcache.spec.DesignSpec`;
+        this module stays a leaf and never imports it): it must carry
+        ``name``, ``description``, ``supports_associativity``, a
+        ``build(context)`` method, and a ``token()`` identity.  Spec entries
+        and builder entries are resolved and built uniformly.
+        """
+        key = spec.name.lower()
+        if not replace and key in self._entries:
+            raise ValueError(f"design {spec.name!r} is already registered")
+        entry = DesignEntry(
+            name=key,
+            builder=spec.build,
+            description=spec.description,
+            supports_associativity=spec.supports_associativity,
+            params={},
+            spec=spec,
         )
         self._entries[key] = entry
         return entry

@@ -17,7 +17,18 @@ auto-increment in line order.  Comment lines start with ``#``.
 default to 0 / read / auto-increment).  Numeric cells may be decimal or
 ``0x``-prefixed hex.
 
-Both adapters stream line by line, are gzip-transparent (``.gz``), and raise
+**gem5** (``.gem5``): the text a gem5 run prints with
+``--debug-flags=MemoryAccess`` redirected to a file, i.e. lines of the form
+``<tick>: <object>: Read ... [Aa]ddr(ess) 0x... [size N]``.  The access verb
+(``Read``/``Write`` and their packet-command spellings ``ReadReq``,
+``WriteReq``, ``ReadExReq``, ``WritebackDirty``, ...) decides the access
+type; the core id is recovered from a ``cpuN`` component of the object path
+when present; the tick becomes the timestamp.  Debug output is noisy by
+nature (other flags interleave freely), so lines that do not look like a
+memory access are skipped rather than rejected -- but a file that yields *no*
+accesses at all raises :class:`TraceFormatError`.
+
+All adapters stream line by line, are gzip-transparent (``.gz``), and raise
 :class:`TraceFormatError` with file and line number on malformed input.
 
 The :data:`FORMATS` registry ties every known format name to its reader (and
@@ -28,6 +39,7 @@ writer, for the native formats); :func:`detect_format` sniffs a file, and
 from __future__ import annotations
 
 import csv
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, Optional, Union
@@ -185,6 +197,87 @@ def iter_csv(path: PathLike) -> Iterator[MemoryAccess]:
 
 
 # --------------------------------------------------------------------- #
+# gem5 --debug-flags=MemoryAccess dumps
+# --------------------------------------------------------------------- #
+#: ``tick: path.to.object: rest`` -- the shape of every gem5 DPRINTF line.
+_GEM5_LINE = re.compile(r"^\s*(\d+)\s*:\s*(\S+?):\s*(.*)$")
+#: The address operand: ``address 0x2a``, ``addr=0x2a``, ``Addr 42``, ...
+_GEM5_ADDR = re.compile(r"\b(?:address|addr)[ =:]+(0x[0-9a-fA-F]+|\d+)\b",
+                        re.IGNORECASE)
+#: Optional program counter some CPU debug flags include.
+_GEM5_PC = re.compile(r"\bpc[ =:]+(0x[0-9a-fA-F]+|\d+)\b", re.IGNORECASE)
+#: ``cpu3`` (or ``cpu03``) component of the object path names the core.
+_GEM5_CPU = re.compile(r"\bcpu(\d+)\b", re.IGNORECASE)
+
+#: First word of the line body -> access type.  Covers the plain
+#: AbstractMemory verbs ("Read"/"Write") and the *request* packet-command
+#: spellings cache/port debug flags print.  Response commands (ReadResp,
+#: WriteResp) are deliberately absent: a dump logging both sides of a
+#: transaction must not count it twice.
+_GEM5_VERBS = {
+    "read": AccessType.READ,
+    "readreq": AccessType.READ,
+    "readex": AccessType.READ,
+    "readexreq": AccessType.READ,
+    "readsharedreq": AccessType.READ,
+    "readcleanreq": AccessType.READ,
+    "ifetch": AccessType.READ,
+    "swap": AccessType.WRITE,
+    "write": AccessType.WRITE,
+    "writereq": AccessType.WRITE,
+    "writeline": AccessType.WRITE,
+    "writelinereq": AccessType.WRITE,
+    "writeback": AccessType.WRITE,
+    "writebackdirty": AccessType.WRITE,
+    "writebackclean": AccessType.WRITE,
+}
+
+
+def iter_gem5(path: PathLike) -> Iterator[MemoryAccess]:
+    """Stream a gem5 ``--debug-flags=MemoryAccess`` text dump.
+
+    Lines that do not parse as a memory access (other debug flags, stats
+    banners, warnings) are skipped; a dump that contains no access at all is
+    rejected so a wrong file does not silently become an empty trace.
+    """
+    count = 0
+    with trace_io.open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            match = _GEM5_LINE.match(line)
+            if match is None:
+                continue
+            tick, source, body = match.groups()
+            verb = body.split(None, 1)[0] if body else ""
+            access_type = _GEM5_VERBS.get(verb.rstrip(":").lower())
+            if access_type is None:
+                continue
+            addr_match = _GEM5_ADDR.search(body)
+            if addr_match is None:
+                continue
+            pc_match = _GEM5_PC.search(body)
+            cpu_match = _GEM5_CPU.search(source)
+            try:
+                access = MemoryAccess(
+                    address=int(addr_match.group(1), 0),
+                    pc=int(pc_match.group(1), 0) if pc_match else 0,
+                    access_type=access_type,
+                    core_id=int(cpu_match.group(1)) if cpu_match else 0,
+                    timestamp=int(tick),
+                )
+            except ValueError as exc:
+                raise TraceFormatError(str(exc), path=path,
+                                       line=line_number) from None
+            yield access
+            count += 1
+    if count == 0:
+        raise TraceFormatError(
+            "no memory accesses found; expected gem5 --debug-flags="
+            "MemoryAccess output (tick: object: Read/Write ... address ...)",
+            path=path,
+        )
+
+
+# --------------------------------------------------------------------- #
 # Format registry
 # --------------------------------------------------------------------- #
 Reader = Callable[[PathLike], Iterable[MemoryAccess]]
@@ -246,6 +339,12 @@ FORMATS: Dict[str, TraceFormat] = {
             description="CSV with a header row (address[,pc,type,core,timestamp])",
             reader=iter_csv,
             suffixes=(".csv",),
+        ),
+        TraceFormat(
+            name="gem5",
+            description="gem5 --debug-flags=MemoryAccess text dump",
+            reader=iter_gem5,
+            suffixes=(".gem5",),
         ),
     )
 }
@@ -334,6 +433,7 @@ __all__ = [
     "detect_format",
     "iter_champsim",
     "iter_csv",
+    "iter_gem5",
     "open_trace",
     "resolve_format",
 ]

@@ -1,4 +1,4 @@
-"""Tests for external-format ingestion (ChampSim-style, CSV) and conversion."""
+"""Tests for external-format ingestion (ChampSim, CSV, gem5) and conversion."""
 
 import gzip
 
@@ -10,6 +10,7 @@ from repro.trace.adapters import (
     detect_format,
     iter_champsim,
     iter_csv,
+    iter_gem5,
     open_trace,
 )
 from repro.trace.binfmt import read_trace_bin, write_trace_bin
@@ -122,6 +123,72 @@ class TestCsv:
         assert list(iter_csv(path)) == []
 
 
+GEM5_DUMP = """\
+info: Entering event queue @ 0.  Starting simulation...
+   1000: system.cpu0.dcache: ReadReq addr=0x2a40 size 64
+   1005: system.ruby.seq: some unrelated debug line
+   1010: system.mem_ctrls: Write of size 64 on address 0x1f80
+   1020: system.cpu1.icache: IFetch address 0x400100 size 8
+   1030: system.cpu3.dcache: WritebackDirty addr 0x7f00 size 64
+warn: something noisy
+"""
+
+
+class TestGem5:
+    def test_memory_access_lines(self, tmp_path):
+        path = tmp_path / "run.gem5"
+        path.write_text(GEM5_DUMP)
+        accesses = list(iter_gem5(path))
+        assert [a.address for a in accesses] == [0x2A40, 0x1F80, 0x400100,
+                                                 0x7F00]
+        assert [a.access_type for a in accesses] == [
+            AccessType.READ, AccessType.WRITE, AccessType.READ,
+            AccessType.WRITE,
+        ]
+        # Core ids recovered from the cpuN path component; tick = timestamp.
+        assert [a.core_id for a in accesses] == [0, 0, 1, 3]
+        assert [a.timestamp for a in accesses] == [1000, 1010, 1020, 1030]
+
+    def test_response_commands_not_double_counted(self, tmp_path):
+        path = tmp_path / "run.gem5"
+        path.write_text(
+            "  10: system.l2: ReadReq addr=0x100 size 64\n"
+            "  20: system.l2: ReadResp addr=0x100 size 64\n"
+            "  30: system.l2: WriteReq addr=0x200 size 64\n"
+            "  40: system.l2: WriteResp addr=0x200 size 64\n"
+        )
+        accesses = list(iter_gem5(path))
+        # One transaction each, even though both sides were logged.
+        assert [a.address for a in accesses] == [0x100, 0x200]
+
+    def test_noise_only_file_rejected(self, tmp_path):
+        path = tmp_path / "run.gem5"
+        path.write_text("info: banner\nwarn: no accesses here\n")
+        with pytest.raises(TraceFormatError, match="no memory accesses"):
+            list(iter_gem5(path))
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "run.gem5.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(GEM5_DUMP)
+        assert len(list(iter_gem5(path))) == 4
+
+    def test_round_trip_through_binary(self, tmp_path):
+        src = tmp_path / "run.gem5"
+        src.write_text(GEM5_DUMP)
+        dst = tmp_path / "run.rptr"
+        count = convert_trace(src, dst)
+        assert count == 4
+        assert list(read_trace_bin(dst)) == list(iter_gem5(src))
+
+    def test_registered_and_detected(self, tmp_path):
+        assert FORMATS["gem5"].writable is False
+        assert detect_format(tmp_path / "x.gem5") == "gem5"
+        src = tmp_path / "t.gem5"
+        src.write_text(GEM5_DUMP)
+        assert len(list(open_trace(src))) == 4
+
+
 class TestDetection:
     def test_binary_detected_by_magic(self, tmp_path):
         path = tmp_path / "weird.csv"  # suffix lies; magic wins
@@ -200,4 +267,4 @@ class TestConvert:
     def test_unknown_format_name(self, tmp_path):
         with pytest.raises(ValueError, match="unknown trace format"):
             convert_trace(tmp_path / "a", tmp_path / "b",
-                          in_format="gem5")
+                          in_format="etrace")
