@@ -32,6 +32,13 @@ JSON.  Designs are pluggable: every family registers a builder with
 :func:`repro.sim.registry.register_design`, and anything registered is
 immediately usable in specs, sweeps, and the CLI.
 
+Sweeps scale past one process through the durable work queue
+(:mod:`repro.queue`): ``SweepExecutor(queue=SweepService()).run(spec)``
+plans the grid into idempotent on-disk jobs, survives worker crashes
+(``kill -9`` costs only in-flight jobs), and archives every result --
+``repro queue submit|work|status|resume`` drive the same machinery from
+the shell.
+
 Long traces measure through checkpointed windowed sampling (the paper's
 SimFlex-style methodology, :mod:`repro.sampling`) instead of full replay:
 add ``sampling=SamplingConfig()`` to a sweep, or use
@@ -52,6 +59,7 @@ from repro.config import (
     UnisonCacheConfig,
 )
 from repro.core import UnisonCache, UnisonRowLayout
+from repro.queue import ResultArchive, SweepService
 from repro.sampling import (
     SampledRun,
     SamplingConfig,
@@ -116,6 +124,8 @@ __all__ = [
     "ExperimentSpec",
     "SweepSpec",
     "SweepExecutor",
+    "SweepService",
+    "ResultArchive",
     "run_sweep",
     "ResultSet",
     "PerformanceModel",

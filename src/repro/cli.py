@@ -17,6 +17,11 @@ Two entry points share the program:
   component breakdown -- tag organization, hit predictor, fetch policy,
   writeback policy -- for the spec-registered entries, plus the component
   kinds available for composing new designs (``--components``).
+* **Durable sweeps** (``repro queue ...``): submit a sweep as idempotent
+  on-disk jobs, run any number of crash-tolerant workers against the shared
+  store (``repro queue work``, or the short alias ``repro work``), check
+  progress (``repro queue status``), and resume interrupted sweeps
+  (``repro queue resume``) -- see :mod:`repro.queue`.
 
 Examples::
 
@@ -36,6 +41,10 @@ Examples::
     python -m repro trace convert llc_misses.csv llc_misses.rptr --codec zstd
     python -m repro trace store gc
     python -m repro trace formats
+    python -m repro queue submit --designs unison alloy --capacities 512MB
+    python -m repro queue work &
+    python -m repro queue work &
+    python -m repro queue status
 """
 
 from __future__ import annotations
@@ -224,13 +233,16 @@ def build_trace_parser() -> argparse.ArgumentParser:
                     "(REPRO_TRACE_STORE selects or disables the directory).")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_sub.add_parser(
-        "info", help="print store location, entry count, and size")
+        "info", help="print store location plus trace and checkpoint "
+                     "entry counts and sizes")
     gc = store_sub.add_parser(
         "gc", help="collect garbage (stale temp files, orphaned chunk "
-                   "indexes, LRU eviction to the size budget)")
+                   "indexes, combined trace+checkpoint LRU eviction to "
+                   "the size budget)")
     gc.add_argument("--max-bytes", default=None, metavar="SIZE",
-                    help="evict least-recently-used entries down to SIZE "
-                         "(e.g. 512MB; default: the store's budget, "
+                    help="evict least-recently-used traces AND checkpoints "
+                         "(one shared pool) down to SIZE (e.g. 512MB; "
+                         "default: the store's budget, "
                          "REPRO_TRACE_STORE_BYTES or 2GB)")
     return parser
 
@@ -324,6 +336,8 @@ def _trace_convert(args: argparse.Namespace) -> int:
 
 
 def _trace_store(args: argparse.Namespace) -> int:
+    from repro.sampling.checkpoints import CheckpointStore, shared_gc
+    from repro.sampling.checkpoints import default_root as checkpoint_root
     from repro.trace.store import TraceStore, configured_root
     from repro.utils.units import format_size, parse_size
 
@@ -332,14 +346,20 @@ def _trace_store(args: argparse.Namespace) -> int:
         print("trace store is disabled (REPRO_TRACE_STORE)", file=sys.stderr)
         return 1
     store = TraceStore(root=root)
+    checkpoints = CheckpointStore(checkpoint_root())
     if args.store_command == "info":
         budget = ("unlimited" if store.max_bytes is None
                   else format_size(store.max_bytes))
         total = store.total_bytes()
-        print(f"root:    {store.root}")
-        print(f"entries: {len(store)}")
-        print(f"bytes:   {total} ({format_size(total)})")
-        print(f"budget:  {budget}")
+        ckpt_total = checkpoints.total_bytes()
+        print(f"root:        {store.root}")
+        print(f"traces:      {len(store)} entries, {total} bytes "
+              f"({format_size(total)})")
+        print(f"checkpoints: {len(checkpoints)} entries, {ckpt_total} bytes "
+              f"({format_size(ckpt_total)})")
+        print(f"combined:    {total + ckpt_total} bytes "
+              f"({format_size(total + ckpt_total)})")
+        print(f"budget:      {budget} (shared across traces and checkpoints)")
         return 0
     try:
         max_bytes = (parse_size(args.max_bytes) if args.max_bytes is not None
@@ -347,9 +367,14 @@ def _trace_store(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    reclaimed = store.gc(max_bytes=max_bytes)
-    print(f"reclaimed {reclaimed} bytes ({format_size(reclaimed)}); "
-          f"{len(store)} entries remain ({format_size(store.total_bytes())})")
+    freed = shared_gc(store, checkpoints, max_bytes)
+    reclaimed = freed["trace_freed"] + freed["checkpoint_freed"]
+    print(f"reclaimed {reclaimed} bytes ({format_size(reclaimed)}): "
+          f"{format_size(freed['trace_freed'])} of traces, "
+          f"{format_size(freed['checkpoint_freed'])} of checkpoints; "
+          f"{len(store)} traces ({format_size(store.total_bytes())}) and "
+          f"{len(checkpoints)} checkpoints "
+          f"({format_size(checkpoints.total_bytes())}) remain")
     return 0
 
 
@@ -505,6 +530,250 @@ def sample_main(argv: List[str]) -> int:
 
 
 # --------------------------------------------------------------------- #
+# repro queue ...
+# --------------------------------------------------------------------- #
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-grid arguments shared by ``repro`` and ``repro queue submit``."""
+    parser.add_argument("--designs", nargs="+", default=["unison", "alloy"],
+                        metavar="NAME",
+                        help="registered design names (default: unison alloy)")
+    parser.add_argument("--workloads", nargs="+", default=["Web Search"],
+                        metavar="NAME",
+                        help="workload names (default: 'Web Search')")
+    parser.add_argument("--capacities", nargs="+", default=["256MB", "1GB"],
+                        metavar="SIZE",
+                        help="paper-scale capacities (default: 256MB 1GB)")
+    parser.add_argument("--scale", type=int, default=2048,
+                        help="capacity scale-down factor (default: 2048)")
+    parser.add_argument("--accesses", type=int, default=12_000,
+                        help="accesses per trial (default: 12000)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="interleaved cores (default: 4)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload generator seed (default: 1)")
+    parser.add_argument("--sampled", action="store_true",
+                        help="run every trial through checkpointed windowed "
+                             "sampling (cells decompose into window-batch "
+                             "jobs)")
+    parser.add_argument("--windows", type=int, default=None, metavar="N",
+                        help="sampled-mode window budget")
+    parser.add_argument("--window-accesses", type=int, default=None,
+                        metavar="N", help="sampled-mode accesses per window")
+
+
+def _queue_spec(args: argparse.Namespace) -> SweepSpec:
+    sampling = None
+    if args.sampled:
+        from repro.sampling import SamplingConfig
+
+        overrides = {
+            "max_windows": args.windows,
+            "window_accesses": args.window_accesses,
+        }
+        if args.windows is not None:
+            overrides["min_windows"] = min(SamplingConfig().min_windows,
+                                           args.windows)
+        sampling = SamplingConfig(
+            **{k: v for k, v in overrides.items() if v is not None}
+        )
+    return SweepSpec(
+        designs=args.designs,
+        workloads=args.workloads,
+        capacities=args.capacities,
+        config=ExperimentConfig(
+            scale=args.scale, num_accesses=args.accesses,
+            num_cores=args.cores, seed=args.seed,
+        ),
+        sampling=sampling,
+    )
+
+
+def build_queue_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro queue",
+        description="Durable work-queue sweeps: idempotent on-disk jobs, "
+                    "crash-resumable leased workers, and a persistent result "
+                    "archive.",
+    )
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="queue directory (default: REPRO_QUEUE_DIR, "
+                             "else <trace store>/queue)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", help="plan a sweep into durable jobs (idempotent)",
+        description="Plan a sweep grid into idempotent jobs keyed by each "
+                    "trial's full identity; re-submitting an existing sweep "
+                    "adds no jobs.")
+    _add_grid_arguments(submit)
+    submit.add_argument("--window-batch", type=int, default=None, metavar="N",
+                        help="windows per job for sampled trials (default: 4)")
+    submit.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                        help="attempts before a job is failed (default: 3)")
+
+    status = sub.add_parser(
+        "status", help="report job states, attempts, and timing",
+        description="Without a token: list every sweep in the store. With "
+                    "one: per-state job counts plus timing/attempt totals.")
+    status.add_argument("token", nargs="?", default=None, metavar="TOKEN")
+
+    resume = sub.add_parser(
+        "resume", help="run a submitted sweep to completion and print it",
+        description="Reclaim dead workers' leases, execute whatever jobs "
+                    "are not done (zero for an archived sweep), and print "
+                    "the assembled result table.")
+    resume.add_argument("token", metavar="TOKEN")
+    resume.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; 1 = in-process, 0 = one per "
+                             "CPU (default: 1)")
+    resume.add_argument("--json", default=None, metavar="PATH",
+                        help="optional ResultSet JSON export path")
+    resume.add_argument("--quiet", action="store_true",
+                        help="print only the result table")
+
+    work = sub.add_parser(
+        "work", help="run a standalone worker loop on the shared store",
+        description="Lease and execute jobs until the store drains.  Any "
+                    "number of workers may run concurrently; losing one "
+                    "(even to kill -9) costs only its in-flight job.")
+    work.add_argument("--sweep", default=None, metavar="TOKEN",
+                      help="only run jobs of this sweep (default: any)")
+    work.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after N jobs (default: run until drained)")
+    work.add_argument("--lease-seconds", type=float, default=300.0,
+                      help="lease duration per job (default: 300)")
+    work.add_argument("--no-drain", action="store_true",
+                      help="exit on the first empty lease instead of "
+                           "polling while other workers still hold jobs")
+    work.add_argument("--throttle", type=float, default=0.0, metavar="SEC",
+                      help="sleep after each job (testing/pacing)")
+    return parser
+
+
+def _queue_service(args: argparse.Namespace):
+    from repro.queue import SweepService
+
+    kwargs = {}
+    if getattr(args, "max_attempts", None) is not None:
+        kwargs["max_attempts"] = args.max_attempts
+    if getattr(args, "window_batch", None) is not None:
+        kwargs["window_batch"] = args.window_batch
+    if getattr(args, "lease_seconds", None) is not None:
+        kwargs["lease_seconds"] = args.lease_seconds
+    return SweepService(queue_dir=args.queue_dir, **kwargs)
+
+
+def _queue_submit(args: argparse.Namespace) -> int:
+    service = _queue_service(args)
+    spec = _queue_spec(args)
+    outcome = service.submit(spec)
+    print(f"sweep {outcome.token}")
+    print(f"  {spec.describe()}")
+    print(f"  {outcome.new_jobs} new jobs, {outcome.reused_jobs} already "
+          f"present ({outcome.total_jobs} total for "
+          f"{outcome.total_trials} trials)")
+    print(f"  store: {service.db_path}")
+    return 0
+
+
+def _queue_status(args: argparse.Namespace) -> int:
+    from repro.queue import FAILED
+
+    service = _queue_service(args)
+    with service.store() as store:
+        if args.token is None:
+            rows = store.sweeps()
+            if not rows:
+                print("no sweeps submitted")
+                return 0
+            for row in rows:
+                counts = store.counts(row["token"])
+                done = counts["done"]
+                total = sum(counts.values())
+                print(f"{row['token']}  {done}/{total} done  "
+                      f"{row['description']}")
+            return 0
+        row = store.sweep_row(args.token)
+        if row is None:
+            print(f"error: unknown sweep token {args.token!r}",
+                  file=sys.stderr)
+            return 1
+        counts = store.counts(args.token)
+        timing = store.timing(args.token)
+        total = sum(counts.values())
+        print(f"sweep {args.token}: {row['description']}")
+        for state in ("pending", "leased", "done", "failed"):
+            print(f"  {state:<8} {counts[state]}")
+        print(f"  attempts {timing['attempts']} over {timing['jobs_timed']} "
+              f"timed jobs, {timing['total_seconds']:.2f}s total, "
+              f"{timing['mean_seconds']:.2f}s mean, "
+              f"{timing['longest_seconds']:.2f}s longest")
+        if counts["done"] == total:
+            print(f"all {total} jobs done")
+        elif counts[FAILED]:
+            for job in store.failed_jobs(args.token)[:5]:
+                last_line = (job.error or "").strip().splitlines()[-1:]
+                print(f"  failed job {job.seq} (trial {job.trial_index}): "
+                      f"{last_line[0] if last_line else 'unknown error'}")
+        return 0
+
+
+def _queue_resume(args: argparse.Namespace) -> int:
+    service = _queue_service(args)
+
+    def progress(index: int, total: int, trial: ExperimentSpec) -> None:
+        if not args.quiet:
+            print(f"[{index + 1}/{total}] {trial.describe()}",
+                  file=sys.stderr)
+
+    try:
+        results = service.resume(args.token, workers=args.jobs or None,
+                                 progress=progress)
+    except (KeyError, RuntimeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(results.table())
+    if args.json is not None:
+        results.to_json(args.json)
+        if not args.quiet:
+            print(f"\nJSON export: {args.json}")
+    return 0
+
+
+def _queue_work(args: argparse.Namespace) -> int:
+    from repro.queue import work as queue_work
+
+    service = _queue_service(args)
+    executed = queue_work(
+        service.db_path,
+        sweep=args.sweep,
+        lease_seconds=args.lease_seconds,
+        max_jobs=args.max_jobs,
+        drain=not args.no_drain,
+        throttle=args.throttle,
+        archive_path=service.archive_path,
+    )
+    print(f"executed {executed} jobs")
+    return 0
+
+
+def queue_main(argv: List[str]) -> int:
+    """Entry point of the ``repro queue`` subcommands."""
+    args = build_queue_parser().parse_args(argv)
+    try:
+        if args.command == "submit":
+            return _queue_submit(args)
+        if args.command == "status":
+            return _queue_status(args)
+        if args.command == "resume":
+            return _queue_resume(args)
+        return _queue_work(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# --------------------------------------------------------------------- #
 # repro [sweep] ...
 # --------------------------------------------------------------------- #
 def main(argv: Optional[List[str]] = None) -> int:
@@ -516,6 +785,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return sample_main(argv[1:])
     if argv and argv[0] == "designs":
         return designs_main(argv[1:])
+    if argv and argv[0] == "queue":
+        return queue_main(argv[1:])
+    if argv and argv[0] == "work":
+        # `repro work` == `repro queue work`: the verb a fleet of standalone
+        # worker shells actually types.
+        return queue_main(["work"] + argv[1:])
     if argv and argv[0] == "sweep":
         argv = argv[1:]
     parser = build_parser()

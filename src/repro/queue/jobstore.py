@@ -1,0 +1,516 @@
+"""SQLite-backed durable job store for sweep execution.
+
+A :class:`JobStore` is the on-disk heart of the work-queue architecture:
+every sweep cell (and every sampled-window batch) becomes one
+schema-versioned row that survives worker crashes, process kills, and
+machine reboots.  The row's lifecycle is::
+
+    pending --lease--> leased --complete--> done
+       ^                  |
+       |                  +--fail (attempts < max)--> pending (backoff)
+       |                  +--fail (attempts = max)--> failed
+       +--recover (lease expired / owner dead)-------+
+
+Design points:
+
+* **Idempotent submission.**  Jobs are keyed by the trial's full identity
+  (:meth:`repro.sim.spec.ExperimentSpec.identity`: design spec token, trace
+  identity, build parameters, model behavior version) so re-submitting a
+  sweep inserts only rows that do not already exist -- a completed sweep
+  re-submits as zero new jobs, and its archived results are reused as-is.
+* **Crash-safe leasing.**  A worker *leases* a job for a bounded time;
+  completing the job requires still holding the lease.  A worker that dies
+  mid-job simply lets the lease expire (or is detected as a dead local
+  process), after which :meth:`recover` returns the job to ``pending`` --
+  so a ``kill -9`` costs only the jobs that were in flight.
+* **Concurrency without a server.**  SQLite in WAL mode with immediate
+  transactions gives atomic lease handoff between any number of worker
+  processes sharing the database file; there is no coordinator process to
+  run or crash.
+* **Observability.**  Rows carry attempt counts, lease owners, and
+  created/started/finished timestamps plus the measured run time, so
+  ``repro queue status`` can report what ran where, how often, and for how
+  long.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Bump on incompatible changes to the tables below.
+SCHEMA_VERSION = 1
+
+#: Job states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+STATES = (PENDING, LEASED, DONE, FAILED)
+
+#: States in which a job will never run again.
+TERMINAL_STATES = (DONE, FAILED)
+
+#: Default number of times a job may be attempted before it is failed.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Base delay before a failed job becomes leasable again; doubled per
+#: attempt (1st retry after BACKOFF, 2nd after 2*BACKOFF, ...).
+RETRY_BACKOFF_SECONDS = 1.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweeps (
+    token       TEXT PRIMARY KEY,
+    description TEXT NOT NULL,
+    spec        BLOB,
+    total       INTEGER NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    sweep        TEXT NOT NULL,
+    seq          INTEGER NOT NULL,
+    key          TEXT NOT NULL,
+    trial_index  INTEGER NOT NULL,
+    part         INTEGER NOT NULL,
+    kind         TEXT NOT NULL,
+    trace_group  TEXT NOT NULL,
+    payload      BLOB NOT NULL,
+    state        TEXT NOT NULL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    lease_owner  TEXT,
+    lease_expiry REAL NOT NULL DEFAULT 0,
+    result       BLOB,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    run_seconds  REAL,
+    PRIMARY KEY (sweep, seq)
+);
+CREATE UNIQUE INDEX IF NOT EXISTS jobs_by_key ON jobs (sweep, key);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, lease_expiry);
+"""
+
+
+def default_owner() -> str:
+    """A lease-owner identity naming this host and process.
+
+    The ``host:pid`` prefix lets :meth:`JobStore.recover` detect leases held
+    by processes that no longer exist on the local machine (a SIGKILLed
+    worker) without waiting for the lease to time out; the random suffix
+    keeps two worker loops in one process distinguishable.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{os.urandom(3).hex()}"
+
+
+def _owner_is_dead(owner: Optional[str]) -> bool:
+    """True when ``owner`` names a local process that provably exited."""
+    if not owner:
+        return False
+    parts = owner.split(":")
+    if len(parts) < 2 or parts[0] != socket.gethostname():
+        return False  # a different host: only lease expiry can decide
+    try:
+        pid = int(parts[1])
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except (PermissionError, OSError):
+        return False
+    return False
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job row (a sweep cell or a sampled-window batch)."""
+
+    sweep: str
+    seq: int
+    key: str
+    #: Index of the trial in ``SweepSpec.trials()`` this job belongs to.
+    trial_index: int
+    #: Ordinal among the jobs of one trial (0 for whole-trial jobs).
+    part: int
+    #: ``"trial"`` (one full sweep cell) or ``"windows"`` (a batch of
+    #: sampled measurement windows of one cell).
+    kind: str
+    #: Trace-affinity group: jobs sharing a group replay the same trace.
+    trace_group: str
+    payload: bytes
+    state: str
+    attempts: int
+    max_attempts: int
+    lease_owner: Optional[str]
+    lease_expiry: float
+    result: Optional[bytes]
+    error: Optional[str]
+    created_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    run_seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """A job as produced by the planner, before it has a row."""
+
+    key: str
+    trial_index: int
+    part: int
+    kind: str
+    trace_group: str
+    payload: bytes
+
+
+def _job_from_row(row: sqlite3.Row) -> Job:
+    return Job(**{name: row[name] for name in Job.__dataclass_fields__})
+
+
+class JobStore:
+    """Durable queue of sweep jobs in one SQLite file."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.isolation_level = None  # explicit transactions only
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:
+            pass  # e.g. a filesystem without WAL support; default journal
+        self._init_schema()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+    def _init_schema(self) -> None:
+        # executescript() commits any open transaction, so it runs outside
+        # _txn(); the version check-and-set below is the transactional part.
+        self._conn.executescript(_SCHEMA)
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif int(row["value"]) != SCHEMA_VERSION:
+                raise ValueError(
+                    f"job store {self.path} has schema v{row['value']}, this "
+                    f"build expects v{SCHEMA_VERSION}; use a fresh --db path"
+                )
+
+    @contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """An IMMEDIATE transaction (write lock taken up front)."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, token: str, description: str, spec_blob: Optional[bytes],
+               jobs: Sequence[PlannedJob],
+               max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
+        """Insert a sweep and its jobs; returns the number of *new* jobs.
+
+        Idempotent: rows that already exist (same sweep token and job key)
+        are left untouched in whatever state they reached, so re-submitting
+        a finished sweep inserts nothing and re-submitting an interrupted
+        one only fills in rows a previous submit never created.
+        """
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        now = time.time()
+        new = 0
+        with self._txn():
+            self._conn.execute(
+                "INSERT OR IGNORE INTO sweeps "
+                "(token, description, spec, total, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (token, description, spec_blob, len(jobs), now),
+            )
+            for seq, job in enumerate(jobs):
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO jobs (sweep, seq, key, trial_index,"
+                    " part, kind, trace_group, payload, state, attempts,"
+                    " max_attempts, lease_expiry, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, 0, ?, 0, ?)",
+                    (token, seq, job.key, job.trial_index, job.part, job.kind,
+                     job.trace_group, job.payload, PENDING, max_attempts, now),
+                )
+                new += cursor.rowcount
+        return new
+
+    def sweep_row(self, token: str) -> Optional[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM sweeps WHERE token = ?", (token,)
+        ).fetchone()
+
+    def sweeps(self) -> List[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM sweeps ORDER BY created_at"
+        ).fetchall()
+
+    # ------------------------------------------------------------------ #
+    # Leasing
+    # ------------------------------------------------------------------ #
+    def lease(self, owner: str, lease_seconds: float,
+              sweep: Optional[str] = None,
+              prefer_group: Optional[str] = None,
+              now: Optional[float] = None) -> Optional[Job]:
+        """Atomically claim one runnable job, or ``None`` when there is none.
+
+        Runnable means ``pending`` past its backoff time, or ``leased`` with
+        an expired lease (the previous owner is presumed dead), with attempts
+        remaining.  ``prefer_group`` implements trace-affine placement: a
+        worker that just replayed one trace asks for more jobs on the same
+        trace before touching a new one.
+        """
+        now = time.time() if now is None else now
+        eligible = (
+            "((state = ? AND lease_expiry <= ?) OR"
+            " (state = ? AND lease_expiry <= ?)) AND attempts < max_attempts"
+        )
+        params: List[object] = [PENDING, now, LEASED, now]
+        if sweep is not None:
+            eligible += " AND sweep = ?"
+            params.append(sweep)
+        with self._txn():
+            row = None
+            if prefer_group is not None:
+                row = self._conn.execute(
+                    f"SELECT * FROM jobs WHERE {eligible} AND trace_group = ?"
+                    " ORDER BY sweep, seq LIMIT 1",
+                    params + [prefer_group],
+                ).fetchone()
+            if row is None:
+                row = self._conn.execute(
+                    f"SELECT * FROM jobs WHERE {eligible}"
+                    " ORDER BY sweep, seq LIMIT 1",
+                    params,
+                ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, attempts = attempts + 1,"
+                " lease_owner = ?, lease_expiry = ?, started_at = ?,"
+                " error = NULL WHERE sweep = ? AND seq = ?",
+                (LEASED, owner, now + lease_seconds, now,
+                 row["sweep"], row["seq"]),
+            )
+            fresh = self._conn.execute(
+                "SELECT * FROM jobs WHERE sweep = ? AND seq = ?",
+                (row["sweep"], row["seq"]),
+            ).fetchone()
+        return _job_from_row(fresh)
+
+    def complete(self, sweep: str, seq: int, result: bytes, owner: str,
+                 now: Optional[float] = None) -> bool:
+        """Mark a leased job done; returns False if the lease was lost.
+
+        The owner guard makes completion idempotent under lease theft: when
+        a slow worker finishes a job whose expired lease another worker
+        already reclaimed, the late completion is a no-op (both computed the
+        same deterministic result anyway).
+        """
+        now = time.time() if now is None else now
+        with self._txn():
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = NULL,"
+                " finished_at = ?, run_seconds = ? - started_at,"
+                " lease_owner = NULL, lease_expiry = 0"
+                " WHERE sweep = ? AND seq = ? AND state = ?"
+                " AND lease_owner = ?",
+                (DONE, result, now, now, sweep, seq, LEASED, owner),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, sweep: str, seq: int, error: str, owner: str,
+             now: Optional[float] = None) -> bool:
+        """Record a failed attempt; retries with backoff until exhausted."""
+        now = time.time() if now is None else now
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT attempts, max_attempts FROM jobs"
+                " WHERE sweep = ? AND seq = ? AND state = ?"
+                " AND lease_owner = ?",
+                (sweep, seq, LEASED, owner),
+            ).fetchone()
+            if row is None:
+                return False
+            if row["attempts"] >= row["max_attempts"]:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
+                    " lease_owner = NULL, lease_expiry = 0"
+                    " WHERE sweep = ? AND seq = ?",
+                    (FAILED, error, now, sweep, seq),
+                )
+            else:
+                backoff = RETRY_BACKOFF_SECONDS * (2 ** (row["attempts"] - 1))
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, lease_owner = NULL,"
+                    " lease_expiry = ? WHERE sweep = ? AND seq = ?",
+                    (PENDING, error, now + backoff, sweep, seq),
+                )
+            return True
+
+    def recover(self, sweep: Optional[str] = None,
+                now: Optional[float] = None,
+                reclaim_dead: bool = True) -> int:
+        """Return crashed workers' jobs to the queue; returns the count.
+
+        Two signals mark a leased job as orphaned: an expired lease (works
+        across hosts, costs the lease timeout) and -- with ``reclaim_dead``
+        -- a lease owner that names a local process which no longer exists
+        (immediate, the ``kill -9`` recovery path).  Jobs with attempts left
+        go back to ``pending``; exhausted ones are failed.
+        """
+        now = time.time() if now is None else now
+        where = "state = ?"
+        params: List[object] = [LEASED]
+        if sweep is not None:
+            where += " AND sweep = ?"
+            params.append(sweep)
+        reclaimed = 0
+        with self._txn():
+            rows = self._conn.execute(
+                f"SELECT sweep, seq, attempts, max_attempts, lease_owner,"
+                f" lease_expiry FROM jobs WHERE {where}", params,
+            ).fetchall()
+            for row in rows:
+                expired = row["lease_expiry"] <= now
+                dead = reclaim_dead and _owner_is_dead(row["lease_owner"])
+                if not (expired or dead):
+                    continue
+                if row["attempts"] >= row["max_attempts"]:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, error = ?,"
+                        " finished_at = ?, lease_owner = NULL,"
+                        " lease_expiry = 0 WHERE sweep = ? AND seq = ?",
+                        (FAILED,
+                         f"lease lost after {row['attempts']} attempts",
+                         now, row["sweep"], row["seq"]),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, lease_owner = NULL,"
+                        " lease_expiry = 0 WHERE sweep = ? AND seq = ?",
+                        (PENDING, row["sweep"], row["seq"]),
+                    )
+                reclaimed += 1
+        return reclaimed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def counts(self, sweep: Optional[str] = None) -> Dict[str, int]:
+        """Jobs per state (every state present, zero-filled)."""
+        where, params = ("WHERE sweep = ?", (sweep,)) if sweep else ("", ())
+        rows = self._conn.execute(
+            f"SELECT state, COUNT(*) AS n FROM jobs {where} GROUP BY state",
+            params,
+        ).fetchall()
+        counts = {state: 0 for state in STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def unfinished(self, sweep: Optional[str] = None) -> int:
+        """Jobs that are neither done nor failed."""
+        counts = self.counts(sweep)
+        return counts[PENDING] + counts[LEASED]
+
+    def jobs(self, sweep: str) -> List[Job]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE sweep = ? ORDER BY seq", (sweep,)
+        ).fetchall()
+        return [_job_from_row(row) for row in rows]
+
+    def job(self, sweep: str, seq: int) -> Optional[Job]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE sweep = ? AND seq = ?", (sweep, seq)
+        ).fetchone()
+        return None if row is None else _job_from_row(row)
+
+    def done_jobs(self, sweep: str) -> List[Job]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE sweep = ? AND state = ? ORDER BY seq",
+            (sweep, DONE),
+        ).fetchall()
+        return [_job_from_row(row) for row in rows]
+
+    def failed_jobs(self, sweep: str) -> List[Job]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE sweep = ? AND state = ? ORDER BY seq",
+            (sweep, FAILED),
+        ).fetchall()
+        return [_job_from_row(row) for row in rows]
+
+    def timing(self, sweep: str) -> Dict[str, float]:
+        """Aggregate observability numbers for one sweep's finished jobs."""
+        row = self._conn.execute(
+            "SELECT COUNT(run_seconds) AS n, SUM(run_seconds) AS total,"
+            " AVG(run_seconds) AS mean, MAX(run_seconds) AS longest,"
+            " SUM(attempts) AS attempts FROM jobs"
+            " WHERE sweep = ? AND run_seconds IS NOT NULL",
+            (sweep,),
+        ).fetchone()
+        return {
+            "jobs_timed": row["n"] or 0,
+            "total_seconds": row["total"] or 0.0,
+            "mean_seconds": row["mean"] or 0.0,
+            "longest_seconds": row["longest"] or 0.0,
+            "attempts": row["attempts"] or 0,
+        }
+
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobStore",
+    "LEASED",
+    "PENDING",
+    "PlannedJob",
+    "RETRY_BACKOFF_SECONDS",
+    "SCHEMA_VERSION",
+    "STATES",
+    "TERMINAL_STATES",
+    "default_owner",
+]

@@ -1,0 +1,461 @@
+"""SweepService: plan, run, resume, and archive durable sweeps.
+
+The service is the glue between the declarative layer
+(:class:`~repro.sim.spec.SweepSpec`), the durable queue
+(:class:`~repro.queue.jobstore.JobStore`), the worker loops
+(:mod:`repro.queue.worker`), and the persistent
+:class:`~repro.queue.archive.ResultArchive`:
+
+1. **Plan.**  Every trial becomes one idempotent job -- or, for sampled
+   trials, one job per batch of measurement windows, so a single expensive
+   cell parallelizes across workers.  Jobs are keyed by the trial's full
+   identity (:meth:`~repro.sim.spec.ExperimentSpec.identity`) and grouped by
+   trace for affinity scheduling (the :func:`group_trials_by_trace` logic
+   the in-memory executor already uses).
+2. **Run.**  Workers -- in-process, forked, or entirely separate ``repro
+   queue work`` processes on the same store -- lease jobs, execute them, and
+   stream results back.  A worker killed mid-job costs only that job's
+   lease.
+3. **Assemble.**  Finished rows reassemble in exact grid order into a
+   :class:`~repro.sim.resultset.ResultSet` that is bit-identical to the
+   serial ``SweepExecutor(workers=1)`` run -- sampled trials replay the
+   adaptive stopper over their window batches and discard speculative
+   windows past the termination point.
+4. **Archive.**  Every assembled sweep (and every trial as it finishes) is
+   written to the schema-versioned result archive, so re-running a sweep
+   whose token is already archived costs zero simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.queue.archive import ResultArchive
+from repro.queue.jobstore import (
+    DEFAULT_MAX_ATTEMPTS,
+    FAILED,
+    JobStore,
+    PlannedJob,
+)
+from repro.sim.executor import (
+    assemble_sampled_trial,
+    group_trials_by_trace,
+    sampled_window_plan,
+)
+from repro.sim.resultset import ResultSet
+from repro.sim.spec import ExperimentSpec, SweepSpec
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the queue directory (job store +
+#: result archive live side by side in it).
+ENV_QUEUE_DIR = "REPRO_QUEUE_DIR"
+
+#: Windows measured per window-batch job.  Small enough that a sampled
+#: trial spreads over several workers, large enough that per-job overhead
+#: (lease round-trip, checkpoint restore) stays amortized.
+DEFAULT_WINDOW_BATCH = 4
+
+JOB_STORE_FILENAME = "jobs.sqlite"
+ARCHIVE_FILENAME = "archive.sqlite"
+
+
+def default_queue_dir() -> Optional[Path]:
+    """The queue directory: ``REPRO_QUEUE_DIR``, else next to the traces.
+
+    Placing it inside the trace store root means the same
+    ``REPRO_TRACE_STORE`` switch that isolates or relocates trace caching
+    (tests point it at a temp directory) governs the queue too; ``None``
+    when the trace store is disabled and no explicit directory is set.
+    """
+    value = os.environ.get(ENV_QUEUE_DIR, "").strip()
+    if value:
+        return Path(value)
+    from repro.trace.store import configured_root
+
+    root = configured_root()
+    return None if root is None else root / "queue"
+
+
+def _require_queue_dir(queue_dir: Optional[PathLike]) -> Path:
+    path = Path(queue_dir) if queue_dir is not None else default_queue_dir()
+    if path is None:
+        raise ValueError(
+            "no queue directory: the trace store is disabled "
+            "(REPRO_TRACE_STORE) and neither REPRO_QUEUE_DIR nor an "
+            "explicit path was given"
+        )
+    return path
+
+
+def _chunk(values: Sequence[int], size: int) -> List[List[int]]:
+    return [list(values[start:start + size])
+            for start in range(0, len(values), size)]
+
+
+def _trace_groups(trials: Sequence[ExperimentSpec]) -> Dict[int, str]:
+    """Per-trial trace-affinity label: jobs in one group replay one trace.
+
+    Built on the executor's :func:`group_trials_by_trace` partition (the
+    same one that drives trace-affine batch scheduling in the in-memory
+    pool), with a durable label per group: the hashed generator-versioned
+    trace token, so labels stay stable across processes and sessions.
+    """
+    from repro.sampling.checkpoints import trace_token
+
+    labels: Dict[int, str] = {}
+    for group in group_trials_by_trace(trials):
+        token = trace_token(trials[group[0]].workload,
+                            trials[group[0]].config)
+        label = hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+        for index in group:
+            labels[index] = label
+    return labels
+
+
+def _job_key(trial: ExperimentSpec, kind: str,
+             indices: Optional[Sequence[int]] = None) -> str:
+    payload = trial.identity() + f"|kind={kind}"
+    if indices is not None:
+        payload += f"|windows={tuple(indices)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A sweep compiled into durable jobs."""
+
+    token: str
+    spec: SweepSpec
+    jobs: "List[PlannedJob]"
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.jobs)
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What :meth:`SweepService.submit` did."""
+
+    token: str
+    new_jobs: int
+    total_jobs: int
+    total_trials: int
+
+    @property
+    def reused_jobs(self) -> int:
+        return self.total_jobs - self.new_jobs
+
+
+def plan_sweep(spec: SweepSpec,
+               window_batch: int = DEFAULT_WINDOW_BATCH) -> SweepPlan:
+    """Compile a sweep into its job list and deterministic token.
+
+    Full-replay trials become one job each.  Sampled trials whose window
+    plan is computable up front split into one job per ``window_batch``
+    consecutive windows of the measurement order (so an early-terminating
+    assembly consumes the first jobs and discards the speculative tail);
+    sampled trials that cannot be pre-planned fall back to one whole-trial
+    job.  The sweep token hashes the ordered job keys, so the same spec
+    always resubmits to the same sweep -- and any change to a design, trace,
+    or parameter yields a new token instead of colliding with stale rows.
+    """
+    if window_batch < 0:
+        raise ValueError("window_batch must be non-negative")
+    jobs: List[PlannedJob] = []
+    trials = spec.trials()
+    groups = _trace_groups(trials)
+    for trial_index, trial in enumerate(trials):
+        group = groups[trial_index]
+        plan = sampled_window_plan(trial) if window_batch else None
+        if plan is not None:
+            for part, indices in enumerate(_chunk(plan.order, window_batch)):
+                payload = pickle.dumps(
+                    {"kind": "windows", "trial": trial, "indices": indices},
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                jobs.append(PlannedJob(
+                    key=_job_key(trial, "windows", indices),
+                    trial_index=trial_index, part=part, kind="windows",
+                    trace_group=group, payload=payload,
+                ))
+        else:
+            payload = pickle.dumps(
+                {"kind": "trial", "trial": trial},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            jobs.append(PlannedJob(
+                key=_job_key(trial, "trial"),
+                trial_index=trial_index, part=0, kind="trial",
+                trace_group=group, payload=payload,
+            ))
+    token = hashlib.sha256(
+        "|".join(job.key for job in jobs).encode("utf-8")
+    ).hexdigest()[:32]
+    return SweepPlan(token=token, spec=spec, jobs=jobs)
+
+
+class SweepService:
+    """Durable sweep execution over a shared job store and archive."""
+
+    def __init__(self, queue_dir: Optional[PathLike] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 lease_seconds: float = 300.0,
+                 window_batch: int = DEFAULT_WINDOW_BATCH) -> None:
+        self.queue_dir = _require_queue_dir(queue_dir)
+        self.db_path = self.queue_dir / JOB_STORE_FILENAME
+        self.archive_path = self.queue_dir / ARCHIVE_FILENAME
+        self.max_attempts = max_attempts
+        self.lease_seconds = lease_seconds
+        self.window_batch = window_batch
+
+    def store(self) -> JobStore:
+        return JobStore(self.db_path)
+
+    def archive(self) -> ResultArchive:
+        return ResultArchive(self.archive_path)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: SweepSpec) -> SubmitOutcome:
+        """Plan a sweep into the job store (idempotent); returns what's new."""
+        plan = plan_sweep(spec, window_batch=self.window_batch)
+        spec_blob = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        with self.store() as store:
+            new = store.submit(plan.token, spec.describe(), spec_blob,
+                               plan.jobs, max_attempts=self.max_attempts)
+        with self.archive() as archive:
+            archive.register(plan.token, spec.describe(), len(spec.trials()))
+        return SubmitOutcome(token=plan.token, new_jobs=new,
+                             total_jobs=plan.total_jobs,
+                             total_trials=len(spec.trials()))
+
+    def load_spec(self, token: str) -> SweepSpec:
+        """The SweepSpec a token was submitted with (stored pickled)."""
+        with self.store() as store:
+            row = store.sweep_row(token)
+        if row is None:
+            raise KeyError(f"unknown sweep token {token!r}")
+        if row["spec"] is None:
+            raise ValueError(f"sweep {token} was submitted without its spec")
+        return pickle.loads(row["spec"])
+
+    def status(self, token: str) -> Dict[str, int]:
+        with self.store() as store:
+            return store.counts(token)
+
+    # ------------------------------------------------------------------ #
+    def assemble(self, spec: SweepSpec,
+                 token: Optional[str] = None) -> ResultSet:
+        """Reassemble a finished sweep's jobs in exact grid order.
+
+        Raises ``RuntimeError`` while jobs are outstanding or failed.  Trial
+        results and aggregated sampled results are streamed into the archive
+        as a side effect, and the archived copy is authoritative: a token
+        whose archive row set is already complete assembles straight from
+        the archive without touching job payloads.
+        """
+        plan = plan_sweep(spec, window_batch=self.window_batch)
+        if token is not None and token != plan.token:
+            raise ValueError(
+                f"token {token} does not match the spec's plan ({plan.token})"
+            )
+        with self.archive() as archive:
+            archived = archive.get(plan.token)
+        if archived is not None:
+            return archived
+
+        trials = spec.trials()
+        with self.store() as store:
+            counts = store.counts(plan.token)
+            if counts[FAILED]:
+                failures = store.failed_jobs(plan.token)
+                detail = "; ".join(
+                    f"job {job.seq} (trial {job.trial_index}): {job.error}"
+                    for job in failures[:3]
+                )
+                raise RuntimeError(
+                    f"sweep {plan.token} has {counts[FAILED]} permanently "
+                    f"failed jobs: {detail}"
+                )
+            done = store.done_jobs(plan.token)
+            if len(done) != plan.total_jobs:
+                raise RuntimeError(
+                    f"sweep {plan.token} is incomplete: {len(done)} of "
+                    f"{plan.total_jobs} jobs done"
+                )
+
+        by_trial: Dict[int, List] = {}
+        for job in done:
+            by_trial.setdefault(job.trial_index, []).append(job)
+        results = []
+        with self.archive() as archive:
+            for trial_index, trial in enumerate(trials):
+                jobs = by_trial.get(trial_index, [])
+                if not jobs:
+                    raise RuntimeError(
+                        f"trial {trial_index} has no finished jobs"
+                    )
+                if jobs[0].kind == "trial":
+                    result = pickle.loads(jobs[0].result)
+                else:
+                    measurements: Dict[int, object] = {}
+                    for job in jobs:
+                        measurements.update(pickle.loads(job.result))
+                    result = assemble_sampled_trial(trial, measurements)
+                archive.put(plan.token, trial_index, result)
+                results.append(result)
+            archive.mark_complete(plan.token)
+        return ResultSet(results)
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: Optional[SweepSpec] = None,
+            token: Optional[str] = None,
+            workers: Optional[int] = 1,
+            progress: Optional[Callable[[int, int, ExperimentSpec], None]] = None,
+            ) -> ResultSet:
+        """Submit (idempotently), execute to completion, and assemble.
+
+        This is also the *resume* path: re-running the same spec -- or a
+        bare token recorded earlier -- picks up whatever the job store
+        already holds, reclaims leases of dead workers, executes only the
+        jobs that are not done, and reassembles.  A fully archived sweep
+        runs zero jobs.
+        """
+        if spec is None:
+            if token is None:
+                raise ValueError("run needs a spec or a token")
+            spec = self.load_spec(token)
+        outcome = self.submit(spec)
+
+        with self.archive() as archive:
+            archived = archive.get(outcome.token)
+        if archived is not None:
+            self._fire_progress_all(spec, progress)
+            return archived
+
+        with self.store() as store:
+            store.recover(sweep=outcome.token)
+            unfinished = store.unfinished(outcome.token)
+        if unfinished:
+            self._execute(outcome.token, spec, workers, progress)
+        else:
+            self._fire_progress_all(spec, progress)
+        return self.assemble(spec, token=outcome.token)
+
+    # Resume by token alone (the CLI's ``repro queue resume TOKEN``).
+    def resume(self, token: str, workers: Optional[int] = 1,
+               progress: Optional[Callable[[int, int, ExperimentSpec], None]] = None,
+               ) -> ResultSet:
+        return self.run(spec=None, token=token, workers=workers,
+                        progress=progress)
+
+    # ------------------------------------------------------------------ #
+    def _fire_progress_all(self, spec: SweepSpec, progress) -> None:
+        if progress is None:
+            return
+        trials = spec.trials()
+        for index, trial in enumerate(trials):
+            progress(index, len(trials), trial)
+
+    def _execute(self, token: str, spec: SweepSpec,
+                 workers: Optional[int], progress) -> None:
+        from repro.queue.worker import work
+
+        if workers is None:
+            workers = os.cpu_count() or 1
+        trials = spec.trials()
+        reporter = _TrialProgress(spec, progress)
+        if workers <= 1:
+            work(self.db_path, sweep=token,
+                 lease_seconds=self.lease_seconds,
+                 archive_path=self.archive_path,
+                 on_job=lambda job: reporter.poll(self))
+            reporter.poll(self)
+            return
+
+        import multiprocessing
+
+        processes = [
+            multiprocessing.Process(
+                target=work,
+                args=(self.db_path,),
+                kwargs={
+                    "sweep": token,
+                    "lease_seconds": self.lease_seconds,
+                    "archive_path": self.archive_path,
+                },
+                daemon=True,
+            )
+            for _ in range(min(workers, max(1, len(trials))))
+        ]
+        for process in processes:
+            process.start()
+        try:
+            while any(process.is_alive() for process in processes):
+                reporter.poll(self)
+                time.sleep(0.1)
+        finally:
+            for process in processes:
+                process.join(timeout=30.0)
+                if process.is_alive():
+                    process.terminate()
+        reporter.poll(self)
+
+    def prune(self, token: str) -> int:
+        """Drop a sweep's job rows (the archive keeps its results)."""
+        with self.store() as store:
+            with store._txn() as conn:
+                cursor = conn.execute(
+                    "DELETE FROM jobs WHERE sweep = ?", (token,)
+                )
+                conn.execute("DELETE FROM sweeps WHERE token = ?", (token,))
+            return cursor.rowcount
+
+
+class _TrialProgress:
+    """Fires the per-trial progress callback as trials finish."""
+
+    def __init__(self, spec: SweepSpec, progress) -> None:
+        self.trials = spec.trials()
+        self.progress = progress
+        self.plan = plan_sweep(spec)
+        self.parts: Dict[int, int] = {}
+        for job in self.plan.jobs:
+            self.parts[job.trial_index] = self.parts.get(job.trial_index,
+                                                         0) + 1
+        self.reported: set = set()
+
+    def poll(self, service: SweepService) -> None:
+        if self.progress is None:
+            return
+        with service.store() as store:
+            done = store.done_jobs(self.plan.token)
+        finished: Dict[int, int] = {}
+        for job in done:
+            finished[job.trial_index] = finished.get(job.trial_index, 0) + 1
+        for index in sorted(finished):
+            if index in self.reported:
+                continue
+            if finished[index] == self.parts.get(index):
+                self.reported.add(index)
+                self.progress(index, len(self.trials), self.trials[index])
+
+
+__all__ = [
+    "ARCHIVE_FILENAME",
+    "DEFAULT_WINDOW_BATCH",
+    "ENV_QUEUE_DIR",
+    "JOB_STORE_FILENAME",
+    "SubmitOutcome",
+    "SweepPlan",
+    "SweepService",
+    "default_queue_dir",
+    "plan_sweep",
+]

@@ -1,0 +1,121 @@
+"""Worker loop: lease jobs from a :class:`JobStore`, run them, stream results.
+
+A worker is any process that calls :func:`work` on a shared job store --
+the in-process drain of ``SweepService.run(workers=1)``, the forked
+processes of ``workers=N``, or completely independent ``repro queue work``
+commands started by hand on the same machine.  All coordination happens
+through the SQLite file: there is no master process, so adding a worker is
+just starting one and losing a worker costs only the job it was holding.
+
+The loop is deliberately boring:
+
+1. Reclaim orphaned leases (dead local PIDs immediately, expired leases
+   otherwise), so a worker started after a ``kill -9`` makes the lost jobs
+   runnable before its first lease attempt.
+2. Lease one job, preferring the trace group of the previous job so a
+   worker that paid to materialize one trace keeps replaying it.
+3. Execute the pickled payload -- a whole trial via
+   :func:`repro.sim.executor.run_trial` or a batch of sampled measurement
+   windows via :func:`repro.sim.executor.run_trial_windows`.
+4. Report ``complete`` (owner-guarded, so a stolen lease makes the late
+   completion a harmless no-op) or ``fail`` (retries with backoff until the
+   job's attempts are exhausted).  Whole-trial results also stream into the
+   result archive immediately, making them durable before the sweep ends.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.queue.jobstore import Job, JobStore, default_owner
+
+PathLike = Union[str, Path]
+
+#: How long an idle draining worker sleeps before re-polling the store.
+DEFAULT_POLL_SECONDS = 0.2
+
+
+def execute_job(payload: bytes) -> bytes:
+    """Run one job payload; returns the pickled result blob.
+
+    Payloads are self-contained ``{"kind": ..., "trial": ExperimentSpec,
+    ...}`` pickles, so any process with the package importable can execute
+    any job -- workers need no sweep-level context.
+    """
+    from repro.sim.executor import run_trial, run_trial_windows
+
+    data = pickle.loads(payload)
+    kind = data["kind"]
+    if kind == "trial":
+        result = run_trial(data["trial"])
+    elif kind == "windows":
+        result = run_trial_windows(data["trial"], data["indices"])
+    else:
+        raise ValueError(f"unknown job kind {kind!r}")
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _archive_trial_result(archive_path: Optional[PathLike], job: Job,
+                          result_blob: bytes) -> None:
+    if archive_path is None or job.kind != "trial":
+        return
+    from repro.queue.archive import ResultArchive
+
+    with ResultArchive(archive_path) as archive:
+        archive.put(job.sweep, job.trial_index, pickle.loads(result_blob))
+
+
+def work(db_path: PathLike,
+         owner: Optional[str] = None,
+         sweep: Optional[str] = None,
+         lease_seconds: float = 300.0,
+         max_jobs: Optional[int] = None,
+         poll_seconds: float = DEFAULT_POLL_SECONDS,
+         drain: bool = True,
+         throttle: float = 0.0,
+         archive_path: Optional[PathLike] = None,
+         on_job: Optional[Callable[[Job], None]] = None) -> int:
+    """Lease and run jobs until there is nothing left; returns jobs run.
+
+    With ``drain`` (the default) the worker keeps polling while *other*
+    workers still hold unfinished jobs -- those jobs may fail and need a
+    retry -- and exits once every job of its scope is done or failed.
+    Without it, the worker exits on the first empty lease.  ``throttle``
+    sleeps after each job (test pacing); ``max_jobs`` bounds the loop.
+    """
+    owner = default_owner() if owner is None else owner
+    executed = 0
+    last_group: Optional[str] = None
+    with JobStore(db_path) as store:
+        store.recover(sweep=sweep)
+        while max_jobs is None or executed < max_jobs:
+            job = store.lease(owner, lease_seconds, sweep=sweep,
+                              prefer_group=last_group)
+            if job is None:
+                if not drain or store.unfinished(sweep) == 0:
+                    break
+                time.sleep(poll_seconds)
+                store.recover(sweep=sweep)
+                continue
+            last_group = job.trace_group
+            try:
+                result_blob = execute_job(job.payload)
+            except Exception:
+                store.fail(job.sweep, job.seq,
+                           traceback.format_exc(limit=20), owner)
+            else:
+                if store.complete(job.sweep, job.seq, result_blob, owner):
+                    _archive_trial_result(archive_path, job, result_blob)
+            executed += 1
+            if on_job is not None:
+                on_job(job)
+            if throttle > 0:
+                time.sleep(throttle)
+    return executed
+
+
+__all__ = ["DEFAULT_POLL_SECONDS", "execute_job", "work"]

@@ -226,14 +226,10 @@ class CheckpointStore:
             pass
         return total
 
-    def gc(self, max_bytes: int) -> int:
-        """Evict least-recently-used checkpoints down to ``max_bytes``.
-
-        Also sweeps stale temp files.  Returns the bytes reclaimed.
-        """
+    def sweep_temps(self) -> int:
+        """Delete stale ``.ckpt.tmp`` files; returns the bytes reclaimed."""
         reclaimed = 0
         try:
-            entries = []
             for path in self.root.iterdir():
                 if path.name.endswith(".ckpt.tmp"):
                     try:
@@ -241,16 +237,32 @@ class CheckpointStore:
                         path.unlink()
                     except OSError:
                         pass
-                    continue
-                if path.suffix == ".ckpt":
-                    try:
-                        stat = path.stat()
-                    except OSError:
-                        continue
-                    entries.append((stat.st_mtime_ns, stat.st_size, path))
         except OSError:
-            return reclaimed
+            pass
+        return reclaimed
+
+    def entries(self) -> list:
+        """``(mtime_ns, size, path)`` per checkpoint, least recent first."""
+        entries = []
+        try:
+            for path in self.root.glob("*.ckpt"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime_ns, stat.st_size, path))
+        except OSError:
+            pass
         entries.sort()
+        return entries
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict least-recently-used checkpoints down to ``max_bytes``.
+
+        Also sweeps stale temp files.  Returns the bytes reclaimed.
+        """
+        reclaimed = self.sweep_temps()
+        entries = self.entries()
         total = sum(size for _, size, _ in entries)
         for _, size, path in entries:
             if total <= max_bytes:
@@ -264,6 +276,53 @@ class CheckpointStore:
         return reclaimed
 
 
+def shared_gc(trace_store, checkpoint_store, max_bytes: Optional[int]) -> dict:
+    """Garbage-collect traces and checkpoints under ONE byte budget.
+
+    Both stores live under the same root and compete for the same disk, so
+    ``repro trace store gc`` treats them as one LRU pool: after each store's
+    own garbage sweep (stale temps, orphaned sidecars), entries of *either*
+    kind are evicted least-recently-used-first until the combined size fits
+    ``max_bytes``.  A hot checkpoint therefore survives a cold trace and
+    vice versa -- the budget buys whichever bytes were used most recently.
+
+    Returns ``{"trace_freed": ..., "checkpoint_freed": ...}``.
+    """
+    freed = {
+        # max_bytes=None skips the trace store's own eviction pass; the
+        # combined pass below is the only evictor here.
+        "trace_freed": trace_store.gc(max_bytes=None),
+        "checkpoint_freed": checkpoint_store.sweep_temps(),
+    }
+    if max_bytes is None:
+        return freed
+    pool = [(mtime_ns, size, "checkpoint", path)
+            for mtime_ns, size, path in checkpoint_store.entries()]
+    for path in trace_store.entries():
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        pool.append((stat.st_mtime_ns, trace_store._entry_bytes(path),
+                     "trace", path))
+    pool.sort(key=lambda item: (item[0], str(item[3])))
+    total = sum(size for _, size, _, _ in pool)
+    for _, size, kind, path in pool:
+        if total <= max_bytes:
+            break
+        if kind == "trace":
+            reclaimed = trace_store._unlink_entry(path)
+        else:
+            try:
+                reclaimed = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+        total -= reclaimed if kind == "trace" else size
+        freed[f"{kind}_freed"] += reclaimed if kind == "trace" else size
+    return freed
+
+
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointStore",
@@ -271,5 +330,6 @@ __all__ = [
     "default_root",
     "design_token",
     "sequence_token",
+    "shared_gc",
     "trace_token",
 ]

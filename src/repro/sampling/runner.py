@@ -327,28 +327,43 @@ class WindowedSampler:
         finally:
             provider.close()
 
-    def _compare(self, provider, design_names, labels, workload, capacity,
-                 associativity, trace=None,
-                 trace_identity=None) -> SampledRun:
-        from repro.sampling.checkpoints import (
-            design_token,
-            sequence_token,
-            trace_token,
-        )
+    def _stream_token(self, workload, trace, trace_identity, store) -> str:
+        """The checkpoint-keying identity of the measured access stream."""
+        from repro.sampling.checkpoints import sequence_token, trace_token
 
-        plan = plan_windows(provider.total, self.config.warmup_fraction,
-                            self.sampling)
-        store = self._checkpoint_store()
         if store is None:
-            stream_token = ""
-        elif trace is not None:
+            return ""
+        if trace is not None:
             # An injected sequence need not be the canonical trace of the
             # (workload, config) pair: key on the caller's authoritative
             # identity, or failing that on the full sequence content.
-            stream_token = (trace_identity if trace_identity is not None
-                            else sequence_token(trace))
-        else:
-            stream_token = trace_token(workload, self.config)
+            return (trace_identity if trace_identity is not None
+                    else sequence_token(trace))
+        return trace_token(workload, self.config)
+
+    def _stoppers(self, plan: WindowPlan) -> Dict[str, AdaptiveStopper]:
+        """One adaptive stopper per tracked metric, sized to the plan."""
+        return {
+            metric: AdaptiveStopper(
+                target_relative_error=self.sampling.target_relative_error,
+                min_windows=min(self.sampling.min_windows, len(plan.windows)),
+                max_windows=len(plan.windows),
+                absolute_floor=floor,
+            )
+            for metric, floor in TRACKED_METRICS.items()
+        }
+
+    def _checkpoint_designs(self, provider, design_names, labels, capacity,
+                            associativity, plan, store, stream_token):
+        """Build every design warm: restore its checkpoint or replay once.
+
+        Returns ``[(label, design, checkpoint, series)]`` -- the shared
+        setup of live measurement (:meth:`_compare`) and distributed
+        window-batch jobs (:meth:`measure_windows`), so both start every
+        window from bit-identical warm state.
+        """
+        from repro.sampling.checkpoints import design_token
+
         prologue: Optional[Sequence[MemoryAccess]] = None
 
         designs = []
@@ -392,16 +407,20 @@ class WindowedSampler:
             series = {metric: WindowSeries(f"{metric}[{label}]")
                       for metric in TRACKED_METRICS}
             designs.append((label, design, checkpoint, series))
+        return designs
 
-        stoppers = {
-            metric: AdaptiveStopper(
-                target_relative_error=self.sampling.target_relative_error,
-                min_windows=min(self.sampling.min_windows, len(plan.windows)),
-                max_windows=len(plan.windows),
-                absolute_floor=floor,
-            )
-            for metric, floor in TRACKED_METRICS.items()
-        }
+    def _compare(self, provider, design_names, labels, workload, capacity,
+                 associativity, trace=None,
+                 trace_identity=None) -> SampledRun:
+        plan = plan_windows(provider.total, self.config.warmup_fraction,
+                            self.sampling)
+        store = self._checkpoint_store()
+        stream_token = self._stream_token(workload, trace, trace_identity,
+                                          store)
+        designs = self._checkpoint_designs(provider, design_names, labels,
+                                           capacity, associativity, plan,
+                                           store, stream_token)
+        stoppers = self._stoppers(plan)
 
         def all_converged() -> bool:
             return all(
@@ -449,6 +468,107 @@ class WindowedSampler:
             designs=results,
             measured=measured,
             converged=all_converged(),
+        )
+
+    def measure_windows(self, design_name: str, workload: Workload,
+                        capacity: SizeLike,
+                        window_indices: Sequence[int],
+                        trace: Optional[Sequence[MemoryAccess]] = None,
+                        associativity: Optional[int] = None,
+                        label: Optional[str] = None,
+                        trace_identity: Optional[str] = None,
+                        ) -> Dict[int, WindowMeasurement]:
+        """Measure an explicit subset of the planned windows for one design.
+
+        This is the distributed-execution primitive: the work queue splits a
+        sampled trial's window plan into independent batches, and each batch
+        job calls this with its indices.  Every window starts from the same
+        warm checkpoint (loaded from the on-disk store, or rebuilt by one
+        prologue replay) and uses a fresh matched-pair baseline, so a window
+        measured here is bit-identical to the same window measured by the
+        serial :meth:`compare` loop -- regardless of which process, batch,
+        or ordering produced it.
+        """
+        from repro.sim.registry import DESIGNS
+
+        DESIGNS.resolve(design_name)
+        provider = self._provider(workload, trace)
+        try:
+            plan = plan_windows(provider.total, self.config.warmup_fraction,
+                                self.sampling)
+            store = self._checkpoint_store()
+            stream_token = self._stream_token(workload, trace, trace_identity,
+                                              store)
+            designs = self._checkpoint_designs(
+                provider, [design_name], [label or design_name], capacity,
+                associativity, plan, store, stream_token,
+            )
+            _, design, checkpoint, _ = designs[0]
+            measurements: Dict[int, WindowMeasurement] = {}
+            for index in window_indices:
+                if not 0 <= index < len(plan.windows):
+                    raise ValueError(
+                        f"window index {index} outside the plan "
+                        f"({len(plan.windows)} windows); was the trace "
+                        f"modified after the sweep was planned?"
+                    )
+                window = plan.windows[index]
+                warmup = provider.read(window.warmup_start, window.start)
+                measure = provider.read(window.start, window.stop)
+                baseline = NoDramCache()
+                baseline.run(measure)
+                design.restore_state(checkpoint)
+                measurements[index] = self._measure_window(
+                    design, window, warmup, measure, baseline.cache_stats,
+                    workload,
+                )
+            return measurements
+        finally:
+            provider.close()
+
+    def assemble_run(self, label: str,
+                     measurements: "Dict[int, WindowMeasurement]",
+                     workload_name: str, capacity: SizeLike,
+                     plan: WindowPlan) -> SampledRun:
+        """Reconstruct a :class:`SampledRun` from pre-measured windows.
+
+        Walks the plan's measurement order feeding the same adaptive
+        stoppers the live loop uses, so it terminates at exactly the window
+        the serial run would have stopped at -- measurements past that point
+        (speculative windows a distributed execution measured eagerly) are
+        discarded, and the aggregate result is bit-identical to the serial
+        path's.
+        """
+        series = {metric: WindowSeries(f"{metric}[{label}]")
+                  for metric in TRACKED_METRICS}
+        stoppers = self._stoppers(plan)
+        sampled = SampledDesignResult(design=label, series=series)
+        measured: List[int] = []
+        for window_index in plan.order:
+            outcome = measurements.get(window_index)
+            if outcome is None:
+                raise ValueError(
+                    f"window {window_index} has no measurement; the sweep's "
+                    f"window-batch jobs are incomplete"
+                )
+            sampled.windows.append(outcome)
+            for metric in TRACKED_METRICS:
+                series[metric].add(window_index, getattr(outcome, metric))
+            measured.append(window_index)
+            if all(stopper.should_stop([series[metric]])
+                   for metric, stopper in stoppers.items()):
+                break
+        converged = all(stoppers[metric].converged(series[metric])
+                        for metric in TRACKED_METRICS)
+        return SampledRun(
+            plan=plan,
+            sampling=self.sampling,
+            workload=workload_name,
+            capacity=format_size(parse_size(capacity)),
+            scale=self.config.scale,
+            designs={label: sampled},
+            measured=measured,
+            converged=converged,
         )
 
     def run_design(self, design_name: str, workload: Workload,

@@ -34,7 +34,8 @@ tractable:
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -235,7 +236,8 @@ def run_trial(trial: ExperimentSpec) -> ExperimentResult:
     )
 
 
-def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
+def _sampled_trial_inputs(trial: ExperimentSpec):
+    """The (sampler, trace, trace_identity) triple of a sampled trial."""
     from repro.sampling.runner import WindowedSampler
     from repro.trace.binfmt import is_binary_trace
     from repro.workloads.tracefile import TraceFileWorkload
@@ -257,6 +259,11 @@ def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
         # construction, so on-disk checkpoints key on the authoritative
         # generator-versioned identity rather than a content hash.
         trace_identity = trace_token(trial.workload, trial.config)
+    return sampler, trace, trace_identity
+
+
+def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
+    sampler, trace, trace_identity = _sampled_trial_inputs(trial)
     return sampler.run_design(
         trial.design, trial.workload, trial.capacity,
         trace=trace,
@@ -264,6 +271,91 @@ def _run_sampled_trial(trial: ExperimentSpec) -> ExperimentResult:
         label=trial.label,
         trace_identity=trace_identity,
     )
+
+
+def sampled_trial_total(trial: ExperimentSpec) -> Optional[int]:
+    """The window provider's trace length, computed without opening it.
+
+    ``None`` means the length cannot be known up front (a non-binary trace
+    file, or a binary stream that was never finalized), in which case the
+    work queue falls back to scheduling the whole trial as one job.
+    """
+    from repro.trace.binfmt import is_binary_trace, read_header
+    from repro.trace.errors import TraceFormatError
+    from repro.workloads.tracefile import TraceFileWorkload
+
+    if isinstance(trial.workload, TraceFileWorkload):
+        if not is_binary_trace(trial.workload.path):
+            return None
+        try:
+            count = read_header(trial.workload.path).access_count
+        except (TraceFormatError, OSError):
+            return None
+        if count is None:
+            return None
+        return min(count, trial.config.num_accesses)
+    # Synthetic traces materialize exactly num_accesses records.
+    return trial.config.num_accesses
+
+
+def sampled_window_plan(trial: ExperimentSpec):
+    """The trial's window plan, or ``None`` when it cannot be pre-planned.
+
+    The plan is a pure function of (trace length, warm-up fraction,
+    sampling config), so the queue planner, every window-batch worker, and
+    the final assembly all derive the identical plan independently.
+    """
+    from repro.sampling.windows import plan_windows
+
+    if trial.sampling is None:
+        return None
+    total = sampled_trial_total(trial)
+    if total is None:
+        return None
+    return plan_windows(total, trial.config.warmup_fraction, trial.sampling)
+
+
+def run_trial_windows(trial: ExperimentSpec,
+                      window_indices: Sequence[int]) -> Dict[int, object]:
+    """Measure a batch of a sampled trial's windows (a work-queue job).
+
+    Returns ``{window_index: WindowMeasurement}``; the measurements are
+    bit-identical to the ones the serial sampled path produces for the same
+    windows, so batches measured by different workers reassemble exactly.
+    """
+    sampler, trace, trace_identity = _sampled_trial_inputs(trial)
+    return sampler.measure_windows(
+        trial.design, trial.workload, trial.capacity, window_indices,
+        trace=trace,
+        associativity=trial.associativity,
+        label=trial.result_label,
+        trace_identity=trace_identity,
+    )
+
+
+def assemble_sampled_trial(trial: ExperimentSpec,
+                           measurements: Dict[int, object],
+                           ) -> ExperimentResult:
+    """Aggregate window-batch measurements into the trial's final result.
+
+    Replays the adaptive stopper over the plan's measurement order, so the
+    aggregation stops at exactly the window the serial run would have
+    stopped at; measurements past that point (speculatively measured
+    batches) are discarded.
+    """
+    from repro.sampling.runner import WindowedSampler
+
+    plan = sampled_window_plan(trial)
+    if plan is None:
+        raise ValueError(
+            f"trial {trial.describe()} cannot be window-planned up front"
+        )
+    sampler = WindowedSampler(trial.sampling, config=trial.config,
+                              system=trial.system)
+    run = sampler.assemble_run(trial.result_label, measurements,
+                               workload_name=trial.workload.name,
+                               capacity=trial.capacity, plan=plan)
+    return run.results()[0]
 
 
 class SweepExecutor:
@@ -274,22 +366,37 @@ class SweepExecutor:
     guaranteed to produce identical results.  ``workers=None`` picks
     ``os.cpu_count()``.
 
-    ``progress`` fires once per trial.  The serial path reports trials in
-    grid order; the parallel path reports them in trace-batch order (each
-    batch announced as the executor starts waiting on it), so indices may
-    interleave -- results are still assembled in exact grid order.
+    ``queue`` switches execution onto a durable work queue: pass a
+    :class:`repro.queue.service.SweepService` and ``run`` plans the sweep
+    into idempotent on-disk jobs, executes them with crash-resumable
+    leased workers, archives the results, and returns the same bit-identical
+    :class:`ResultSet` -- so existing callers opt into durability without
+    any API change.
+
+    ``progress`` fires once per trial, when the trial *completes* (the
+    parallel path reports completions as they happen, so indices may
+    interleave -- results are still assembled in exact grid order).
+
+    A worker process that dies mid-batch (``BrokenProcessPool``) no longer
+    discards the sweep: completed batches are kept, and every batch lost
+    with the pool is re-run serially once -- surfacing which trial crashed
+    if the failure is deterministic.
     """
 
     def __init__(self, workers: Optional[int] = 1,
                  progress: Optional[Callable[[int, int, ExperimentSpec], None]] = None,
-                 ) -> None:
+                 queue=None) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive (or None for auto)")
         self.workers = workers
         self.progress = progress
+        self.queue = queue
 
     def run(self, spec: SweepSpec) -> ResultSet:
         """Execute all trials of ``spec`` in deterministic grid order."""
+        if self.queue is not None:
+            return self.queue.run(spec, workers=self.workers,
+                                  progress=self.progress)
         trials = spec.trials()
         workers = self.workers
         if workers is None:
@@ -300,9 +407,9 @@ class SweepExecutor:
         if workers == 1:
             results = []
             for index, trial in enumerate(trials):
+                results.append(run_trial(trial))
                 if self.progress is not None:
                     self.progress(index, len(trials), trial)
-                results.append(run_trial(trial))
             return ResultSet(results)
 
         # Pre-build every distinct trace/baseline in the parent so forked
@@ -315,18 +422,41 @@ class SweepExecutor:
         # trace store rather than regenerated).
         batches = _chunk_groups(group_trials_by_trace(trials), len(trials),
                                 workers)
+        results: List[Optional[ExperimentResult]] = [None] * len(trials)
+        lost: List[List[int]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_trial_batch, [trials[i] for i in batch])
+            future_to_batch = {
+                pool.submit(_run_trial_batch, [trials[i] for i in batch]): batch
                 for batch in batches
-            ]
-            results: List[Optional[ExperimentResult]] = [None] * len(trials)
-            for batch, future in zip(batches, futures):
-                if self.progress is not None:
-                    for index in batch:
-                        self.progress(index, len(trials), trials[index])
-                for index, result in zip(batch, future.result()):
+            }
+            for future in as_completed(future_to_batch):
+                batch = future_to_batch[future]
+                try:
+                    batch_results = future.result()
+                except BrokenProcessPool:
+                    # A worker died (OOM kill, segfault, kill -9).  Every
+                    # not-yet-finished future resolves to this error; keep
+                    # what completed and re-run the rest serially below.
+                    lost.append(batch)
+                    continue
+                for index, result in zip(batch, batch_results):
                     results[index] = result
+                    if self.progress is not None:
+                        self.progress(index, len(trials), trials[index])
+        for batch in lost:
+            for index in batch:
+                if results[index] is not None:
+                    continue
+                try:
+                    results[index] = run_trial(trials[index])
+                except Exception as error:
+                    raise RuntimeError(
+                        f"trial {index} ({trials[index].describe()}) "
+                        f"crashed the worker pool and failed again when "
+                        f"re-run serially"
+                    ) from error
+                if self.progress is not None:
+                    self.progress(index, len(trials), trials[index])
         return ResultSet(results)
 
 
@@ -337,6 +467,8 @@ def run_sweep(spec: SweepSpec, workers: Optional[int] = 1,
     return SweepExecutor(workers=workers, progress=progress).run(spec)
 
 
-__all__ = ["SweepExecutor", "run_sweep", "run_trial", "cached_trace",
-           "cached_baseline", "trace_key", "clear_caches", "TraceKey",
-           "get_trace_store", "group_trials_by_trace"]
+__all__ = ["SweepExecutor", "run_sweep", "run_trial", "run_trial_windows",
+           "assemble_sampled_trial", "sampled_trial_total",
+           "sampled_window_plan", "cached_trace", "cached_baseline",
+           "trace_key", "clear_caches", "TraceKey", "get_trace_store",
+           "group_trials_by_trace"]

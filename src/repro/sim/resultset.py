@@ -222,6 +222,11 @@ class ResultSet:
         return text
 
     @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "ResultSet":
+        """Rebuild from :meth:`to_records`-style dicts (exact inverse)."""
+        return cls(ExperimentResult(**record) for record in records)
+
+    @classmethod
     def from_json(cls, source: Union[str, Path]) -> "ResultSet":
         """Load from a JSON string or a path to a JSON file."""
         if isinstance(source, Path) or (isinstance(source, str)
@@ -231,7 +236,7 @@ class ResultSet:
             text = str(source)
         payload = json.loads(text)
         records = payload["results"] if isinstance(payload, dict) else payload
-        return cls(ExperimentResult(**record) for record in records)
+        return cls.from_records(records)
 
     def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
         """Serialize to CSV; also write to ``path`` when given.

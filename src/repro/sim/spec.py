@@ -118,6 +118,34 @@ class ExperimentSpec:
         """The design name this trial reports under."""
         return self.label or self.design
 
+    def identity(self) -> str:
+        """The canonical identity string of everything this trial computes.
+
+        Combines the design's registry token (its full component recipe),
+        the trace identity (profile fields + generator version for synthetic
+        workloads, path/size/mtime for files), every build and run parameter,
+        and the model behavior version.  Two trials with equal identities are
+        guaranteed to produce bit-identical results, so the work queue uses
+        a hash of this string as the idempotency key of the trial's jobs --
+        and any change to a design, a workload, the generator, or the model
+        implementation yields new keys instead of reusing stale results.
+        """
+        from repro.dramcache.base import MODEL_BEHAVIOR_VERSION
+        from repro.sampling.checkpoints import trace_token
+
+        system = "default" if self.system is None else repr(self.system)
+        return "|".join([
+            f"model=v{MODEL_BEHAVIOR_VERSION}",
+            f"design={DESIGNS.resolve(self.design).token()}",
+            f"trace={trace_token(self.workload, self.config)}",
+            f"capacity={self.capacity}",
+            f"config={self.config!r}",
+            f"associativity={self.associativity}",
+            f"label={self.label}",
+            f"system={system}",
+            f"sampling={self.sampling!r}",
+        ])
+
     def describe(self) -> str:
         """Compact one-line description for logs and progress output."""
         mode = "" if self.sampling is None else (

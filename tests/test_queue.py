@@ -1,0 +1,555 @@
+"""Durable work-queue tests: job store, sweep service, workers, crash resume.
+
+The centerpiece is the acceptance scenario: a worker process SIGKILLed
+mid-sweep, after which ``repro queue resume`` picks the sweep up from the
+on-disk job store and produces a ResultSet bit-identical to the serial
+executor's -- re-executing only the jobs that were in flight when the
+worker died.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.queue import (
+    DONE,
+    FAILED,
+    JobStore,
+    LEASED,
+    PENDING,
+    PlannedJob,
+    ResultArchive,
+    SweepService,
+    plan_sweep,
+)
+from repro.sampling.windows import SamplingConfig
+from repro.sim.executor import SweepExecutor, run_trial
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.spec import SweepSpec
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def queue_root(tmp_path, monkeypatch):
+    """A private trace-store root per test: traces, checkpoints, and queue."""
+    monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+    return tmp_path
+
+
+def tiny_spec(**kwargs) -> SweepSpec:
+    defaults = dict(
+        designs=("unison", "alloy"),
+        workloads=("Web Search",),
+        capacities=("512MB",),
+        config=ExperimentConfig(scale=4096, num_accesses=2000),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def sampled_spec(**kwargs) -> SweepSpec:
+    defaults = dict(
+        designs=("unison", "alloy"),
+        workloads=("Web Search",),
+        capacities=("512MB",),
+        config=ExperimentConfig(scale=2048, num_accesses=12_000),
+        sampling=SamplingConfig(window_accesses=400, max_windows=24,
+                                min_windows=4),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def planned(n: int) -> list:
+    return [
+        PlannedJob(key=f"key-{i}", trial_index=i, part=0, kind="trial",
+                   trace_group="g", payload=b"payload-%d" % i)
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# JobStore
+# --------------------------------------------------------------------- #
+class TestJobStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            assert store.submit("tok", "d", None, planned(3)) == 3
+            assert store.submit("tok", "d", None, planned(3)) == 0
+            assert store.counts("tok")[PENDING] == 3
+
+    def test_lease_complete_lifecycle(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(1))
+            job = store.lease("owner-a", lease_seconds=60)
+            assert job is not None and job.state == LEASED
+            assert job.attempts == 1
+            assert store.lease("owner-b", lease_seconds=60) is None
+            assert store.complete("tok", job.seq, b"result", "owner-a")
+            done = store.done_jobs("tok")
+            assert [j.result for j in done] == [b"result"]
+            assert store.unfinished("tok") == 0
+
+    def test_late_completion_after_lease_theft_is_noop(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(1))
+            job = store.lease("slow", lease_seconds=0.0)
+            theft = store.lease("fast", lease_seconds=60)
+            assert theft is not None and theft.attempts == 2
+            assert not store.complete("tok", job.seq, b"late", "slow")
+            assert store.complete("tok", theft.seq, b"fresh", "fast")
+            assert store.done_jobs("tok")[0].result == b"fresh"
+
+    def test_fail_retries_with_backoff_then_fails(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(1), max_attempts=2)
+            job = store.lease("w", 60, now=0.0)
+            assert store.fail("tok", job.seq, "boom", "w", now=0.0)
+            # Back off: not leasable immediately, leasable after the delay.
+            assert store.lease("w", 60, now=0.5) is None
+            job = store.lease("w", 60, now=10.0)
+            assert job is not None and job.attempts == 2
+            assert store.fail("tok", job.seq, "boom again", "w", now=10.0)
+            assert store.counts("tok")[FAILED] == 1
+            assert store.lease("w", 60, now=100.0) is None
+            assert "boom again" in store.failed_jobs("tok")[0].error
+
+    def test_recover_returns_expired_leases_to_pending(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(2))
+            store.lease("crashed-elsewhere", lease_seconds=5.0, now=0.0)
+            assert store.recover(now=1.0, reclaim_dead=False) == 0
+            assert store.recover(now=10.0, reclaim_dead=False) == 1
+            assert store.counts("tok")[PENDING] == 2
+
+    def test_recover_reclaims_dead_local_owner_immediately(self, tmp_path):
+        # A real PID that provably exited: spawn-and-reap a child.
+        child = subprocess.Popen(["sleep", "0"])
+        child.wait()
+        import socket
+
+        dead_owner = f"{socket.gethostname()}:{child.pid}:abc123"
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(1))
+            job = store.lease(dead_owner, lease_seconds=3600.0)
+            assert job.state == LEASED
+            # The lease is nowhere near expiry, but the owner is dead.
+            assert store.recover() == 1
+            assert store.counts("tok")[PENDING] == 1
+
+    def test_live_owner_lease_is_not_reclaimed(self, tmp_path):
+        import socket
+
+        live_owner = f"{socket.gethostname()}:{os.getpid()}:abc123"
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, planned(1))
+            store.lease(live_owner, lease_seconds=3600.0)
+            assert store.recover() == 0
+            assert store.counts("tok")[LEASED] == 1
+
+    def test_prefer_group_affinity(self, tmp_path):
+        jobs = [
+            PlannedJob(key=f"k{i}", trial_index=i, part=0, kind="trial",
+                       trace_group=group, payload=b"p")
+            for i, group in enumerate(["a", "b", "a"])
+        ]
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            store.submit("tok", "d", None, jobs)
+            first = store.lease("w", 60)
+            assert first.trace_group == "a"
+            # Seq order would give the "b" job next; affinity skips to "a".
+            second = store.lease("w", 60, prefer_group="a")
+            assert second.trace_group == "a" and second.trial_index == 2
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        with JobStore(path) as store:
+            store._conn.execute("UPDATE meta SET value = '999'"
+                                " WHERE key = 'schema_version'")
+            store._conn.commit()
+        with pytest.raises(ValueError, match="schema v999"):
+            JobStore(path)
+
+
+# --------------------------------------------------------------------- #
+# Planning
+# --------------------------------------------------------------------- #
+class TestPlanning:
+    def test_plan_token_is_deterministic(self, queue_root):
+        spec = tiny_spec()
+        assert plan_sweep(spec).token == plan_sweep(spec).token
+        other = tiny_spec(config=ExperimentConfig(scale=4096,
+                                                  num_accesses=2000, seed=2))
+        assert plan_sweep(other).token != plan_sweep(spec).token
+
+    def test_full_replay_trials_plan_one_job_each(self, queue_root):
+        plan = plan_sweep(tiny_spec())
+        assert [job.kind for job in plan.jobs] == ["trial", "trial"]
+        assert [job.trial_index for job in plan.jobs] == [0, 1]
+
+    def test_sampled_trials_decompose_into_window_batches(self, queue_root):
+        plan = plan_sweep(sampled_spec())
+        kinds = {job.kind for job in plan.jobs}
+        assert kinds == {"windows"}
+        per_trial = {}
+        for job in plan.jobs:
+            per_trial[job.trial_index] = per_trial.get(job.trial_index, 0) + 1
+        # Each sampled cell spreads over several jobs.
+        assert all(count > 1 for count in per_trial.values())
+
+
+# --------------------------------------------------------------------- #
+# SweepService end to end
+# --------------------------------------------------------------------- #
+class TestSweepService:
+    def test_run_matches_serial_bit_identical(self, queue_root):
+        spec = tiny_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        queued = SweepService().run(spec)
+        assert queued == serial
+
+    def test_sampled_run_matches_serial_bit_identical(self, queue_root):
+        spec = sampled_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        queued = SweepService().run(spec)
+        assert queued == serial
+
+    def test_multiworker_run_matches_serial(self, queue_root):
+        spec = sampled_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        queued = SweepService().run(spec, workers=2)
+        assert queued == serial
+
+    def test_executor_queue_parameter_routes_to_service(self, queue_root):
+        spec = tiny_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        queued = SweepExecutor(workers=1, queue=SweepService()).run(spec)
+        assert queued == serial
+
+    def test_resubmitting_completed_sweep_runs_zero_jobs(self, queue_root,
+                                                         monkeypatch):
+        spec = tiny_spec()
+        service = SweepService()
+        first = service.submit(spec)
+        assert first.new_jobs == first.total_jobs == 2
+        service.run(spec)
+        again = service.submit(spec)
+        assert again.new_jobs == 0
+
+        # Nothing executes on a re-run: poison the executor to prove it.
+        import repro.queue.worker as worker_module
+
+        def explode(payload):
+            raise AssertionError("a completed sweep must not re-execute jobs")
+
+        monkeypatch.setattr(worker_module, "execute_job", explode)
+        rerun = service.run(spec)
+        assert rerun == service.assemble(spec)
+        with service.store() as store:
+            assert all(job.attempts == 1
+                       for job in store.done_jobs(first.token))
+
+    def test_progress_fires_once_per_trial(self, queue_root):
+        spec = tiny_spec()
+        calls = []
+        SweepService().run(
+            spec, progress=lambda i, n, t: calls.append((i, n)))
+        assert sorted(calls) == [(0, 2), (1, 2)]
+
+    def test_archive_roundtrips_resultset(self, queue_root):
+        spec = tiny_spec()
+        service = SweepService()
+        results = service.run(spec)
+        token = plan_sweep(spec).token
+        with service.archive() as archive:
+            assert archive.get(token) == results
+            assert archive.count(token) == len(results) == 2
+
+    def test_worker_retries_transient_failure(self, queue_root, monkeypatch):
+        import repro.queue.worker as worker_module
+
+        spec = tiny_spec()
+        service = SweepService()
+        real = worker_module.execute_job
+        state = {"failed": False}
+
+        def flaky(payload):
+            if not state["failed"]:
+                state["failed"] = True
+                raise RuntimeError("transient worker failure")
+            return real(payload)
+
+        monkeypatch.setattr(worker_module, "execute_job", flaky)
+        results = service.run(spec)
+        assert results == SweepExecutor(workers=1).run(spec)
+        with service.store() as store:
+            attempts = [job.attempts
+                        for job in store.done_jobs(plan_sweep(spec).token)]
+        assert sorted(attempts) == [1, 2]
+
+    def test_permanent_failure_surfaces_in_assemble(self, queue_root,
+                                                    monkeypatch):
+        import repro.queue.worker as worker_module
+
+        spec = tiny_spec()
+        service = SweepService(max_attempts=1)
+        monkeypatch.setattr(
+            worker_module, "execute_job",
+            lambda payload: (_ for _ in ()).throw(RuntimeError("always")))
+        with pytest.raises(RuntimeError, match="permanently failed"):
+            service.run(spec)
+
+    def test_resume_by_token_alone(self, queue_root):
+        spec = tiny_spec()
+        service = SweepService()
+        token = service.submit(spec).token
+        serial = SweepExecutor(workers=1).run(spec)
+        assert service.resume(token) == serial
+
+
+# --------------------------------------------------------------------- #
+# kill -9 a worker mid-sweep, then resume
+# --------------------------------------------------------------------- #
+class TestCrashResume:
+    def _spawn_worker(self, root, throttle: float) -> subprocess.Popen:
+        env = dict(os.environ, REPRO_TRACE_STORE=str(root),
+                   PYTHONPATH=REPO_SRC)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "queue", "work",
+             "--throttle", str(throttle)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def test_sigkilled_worker_resumes_bit_identical(self, queue_root):
+        spec = sampled_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+
+        service = SweepService()
+        outcome = service.submit(spec)
+        assert outcome.total_jobs >= 4
+
+        worker = self._spawn_worker(queue_root, throttle=0.5)
+        try:
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                with service.store() as store:
+                    counts = store.counts(outcome.token)
+                if counts[DONE] >= 1 and counts[DONE] < outcome.total_jobs:
+                    break
+                assert worker.poll() is None, "worker drained too fast"
+                time.sleep(0.02)
+            else:
+                pytest.fail("worker never completed a job in time")
+            os.kill(worker.pid, signal.SIGKILL)
+        finally:
+            worker.wait()
+
+        with service.store() as store:
+            before = {job.seq: job.attempts
+                      for job in store.done_jobs(outcome.token)}
+        assert before, "at least one job completed before the kill"
+
+        resumed = service.run(spec)
+        assert resumed == serial
+
+        with service.store() as store:
+            done = store.done_jobs(outcome.token)
+            assert len(done) == outcome.total_jobs
+            # Jobs finished before the kill were NOT re-executed: their
+            # attempt counters are untouched.  Only in-flight jobs may
+            # carry an extra (reclaimed) attempt.
+            for job in done:
+                if job.seq in before:
+                    assert job.attempts == before[job.seq]
+
+    def test_cli_resume_after_sigkill(self, queue_root):
+        spec = tiny_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        service = SweepService()
+        token = service.submit(spec).token
+
+        worker = self._spawn_worker(queue_root, throttle=10.0)
+        try:
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                with service.store() as store:
+                    if store.counts(token)[DONE] >= 1:
+                        break
+                assert worker.poll() is None, "worker drained too fast"
+                time.sleep(0.02)
+            else:
+                pytest.fail("worker never completed a job in time")
+            os.kill(worker.pid, signal.SIGKILL)
+        finally:
+            worker.wait()
+
+        out = queue_root / "resumed.json"
+        env = dict(os.environ, REPRO_TRACE_STORE=str(queue_root),
+                   PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "queue", "resume", token,
+             "--quiet", "--json", str(out)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        from repro.sim.resultset import ResultSet
+
+        assert ResultSet.from_json(out) == serial
+
+
+# --------------------------------------------------------------------- #
+# CLI verbs
+# --------------------------------------------------------------------- #
+class TestQueueCli:
+    def test_submit_status_work_resume(self, queue_root, capsys):
+        from repro.cli import main
+
+        grid = ["--designs", "unison", "--workloads", "Web Search",
+                "--capacities", "512MB", "--scale", "4096",
+                "--accesses", "2000"]
+        assert main(["queue", "submit"] + grid) == 0
+        token = capsys.readouterr().out.split()[1]
+
+        assert main(["queue", "status"]) == 0
+        assert token in capsys.readouterr().out
+
+        assert main(["queue", "work"]) == 0
+        assert "executed 1 jobs" in capsys.readouterr().out
+
+        assert main(["queue", "status", token]) == 0
+        assert "all 1 jobs done" in capsys.readouterr().out
+
+        assert main(["queue", "resume", token, "--quiet"]) == 0
+        assert "unison" in capsys.readouterr().out
+
+    def test_work_alias(self, queue_root, capsys):
+        from repro.cli import main
+
+        assert main(["work", "--max-jobs", "0"]) == 0
+        assert "executed 0 jobs" in capsys.readouterr().out
+
+    def test_status_unknown_token(self, queue_root, capsys):
+        from repro.cli import main
+
+        assert main(["queue", "status", "deadbeef"]) == 1
+
+
+# --------------------------------------------------------------------- #
+# Satellite: executor crash tolerance and completion-driven progress
+# --------------------------------------------------------------------- #
+def _exit_batch(trials):
+    os._exit(1)  # simulate a worker hard-killed mid-batch
+
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=True) not in (None, "fork")
+    or not hasattr(os, "fork"),
+    reason="fork start method required to inherit monkeypatched functions",
+)
+
+
+class TestExecutorCrashTolerance:
+    @needs_fork
+    def test_broken_pool_reruns_lost_batches_serially(self, queue_root,
+                                                      monkeypatch):
+        import repro.sim.executor as executor_module
+
+        spec = tiny_spec()
+        serial = SweepExecutor(workers=1).run(spec)
+        monkeypatch.setattr(executor_module, "_run_trial_batch", _exit_batch)
+        calls = []
+        results = SweepExecutor(
+            workers=2, progress=lambda i, n, t: calls.append(i)).run(spec)
+        assert results == serial
+        assert sorted(calls) == [0, 1]
+
+    @needs_fork
+    def test_deterministic_crash_names_the_trial(self, queue_root,
+                                                 monkeypatch):
+        import repro.sim.executor as executor_module
+
+        spec = tiny_spec()
+        monkeypatch.setattr(executor_module, "_run_trial_batch", _exit_batch)
+
+        def always_raises(trial):
+            raise RuntimeError("simulated deterministic crash")
+
+        monkeypatch.setattr(executor_module, "run_trial", always_raises)
+        with pytest.raises(RuntimeError,
+                           match=r"trial 0 .* crashed the worker pool"):
+            SweepExecutor(workers=2).run(spec)
+
+    def test_parallel_progress_is_completion_driven(self, queue_root):
+        spec = tiny_spec(capacities=("256MB", "512MB"))
+        calls = []
+        results = SweepExecutor(
+            workers=2, progress=lambda i, n, t: calls.append((i, n))).run(spec)
+        assert len(results) == 4
+        assert sorted(calls) == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+# --------------------------------------------------------------------- #
+# Satellite: shared trace+checkpoint GC budget
+# --------------------------------------------------------------------- #
+class TestSharedGc:
+    def test_combined_lru_eviction_across_both_stores(self, tmp_path):
+        from repro.sampling.checkpoints import CheckpointStore, shared_gc
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(root=tmp_path, max_bytes=None)
+        checkpoints = CheckpointStore(tmp_path / "checkpoints")
+        checkpoints.root.mkdir(parents=True)
+
+        old_trace = tmp_path / "old.rptr"
+        old_trace.write_bytes(b"x" * 100)
+        os.utime(old_trace, (1000, 1000))
+        old_ckpt = checkpoints.root / "old.ckpt"
+        old_ckpt.write_bytes(b"y" * 100)
+        os.utime(old_ckpt, (2000, 2000))
+        new_ckpt = checkpoints.root / "new.ckpt"
+        new_ckpt.write_bytes(b"z" * 100)
+        os.utime(new_ckpt, (3000, 3000))
+
+        freed = shared_gc(store, checkpoints, max_bytes=150)
+        # LRU across BOTH kinds: the old trace and the old checkpoint go,
+        # the newest checkpoint stays.
+        assert not old_trace.exists()
+        assert not old_ckpt.exists()
+        assert new_ckpt.exists()
+        assert freed["trace_freed"] == 100
+        assert freed["checkpoint_freed"] == 100
+
+    def test_none_budget_only_sweeps_garbage(self, tmp_path):
+        from repro.sampling.checkpoints import CheckpointStore, shared_gc
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(root=tmp_path, max_bytes=None)
+        checkpoints = CheckpointStore(tmp_path / "checkpoints")
+        checkpoints.root.mkdir(parents=True)
+        keeper = checkpoints.root / "keep.ckpt"
+        keeper.write_bytes(b"k" * 50)
+        stale = checkpoints.root / "stale.ckpt.tmp"
+        stale.write_bytes(b"t" * 70)
+
+        freed = shared_gc(store, checkpoints, max_bytes=None)
+        assert keeper.exists()
+        assert not stale.exists()
+        assert freed["checkpoint_freed"] == 70
+
+    def test_store_info_reports_both_stores(self, queue_root, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "store", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "traces:" in out
+        assert "checkpoints:" in out
+        assert "shared across traces and checkpoints" in out
