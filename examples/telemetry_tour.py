@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Tour of the run telemetry subsystem: spans, ledger, heartbeats, events.
+
+Walks the whole observability loop:
+
+1. run a queued sampled sweep with ``REPRO_TELEMETRY=1`` -- executor,
+   sampler, trace store, checkpoint store, and queue worker all record
+   into the run ledger and per-run JSONL manifests;
+2. query the ledger the way ``repro runs show <token>`` does: per-phase
+   wall-clock (trace_load / warmup / measure / assemble), accesses/sec,
+   and the trace-store and checkpoint hit rates, aggregated over every
+   run of the sweep;
+3. replay one run's manifest, including the per-window
+   stopper-convergence events the sampler traces;
+4. prove the no-op contract: re-run the same spec with telemetry
+   disabled and show the ResultSet is bit-identical.
+
+The tour isolates itself in a temporary trace-store root so it never
+touches (or depends on) your real caches.
+
+Usage::
+
+    python examples/telemetry_tour.py [--accesses 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=8000)
+    parser.add_argument("--scale", type=int, default=2048)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-tour-") as root:
+        os.environ["REPRO_TRACE_STORE"] = root
+        os.environ["REPRO_TELEMETRY"] = "1"
+
+        from repro import ExperimentConfig, SamplingConfig, SweepSpec
+        from repro.obs.core import LEDGER_FILENAME, query_root
+        from repro.obs.ledger import RunLedger, summarize
+        from repro.obs.manifest import find_manifest, read_manifest
+        from repro.queue import SweepService
+
+        spec = SweepSpec(
+            designs=("unison", "alloy"),
+            workloads=("Web Search",),
+            capacities=("512MB",),
+            config=ExperimentConfig(scale=args.scale,
+                                    num_accesses=args.accesses),
+            sampling=SamplingConfig(window_accesses=400, max_windows=8,
+                                    min_windows=4),
+        )
+
+        print("== 1. instrumented queued sampled sweep ==")
+        service = SweepService()
+        token = service.submit(spec).token
+        observed = service.run(spec)
+        print(f"sweep {token}: {len(observed)} results\n")
+
+        print("== 2. the run ledger (what `repro runs show` reads) ==")
+        telemetry_dir = query_root()
+        with RunLedger(telemetry_dir / LEDGER_FILENAME) as ledger:
+            scope, rows = ledger.resolve(token)
+            summary = summarize(ledger, rows)
+            for row in rows:
+                print(f"  {row['run_id']}  {row['kind']:<8} "
+                      f"{row['status']}")
+            print(f"aggregate over {summary['runs']} runs "
+                  f"({summary['wall_seconds']:.2f}s wall-clock):")
+            for name, (seconds, count) in summary["phases"].items():
+                print(f"  {name:<12} {seconds:8.3f}s  x{count}")
+            print(f"  accesses/sec        "
+                  f"{summary.get('accesses_per_sec', 0):,.0f}")
+            for rate in ("trace_store_hit_rate", "checkpoint_hit_rate"):
+                if rate in summary:
+                    print(f"  {rate:<20}{100 * summary[rate]:.1f}%")
+            windows_run = next(row["run_id"] for row in rows
+                               if row["kind"] == "windows")
+        print()
+
+        print("== 3. a window-batch job's JSONL manifest ==")
+        manifest = find_manifest(telemetry_dir, windows_run)
+        _print_manifest(manifest)
+        print()
+
+        print("== 3b. per-window convergence trace (adaptive sampled run) ==")
+        from repro.obs.core import start_run
+        from repro.sampling import WindowedSampler
+        from repro.workloads.cloudsuite import workload_by_name
+
+        sampler = WindowedSampler(spec.sampling, config=spec.config)
+        with start_run("trial", kind_detail="sample",
+                       design="unison") as run:
+            sampler.compare(["unison"], workload_by_name("Web Search"),
+                            "512MB")
+            adaptive_run = run.run_id
+        _print_manifest(find_manifest(telemetry_dir, adaptive_run))
+        print()
+
+        print("== 4. bit-identity with telemetry off ==")
+        del os.environ["REPRO_TELEMETRY"]
+        from repro.sim.executor import SweepExecutor
+
+        plain = SweepExecutor(workers=1).run(spec)
+        identical = (plain == observed
+                     and plain.to_json() == observed.to_json())
+        print(f"telemetry-off ResultSet bit-identical: {identical}")
+        return 0 if identical else 1
+
+
+def _print_manifest(manifest: Path) -> None:
+    from repro.obs.manifest import read_manifest
+
+    for line in read_manifest(manifest):
+        event = line.get("event")
+        if event in ("start", "end"):
+            print(f"  {event}: "
+                  f"{json.dumps(line.get('labels') or line.get('metrics'))}")
+        elif event == "phase":
+            print(f"  phase {line['name']}: {line['seconds']:.3f}s")
+        elif event == "window":
+            errors = {key: value for key, value in line.items()
+                      if key.startswith("rel_err_")}
+            print(f"  window {line['index']} "
+                  f"(measured {line['measured']}): {errors}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,10 @@ Two entry points share the program:
   store (``repro queue work``, or the short alias ``repro work``), check
   progress (``repro queue status``), and resume interrupted sweeps
   (``repro queue resume``) -- see :mod:`repro.queue`.
+* **Run telemetry** (``repro runs ...``, ``repro top``): query the run
+  ledger that ``--telemetry`` (or ``REPRO_TELEMETRY=1``) runs record --
+  per-phase wall-clock, accesses/sec, store and checkpoint hit rates,
+  queue events, and live worker heartbeats -- see :mod:`repro.obs`.
 
 Examples::
 
@@ -45,12 +49,21 @@ Examples::
     python -m repro queue work &
     python -m repro queue work &
     python -m repro queue status
+    python -m repro queue status --json          # machine-readable, for CI
+    python -m repro queue --telemetry resume <token>
+    python -m repro runs list
+    python -m repro runs show <run-id or sweep token>
+    python -m repro runs compare <ref> <ref>
+    python -m repro top
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.sim.executor import run_sweep
@@ -59,6 +72,34 @@ from repro.sim.factory import design_names
 from repro.sim.registry import DESIGNS
 from repro.sim.spec import ExperimentSpec, SweepSpec
 from repro.workloads.cloudsuite import ALL_WORKLOADS, workload_by_name
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The opt-in observability switches shared by the run-ish commands."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record spans/metrics to the run ledger and "
+                             "JSONL manifests (same as REPRO_TELEMETRY=1; "
+                             "inspect with 'repro runs')")
+    parser.add_argument("--profile", action="store_true",
+                        help="dump a cProfile pstats artifact per profiled "
+                             "block (same as REPRO_PROFILE=1; implies "
+                             "--telemetry)")
+
+
+def _apply_telemetry_arguments(args: argparse.Namespace) -> None:
+    """Translate --telemetry/--profile into the environment switches.
+
+    Environment variables (not globals) so forked/spawned queue workers
+    inherit the setting.
+    """
+    from repro.obs.core import ENV_TELEMETRY
+    from repro.obs.profiling import ENV_PROFILE
+
+    if getattr(args, "profile", False):
+        os.environ[ENV_PROFILE] = "1"
+        os.environ.setdefault(ENV_TELEMETRY, "1")
+    if getattr(args, "telemetry", False):
+        os.environ[ENV_TELEMETRY] = "1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list registered designs and exit")
     parser.add_argument("--list-workloads", action="store_true",
                         help="list available workloads and exit")
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -455,6 +497,7 @@ def build_sample_parser() -> argparse.ArgumentParser:
                         help="optional ResultSet JSON export path")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the result table")
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -464,6 +507,7 @@ def sample_main(argv: List[str]) -> int:
     from repro.sim.spec import _coerce_workload
 
     args = build_sample_parser().parse_args(argv)
+    _apply_telemetry_arguments(args)
     overrides = {
         "max_windows": args.windows,
         "window_accesses": args.window_accesses,
@@ -487,8 +531,14 @@ def sample_main(argv: List[str]) -> int:
             scale=args.scale, num_accesses=args.accesses,
             num_cores=args.cores, seed=args.seed,
         )
+        from repro.obs.core import start_run
+
         sampler = WindowedSampler(sampling, config=config)
-        run = sampler.compare(args.designs, workload, args.capacity)
+        with start_run("trial", kind_detail="sample",
+                       design=" ".join(args.designs),
+                       workload=workload.name,
+                       capacity=args.capacity):
+            run = sampler.compare(args.designs, workload, args.capacity)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -598,6 +648,7 @@ def build_queue_parser() -> argparse.ArgumentParser:
     parser.add_argument("--queue-dir", default=None, metavar="DIR",
                         help="queue directory (default: REPRO_QUEUE_DIR, "
                              "else <trace store>/queue)")
+    _add_telemetry_arguments(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     submit = sub.add_parser(
@@ -616,6 +667,16 @@ def build_queue_parser() -> argparse.ArgumentParser:
         description="Without a token: list every sweep in the store. With "
                     "one: per-state job counts plus timing/attempt totals.")
     status.add_argument("token", nargs="?", default=None, metavar="TOKEN")
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output (for scripts/CI)")
+    status.add_argument("--jobs", action="store_true",
+                        help="also list every job row: state, kind, "
+                             "attempts, lease owner, and run time")
+    status.add_argument("--watch", action="store_true",
+                        help="re-render every --interval seconds with live "
+                             "worker heartbeats (Ctrl-C exits)")
+    status.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="refresh period for --watch (default: 2)")
 
     resume = sub.add_parser(
         "resume", help="run a submitted sweep to completion and print it",
@@ -676,45 +737,179 @@ def _queue_submit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _queue_status(args: argparse.Namespace) -> int:
-    from repro.queue import FAILED
+def _job_record(job) -> dict:
+    """One job row as a plain dict (the fields JobStore records)."""
+    return {
+        "seq": job.seq,
+        "kind": job.kind,
+        "trial_index": job.trial_index,
+        "part": job.part,
+        "state": job.state,
+        "attempts": job.attempts,
+        "max_attempts": job.max_attempts,
+        "lease_owner": job.lease_owner,
+        "created_at": job.created_at,
+        "started_at": job.started_at,
+        "finished_at": job.finished_at,
+        "run_seconds": job.run_seconds,
+        "error": ((job.error or "").strip().splitlines() or [None])[-1],
+    }
 
+
+def _queue_status_data(store, token: Optional[str],
+                       include_jobs: bool) -> Optional[dict]:
+    """The status report as data (one shape for --json and the renderer)."""
+    if token is None:
+        sweeps = []
+        for row in store.sweeps():
+            counts = store.counts(row["token"])
+            sweeps.append({
+                "token": row["token"],
+                "description": row["description"],
+                "counts": counts,
+                "total": sum(counts.values()),
+            })
+        return {"sweeps": sweeps}
+    row = store.sweep_row(token)
+    if row is None:
+        return None
+    counts = store.counts(token)
+    data = {
+        "token": token,
+        "description": row["description"],
+        "counts": counts,
+        "total": sum(counts.values()),
+        "timing": store.timing(token),
+    }
+    if include_jobs:
+        data["jobs"] = [_job_record(job) for job in store.jobs(token)]
+    return data
+
+
+def _print_queue_status(data: dict, include_jobs: bool) -> None:
+    if "sweeps" in data:
+        if not data["sweeps"]:
+            print("no sweeps submitted")
+            return
+        for sweep in data["sweeps"]:
+            print(f"{sweep['token']}  {sweep['counts']['done']}/"
+                  f"{sweep['total']} done  {sweep['description']}")
+        return
+    counts, timing = data["counts"], data["timing"]
+    print(f"sweep {data['token']}: {data['description']}")
+    for state in ("pending", "leased", "done", "failed"):
+        print(f"  {state:<8} {counts[state]}")
+    print(f"  attempts {timing['attempts']} over {timing['jobs_timed']} "
+          f"timed jobs, {timing['total_seconds']:.2f}s total, "
+          f"{timing['mean_seconds']:.2f}s mean, "
+          f"{timing['longest_seconds']:.2f}s longest")
+    if counts["done"] == data["total"]:
+        print(f"all {data['total']} jobs done")
+    if include_jobs and data.get("jobs"):
+        print()
+        print(f"  {'seq':>4} {'kind':<8} {'state':<8} {'att':>3} "
+              f"{'seconds':>8}  owner/error")
+        for job in data["jobs"]:
+            seconds = ("" if job["run_seconds"] is None
+                       else f"{job['run_seconds']:.2f}")
+            detail = job["lease_owner"] or ""
+            if job["state"] == "failed" and job["error"]:
+                detail = job["error"]
+            print(f"  {job['seq']:>4} {job['kind']:<8} {job['state']:<8} "
+                  f"{job['attempts']:>3} {seconds:>8}  {detail}")
+    elif not include_jobs:
+        failed = [job for job in data.get("jobs", [])
+                  if job["state"] == "failed"]
+        for job in failed[:5]:
+            print(f"  failed job {job['seq']} (trial {job['trial_index']}): "
+                  f"{job['error'] or 'unknown error'}")
+
+
+def _heartbeat_lines(sweep: Optional[str] = None,
+                     unfinished: Optional[int] = None) -> List[str]:
+    """Render the run ledger's worker heartbeats (live operator view)."""
+    from repro.obs.core import LEDGER_FILENAME, query_root
+    from repro.obs.ledger import HEARTBEAT_STALE_SECONDS, RunLedger
+
+    root = query_root()
+    if root is None:
+        return ["workers: no telemetry directory (enable the trace store "
+                "or set REPRO_TELEMETRY_DIR)"]
+    path = root / LEDGER_FILENAME
+    if not path.is_file():
+        return [f"workers: no run ledger yet at {path} "
+                f"(start workers with --telemetry / REPRO_TELEMETRY=1)"]
+    with RunLedger(path) as ledger:
+        rows = ledger.heartbeats(sweep=sweep)
+    if not rows:
+        return ["workers: none active"]
+    now = time.time()
+    lines = ["workers:"]
+    total_rate = 0.0
+    for row in rows:
+        age = now - row["updated_at"]
+        stale = age > HEARTBEAT_STALE_SECONDS
+        status = "stale" if stale else row["status"]
+        if row["status"] == "running" and row["job_seq"] is not None:
+            doing = f"{row['job_kind']} #{row['job_seq']}"
+        else:
+            doing = "-"
+        rate = row["jobs_per_second"]
+        if rate and not stale:
+            total_rate += rate
+        rate_text = f"{rate:.2f}/s" if rate else "-"
+        sweep_text = (row["sweep"] or "")[:8]
+        lines.append(
+            f"  {row['owner']:<28} {status:<8} job={doing:<12} "
+            f"done={row['jobs_done']:<4} rate={rate_text:<8} "
+            f"sweep={sweep_text:<8} seen={age:.0f}s ago"
+        )
+    if unfinished and total_rate > 0:
+        lines.append(f"  ETA: {unfinished} unfinished jobs / "
+                     f"{total_rate:.2f} jobs/s ~= "
+                     f"{unfinished / total_rate:.0f}s")
+    return lines
+
+
+def _queue_status(args: argparse.Namespace) -> int:
     service = _queue_service(args)
-    with service.store() as store:
-        if args.token is None:
-            rows = store.sweeps()
-            if not rows:
-                print("no sweeps submitted")
-                return 0
-            for row in rows:
-                counts = store.counts(row["token"])
-                done = counts["done"]
-                total = sum(counts.values())
-                print(f"{row['token']}  {done}/{total} done  "
-                      f"{row['description']}")
-            return 0
-        row = store.sweep_row(args.token)
-        if row is None:
+
+    def render() -> Optional[int]:
+        with service.store() as store:
+            data = _queue_status_data(
+                store, args.token, include_jobs=args.jobs or args.token,
+            )
+            unfinished = (store.unfinished(args.token)
+                          if args.token else store.unfinished())
+        if data is None:
             print(f"error: unknown sweep token {args.token!r}",
                   file=sys.stderr)
             return 1
-        counts = store.counts(args.token)
-        timing = store.timing(args.token)
-        total = sum(counts.values())
-        print(f"sweep {args.token}: {row['description']}")
-        for state in ("pending", "leased", "done", "failed"):
-            print(f"  {state:<8} {counts[state]}")
-        print(f"  attempts {timing['attempts']} over {timing['jobs_timed']} "
-              f"timed jobs, {timing['total_seconds']:.2f}s total, "
-              f"{timing['mean_seconds']:.2f}s mean, "
-              f"{timing['longest_seconds']:.2f}s longest")
-        if counts["done"] == total:
-            print(f"all {total} jobs done")
-        elif counts[FAILED]:
-            for job in store.failed_jobs(args.token)[:5]:
-                last_line = (job.error or "").strip().splitlines()[-1:]
-                print(f"  failed job {job.seq} (trial {job.trial_index}): "
-                      f"{last_line[0] if last_line else 'unknown error'}")
+        if args.json:
+            if not args.jobs:
+                data.pop("jobs", None)
+            print(_json.dumps(data, indent=2, sort_keys=True))
+            return 0
+        _print_queue_status(data, include_jobs=args.jobs)
+        if args.watch:
+            print()
+            for line in _heartbeat_lines(sweep=args.token,
+                                         unfinished=unfinished):
+                print(line)
+        return 0
+
+    if not args.watch or args.json:
+        return render() or 0
+    try:
+        while True:
+            sys.stdout.write("\033[2J\033[H")  # clear screen, home cursor
+            code = render()
+            if code:
+                return code
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
         return 0
 
 
@@ -760,6 +955,7 @@ def _queue_work(args: argparse.Namespace) -> int:
 def queue_main(argv: List[str]) -> int:
     """Entry point of the ``repro queue`` subcommands."""
     args = build_queue_parser().parse_args(argv)
+    _apply_telemetry_arguments(args)
     try:
         if args.command == "submit":
             return _queue_submit(args)
@@ -771,6 +967,313 @@ def queue_main(argv: List[str]) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+# --------------------------------------------------------------------- #
+# repro runs ...
+# --------------------------------------------------------------------- #
+def build_runs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro runs",
+        description="Query the telemetry run ledger recorded by --telemetry "
+                    "/ REPRO_TELEMETRY=1 runs: per-phase wall-clock, "
+                    "accesses/sec, store and checkpoint hit rates.",
+    )
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="telemetry directory holding ledger.sqlite "
+                             "(default: REPRO_TELEMETRY_DIR, else "
+                             "<trace store>/telemetry)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser(
+        "list", help="recent runs, newest first",
+        description="List recorded runs: id, kind, status, wall-clock, and "
+                    "the design/workload/capacity labels.")
+    list_cmd.add_argument("--limit", type=int, default=20, metavar="N",
+                          help="show at most N runs (default: 20)")
+    list_cmd.add_argument("--sweep", default=None, metavar="TOKEN",
+                          help="only runs of this sweep token (prefix ok)")
+    list_cmd.add_argument("--kind", default=None,
+                          choices=["trial", "windows", "assemble"],
+                          help="only runs of this kind")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable JSON output")
+
+    show = sub.add_parser(
+        "show", help="one run, or every run of a sweep, in detail",
+        description="REF is a run-id prefix or a sweep-token prefix; a "
+                    "sweep reference aggregates phases and metrics over "
+                    "all of its runs.")
+    show.add_argument("ref", metavar="REF")
+    show.add_argument("--events", type=int, default=10, metavar="N",
+                      help="show at most N recent events (default: 10)")
+    show.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+
+    compare = sub.add_parser(
+        "compare", help="two runs or sweeps side by side",
+        description="Resolve both references like 'show' and print their "
+                    "phase timings and derived metrics in two columns.")
+    compare.add_argument("ref_a", metavar="REF_A")
+    compare.add_argument("ref_b", metavar="REF_B")
+    return parser
+
+
+def _open_query_ledger(telemetry_dir: Optional[str]):
+    """The read-side ledger, or ``(None, error-message)``."""
+    from pathlib import Path
+
+    from repro.obs.core import LEDGER_FILENAME, query_root
+    from repro.obs.ledger import RunLedger
+
+    root = Path(telemetry_dir) if telemetry_dir else query_root()
+    if root is None:
+        return None, ("no telemetry directory: set REPRO_TELEMETRY_DIR or "
+                      "enable the trace store (REPRO_TRACE_STORE)")
+    path = root / LEDGER_FILENAME
+    if not path.is_file():
+        return None, (f"no run ledger at {path} -- record one with "
+                      f"--telemetry or REPRO_TELEMETRY=1")
+    return RunLedger(path), None
+
+
+def _run_row_data(row) -> dict:
+    data = {key: row[key] for key in row.keys()}
+    if data.get("labels"):
+        data["labels"] = _json.loads(data["labels"])
+    return data
+
+
+def _format_run_line(row) -> str:
+    from datetime import datetime
+
+    started = datetime.fromtimestamp(row["started_at"]).strftime("%H:%M:%S")
+    wall = ("..." if row["wall_seconds"] is None
+            else f"{row['wall_seconds']:.2f}s")
+    what = " ".join(filter(None, [row["design"], row["workload"],
+                                  row["capacity"]])) or row["label"] or ""
+    sweep = f" sweep={row['sweep'][:8]}" if row["sweep"] else ""
+    return (f"{row['run_id']}  {row['kind']:<8} {row['status']:<6} "
+            f"{started}  {wall:>8}  {what}{sweep}")
+
+
+def _summary_lines(summary: dict) -> List[str]:
+    from repro.obs.core import PHASE_ORDER
+
+    lines = []
+    wall = summary["wall_seconds"]
+    lines.append(f"runs: {summary['runs']} ({summary['errors']} errors), "
+                 f"wall-clock {wall:.2f}s")
+    phases = summary["phases"]
+    ordered = [name for name in PHASE_ORDER if name in phases]
+    ordered += [name for name in sorted(phases) if name not in PHASE_ORDER]
+    if ordered:
+        lines.append("phases:")
+    for name in ordered:
+        seconds, count = phases[name]
+        share = f" ({100 * seconds / wall:.0f}%)" if wall > 0 else ""
+        lines.append(f"  {name:<12} {seconds:8.3f}s{share}  x{count}")
+    metrics = summary["metrics"]
+    if metrics:
+        lines.append("metrics:")
+    for name in sorted(metrics):
+        value = metrics[name]
+        text = f"{value:g}" if value == int(value) else f"{value:.4f}"
+        lines.append(f"  {name:<22} {text}")
+    for name in ("accesses_per_sec", "trace_store_hit_rate",
+                 "checkpoint_hit_rate"):
+        if name in summary:
+            if name.endswith("rate"):
+                lines.append(f"{name}: {100 * summary[name]:.1f}%")
+            else:
+                lines.append(f"{name}: {summary[name]:,.0f}")
+    return lines
+
+
+def _resolve_summary(ledger, ref: str):
+    """(scope, rows, summary) for one user-typed reference."""
+    from repro.obs.ledger import summarize
+
+    scope, rows = ledger.resolve(ref)
+    return scope, rows, summarize(ledger, rows)
+
+
+def _runs_list(ledger, args: argparse.Namespace) -> int:
+    rows = ledger.runs(limit=args.limit, sweep=args.sweep, kind=args.kind)
+    if args.json:
+        print(_json.dumps([_run_row_data(row) for row in rows], indent=2,
+                          sort_keys=True))
+        return 0
+    if not rows:
+        print("no recorded runs")
+        return 0
+    for row in rows:
+        print(_format_run_line(row))
+    return 0
+
+
+def _runs_show(ledger, args: argparse.Namespace) -> int:
+    scope, rows, summary = _resolve_summary(ledger, args.ref)
+    if scope == "run":
+        events = ledger.events_for(run_id=rows[0]["run_id"],
+                                   limit=args.events)
+        title = f"run {rows[0]['run_id']} ({rows[0]['kind']})"
+    else:
+        events = ledger.events_for(sweep=rows[0]["sweep"],
+                                   limit=args.events)
+        title = f"sweep {rows[0]['sweep']}"
+    if args.json:
+        summary = dict(summary)
+        summary["scope"] = scope
+        summary["runs_detail"] = [_run_row_data(row) for row in rows]
+        summary["events"] = [
+            {"ts": event["ts"], "kind": event["kind"],
+             "detail": _json.loads(event["detail"])
+             if event["detail"] else None}
+            for event in events
+        ]
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(title)
+    if scope == "run":
+        row = rows[0]
+        what = " ".join(filter(None, [row["design"], row["workload"],
+                                      row["capacity"]]))
+        if what:
+            print(f"  {what}")
+        if row["error"]:
+            print(f"  error: {row['error'].strip().splitlines()[-1]}")
+    for line in _summary_lines(summary):
+        print(f"  {line}")
+    if events:
+        print("  recent events:")
+        for event in reversed(events):
+            detail = ""
+            if event["detail"]:
+                fields = _json.loads(event["detail"])
+                detail = " " + " ".join(f"{k}={v}"
+                                        for k, v in sorted(fields.items()))
+            print(f"    {event['kind']}{detail}")
+    return 0
+
+
+def _runs_compare(ledger, args: argparse.Namespace) -> int:
+    from repro.obs.core import PHASE_ORDER
+
+    sides = []
+    for ref in (args.ref_a, args.ref_b):
+        scope, rows, summary = _resolve_summary(ledger, ref)
+        name = (rows[0]["run_id"] if scope == "run"
+                else f"sweep {rows[0]['sweep'][:12]}")
+        sides.append((name, summary))
+    (name_a, sum_a), (name_b, sum_b) = sides
+    width = 14
+    print(f"{'':<{width}} {name_a:>20} {name_b:>20}")
+    print(f"{'runs':<{width}} {sum_a['runs']:>20} {sum_b['runs']:>20}")
+    print(f"{'wall_seconds':<{width}} {sum_a['wall_seconds']:>20.2f} "
+          f"{sum_b['wall_seconds']:>20.2f}")
+    names = [name for name in PHASE_ORDER
+             if name in sum_a["phases"] or name in sum_b["phases"]]
+    for name in names:
+        a = sum_a["phases"].get(name, (0.0, 0))[0]
+        b = sum_b["phases"].get(name, (0.0, 0))[0]
+        print(f"{name:<{width}} {a:>19.3f}s {b:>19.3f}s")
+    for name in ("accesses_per_sec", "trace_store_hit_rate",
+                 "checkpoint_hit_rate"):
+        if name in sum_a or name in sum_b:
+            a, b = sum_a.get(name), sum_b.get(name)
+            if name.endswith("rate"):
+                text_a = "-" if a is None else f"{100 * a:.1f}%"
+                text_b = "-" if b is None else f"{100 * b:.1f}%"
+            else:
+                text_a = "-" if a is None else f"{a:,.0f}"
+                text_b = "-" if b is None else f"{b:,.0f}"
+            print(f"{name:<{width}} {text_a:>20} {text_b:>20}")
+    return 0
+
+
+def runs_main(argv: List[str]) -> int:
+    """Entry point of the ``repro runs`` subcommands."""
+    args = build_runs_parser().parse_args(argv)
+    ledger, error = _open_query_ledger(args.telemetry_dir)
+    if ledger is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    with ledger:
+        try:
+            if args.command == "list":
+                return _runs_list(ledger, args)
+            if args.command == "show":
+                return _runs_show(ledger, args)
+            return _runs_compare(ledger, args)
+        except (KeyError, ValueError) as error:
+            message = (error.args[0] if error.args else error)
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+
+
+# --------------------------------------------------------------------- #
+# repro top
+# --------------------------------------------------------------------- #
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live worker heartbeats from the run ledger: per-worker "
+                    "status, current job, throughput, and a drain ETA when "
+                    "the job store is reachable.",
+    )
+    parser.add_argument("--sweep", default=None, metavar="TOKEN",
+                        help="only workers on this sweep token")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="queue directory for the ETA's unfinished-job "
+                             "count (default: REPRO_QUEUE_DIR, else "
+                             "<trace store>/queue)")
+    parser.add_argument("--watch", action="store_true",
+                        help="re-render every --interval seconds "
+                             "(Ctrl-C exits)")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="refresh period for --watch (default: 2)")
+    return parser
+
+
+def _unfinished_jobs(queue_dir: Optional[str],
+                     sweep: Optional[str]) -> Optional[int]:
+    from repro.queue import SweepService
+
+    try:
+        service = SweepService(queue_dir=queue_dir)
+    except (RuntimeError, ValueError):
+        return None
+    if not service.db_path.is_file():
+        return None
+    with service.store() as store:
+        return store.unfinished(sweep)
+
+
+def top_main(argv: List[str]) -> int:
+    """Entry point of ``repro top``."""
+    args = build_top_parser().parse_args(argv)
+
+    def render() -> None:
+        unfinished = _unfinished_jobs(args.queue_dir, args.sweep)
+        if unfinished is not None:
+            print(f"queue: {unfinished} unfinished jobs")
+        for line in _heartbeat_lines(sweep=args.sweep,
+                                     unfinished=unfinished):
+            print(line)
+
+    if not args.watch:
+        render()
+        return 0
+    try:
+        while True:
+            sys.stdout.write("\033[2J\033[H")  # clear screen, home cursor
+            render()
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 # --------------------------------------------------------------------- #
@@ -787,6 +1290,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return designs_main(argv[1:])
     if argv and argv[0] == "queue":
         return queue_main(argv[1:])
+    if argv and argv[0] == "runs":
+        return runs_main(argv[1:])
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
     if argv and argv[0] == "work":
         # `repro work` == `repro queue work`: the verb a fleet of standalone
         # worker shells actually types.
@@ -795,6 +1302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_telemetry_arguments(args)
     if args.list_designs:
         return _list_designs()
     if args.list_workloads:

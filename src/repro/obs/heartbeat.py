@@ -1,0 +1,123 @@
+"""Worker heartbeats: the live operator view of a queue drain.
+
+Each queue worker owns one row in the run ledger's ``heartbeats`` table,
+keyed by its lease owner id.  The worker updates the row at every state
+transition -- idle, leased job N, job done -- so ``repro queue status
+--watch`` and ``repro top`` can render, per worker: the job it is on, how
+many jobs it has finished, its jobs/second throughput, and an ETA for the
+remaining queue.
+
+Heartbeating is best-effort by construction: any sqlite failure disables
+this worker's heartbeat for the rest of the drain instead of crashing the
+job loop, and when telemetry is disabled :func:`worker_heartbeat` returns a
+no-op so the worker pays nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.core import ledger_path, logger
+
+
+class NullHeartbeat:
+    """Shared no-op heartbeat for disabled telemetry."""
+
+    __slots__ = ()
+    enabled = False
+
+    def idle(self) -> None:
+        pass
+
+    def leased(self, job) -> None:
+        pass
+
+    def finished(self, ok: bool = True) -> None:
+        pass
+
+    def exited(self) -> None:
+        pass
+
+
+NULL_HEARTBEAT = NullHeartbeat()
+
+
+class WorkerHeartbeat:
+    """Maintains one worker's heartbeat row for the length of a drain."""
+
+    enabled = True
+
+    def __init__(self, ledger: Path, owner: str, sweep: Optional[str],
+                 host: str, pid: int) -> None:
+        self._ledger = ledger
+        self.owner = owner
+        self._sweep = sweep
+        self._host = host
+        self._pid = pid
+        self._jobs_done = 0
+        self._started = time.time()
+        self._dead = False
+        self._write(status="idle", host=host, pid=pid, sweep=sweep,
+                    jobs_done=0)
+
+    def _write(self, **fields) -> None:
+        if self._dead:
+            return
+        try:
+            from repro.obs.ledger import RunLedger
+
+            with RunLedger(self._ledger) as ledger:
+                ledger.heartbeat(self.owner, **fields)
+        except Exception:
+            # A worker must never die because its heartbeat cannot be
+            # written; stop heartbeating and keep draining.
+            self._dead = True
+            logger.exception("heartbeat disabled for worker %s", self.owner)
+
+    def idle(self) -> None:
+        self._write(status="idle", job_seq=None, job_kind=None,
+                    job_label=None, job_started_at=None)
+
+    def leased(self, job) -> None:
+        self._write(status="running", job_seq=job.seq, job_kind=job.kind,
+                    job_label=job.key, job_started_at=time.time(),
+                    sweep=job.sweep)
+
+    def finished(self, ok: bool = True) -> None:
+        if ok:
+            self._jobs_done += 1
+        elapsed = time.time() - self._started
+        rate = self._jobs_done / elapsed if elapsed > 0 else None
+        self._write(status="idle", jobs_done=self._jobs_done,
+                    jobs_per_second=rate, job_seq=None, job_kind=None,
+                    job_label=None, job_started_at=None)
+
+    def exited(self) -> None:
+        self._write(status="exited", job_seq=None, job_kind=None,
+                    job_label=None, job_started_at=None)
+
+
+def worker_heartbeat(owner: str, sweep: Optional[str] = None):
+    """A heartbeat for ``owner``, or the shared no-op when disabled."""
+    path = ledger_path()
+    if path is None:
+        return NULL_HEARTBEAT
+    import os
+    import socket
+
+    try:
+        return WorkerHeartbeat(path, owner, sweep, socket.gethostname(),
+                               os.getpid())
+    except Exception:
+        logger.exception("could not start heartbeat for %s", owner)
+        return NULL_HEARTBEAT
+
+
+__all__ = [
+    "NULL_HEARTBEAT",
+    "NullHeartbeat",
+    "WorkerHeartbeat",
+    "worker_heartbeat",
+]

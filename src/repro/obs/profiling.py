@@ -1,0 +1,90 @@
+"""Opt-in cProfile capture: one pstats artifact per profiled block.
+
+Enabled by ``REPRO_PROFILE`` (or the ``--profile`` CLI flag, which sets
+it).  When on, :func:`maybe_profile` wraps the block in a ``cProfile``
+profiler and dumps the binary stats to
+``<telemetry root>/profiles/<slug>-<runid>.pstats`` -- loadable later with
+``python -m pstats`` or ``pstats.Stats(path)``.  When off (the default) it
+is a no-op context manager with zero overhead, so trial code can wrap its
+body unconditionally.
+
+Profiling rides on telemetry for its output directory: if telemetry is
+disabled and no explicit ``REPRO_TELEMETRY_DIR`` is set, profiles have
+nowhere to go and the hook stays off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import re
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.obs.core import (ENV_TELEMETRY_DIR, PROFILE_DIRNAME, logger,
+                            new_run_id, telemetry_root)
+
+#: Environment switch for profiling (truthy values enable).
+ENV_PROFILE = "REPRO_PROFILE"
+
+_TRUE_VALUES = frozenset({"1", "on", "true", "yes", "enabled"})
+
+
+def profiling_enabled() -> bool:
+    return os.environ.get(ENV_PROFILE, "").strip().lower() in _TRUE_VALUES
+
+
+def profile_dir() -> Optional[Path]:
+    """Where profile artifacts go, or ``None`` when there is nowhere."""
+    root = telemetry_root()
+    if root is None:
+        value = os.environ.get(ENV_TELEMETRY_DIR, "").strip()
+        if not value:
+            return None
+        root = Path(value)
+    return root / PROFILE_DIRNAME
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "run"
+
+
+@contextmanager
+def maybe_profile(slug: str) -> Iterator[Optional[Path]]:
+    """Profile the block when ``REPRO_PROFILE`` is on; no-op otherwise.
+
+    Yields the artifact path (or ``None`` when profiling is off or has no
+    output directory).  Dump failures are logged, never raised.
+    """
+    if not profiling_enabled():
+        yield None
+        return
+    directory = profile_dir()
+    if directory is None:
+        logger.warning(
+            "REPRO_PROFILE is set but there is no telemetry directory;"
+            " set %s or enable telemetry", ENV_TELEMETRY_DIR)
+        yield None
+        return
+    path = directory / f"{_slug(slug)}-{new_run_id()}.pstats"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield path
+    finally:
+        profiler.disable()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(path))
+            logger.info("profile written to %s", path)
+        except OSError:
+            logger.exception("failed to write profile %s", path)
+
+
+__all__ = [
+    "ENV_PROFILE",
+    "maybe_profile",
+    "profile_dir",
+    "profiling_enabled",
+]

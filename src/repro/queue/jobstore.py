@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.obs.core import emit_event
+
 PathLike = Union[str, Path]
 
 #: Bump on incompatible changes to the tables below.
@@ -364,6 +366,7 @@ class JobStore:
              now: Optional[float] = None) -> bool:
         """Record a failed attempt; retries with backoff until exhausted."""
         now = time.time() if now is None else now
+        event = None
         with self._txn():
             row = self._conn.execute(
                 "SELECT attempts, max_attempts FROM jobs"
@@ -380,6 +383,9 @@ class JobStore:
                     " WHERE sweep = ? AND seq = ?",
                     (FAILED, error, now, sweep, seq),
                 )
+                event = ("job_failed", {"seq": seq, "owner": owner,
+                                        "attempts": row["attempts"],
+                                        "error": error})
             else:
                 backoff = RETRY_BACKOFF_SECONDS * (2 ** (row["attempts"] - 1))
                 self._conn.execute(
@@ -387,7 +393,15 @@ class JobStore:
                     " lease_expiry = ? WHERE sweep = ? AND seq = ?",
                     (PENDING, error, now + backoff, sweep, seq),
                 )
-            return True
+                event = ("job_backoff", {"seq": seq, "owner": owner,
+                                         "attempts": row["attempts"],
+                                         "backoff_seconds": backoff,
+                                         "error": error})
+        # Event emission (log + ledger) happens outside the transaction so
+        # the job store's write lock is never held across a ledger write.
+        if event is not None:
+            emit_event(event[0], sweep=sweep, **event[1])
+        return True
 
     def recover(self, sweep: Optional[str] = None,
                 now: Optional[float] = None,
@@ -407,6 +421,7 @@ class JobStore:
             where += " AND sweep = ?"
             params.append(sweep)
         reclaimed = 0
+        events = []
         with self._txn():
             rows = self._conn.execute(
                 f"SELECT sweep, seq, attempts, max_attempts, lease_owner,"
@@ -432,7 +447,14 @@ class JobStore:
                         " lease_expiry = 0 WHERE sweep = ? AND seq = ?",
                         (PENDING, row["sweep"], row["seq"]),
                     )
+                events.append((row["sweep"], {
+                    "seq": row["seq"], "owner": row["lease_owner"],
+                    "attempts": row["attempts"],
+                    "reason": "dead_owner" if dead else "expired",
+                }))
                 reclaimed += 1
+        for sweep_token, detail in events:
+            emit_event("lease_reclaimed", sweep=sweep_token, **detail)
         return reclaimed
 
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs.core import start_run
 from repro.queue.archive import ResultArchive
 from repro.queue.jobstore import (
     DEFAULT_MAX_ATTEMPTS,
@@ -295,7 +296,9 @@ class SweepService:
         for job in done:
             by_trial.setdefault(job.trial_index, []).append(job)
         results = []
-        with self.archive() as archive:
+        with start_run("assemble", sweep=plan.token,
+                       trials=len(trials)) as obs_run, \
+                self.archive() as archive:
             for trial_index, trial in enumerate(trials):
                 jobs = by_trial.get(trial_index, [])
                 if not jobs:
@@ -303,11 +306,14 @@ class SweepService:
                         f"trial {trial_index} has no finished jobs"
                     )
                 if jobs[0].kind == "trial":
-                    result = pickle.loads(jobs[0].result)
+                    with obs_run.span("assemble"):
+                        result = pickle.loads(jobs[0].result)
                 else:
                     measurements: Dict[int, object] = {}
                     for job in jobs:
                         measurements.update(pickle.loads(job.result))
+                    # assemble_sampled_trial attributes its stopper replay
+                    # to this run's "assemble" phase via obs.current().
                     result = assemble_sampled_trial(trial, measurements)
                 archive.put(plan.token, trial_index, result)
                 results.append(result)

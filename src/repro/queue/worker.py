@@ -31,6 +31,8 @@ import traceback
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
+from repro.obs.core import emit_event, job_context
+from repro.obs.heartbeat import worker_heartbeat
 from repro.queue.jobstore import Job, JobStore, default_owner
 
 PathLike = Union[str, Path]
@@ -90,31 +92,55 @@ def work(db_path: PathLike,
     owner = default_owner() if owner is None else owner
     executed = 0
     last_group: Optional[str] = None
-    with JobStore(db_path) as store:
-        store.recover(sweep=sweep)
-        while max_jobs is None or executed < max_jobs:
-            job = store.lease(owner, lease_seconds, sweep=sweep,
-                              prefer_group=last_group)
-            if job is None:
-                if not drain or store.unfinished(sweep) == 0:
-                    break
-                time.sleep(poll_seconds)
-                store.recover(sweep=sweep)
-                continue
-            last_group = job.trace_group
-            try:
-                result_blob = execute_job(job.payload)
-            except Exception:
-                store.fail(job.sweep, job.seq,
-                           traceback.format_exc(limit=20), owner)
-            else:
-                if store.complete(job.sweep, job.seq, result_blob, owner):
-                    _archive_trial_result(archive_path, job, result_blob)
-            executed += 1
-            if on_job is not None:
-                on_job(job)
-            if throttle > 0:
-                time.sleep(throttle)
+    heartbeat = worker_heartbeat(owner, sweep=sweep)
+    try:
+        with JobStore(db_path) as store:
+            store.recover(sweep=sweep)
+            while max_jobs is None or executed < max_jobs:
+                job = store.lease(owner, lease_seconds, sweep=sweep,
+                                  prefer_group=last_group)
+                if job is None:
+                    if not drain or store.unfinished(sweep) == 0:
+                        break
+                    heartbeat.idle()
+                    time.sleep(poll_seconds)
+                    store.recover(sweep=sweep)
+                    continue
+                last_group = job.trace_group
+                heartbeat.leased(job)
+                ok = True
+                # Runs the job opens (trial / window-batch telemetry) are
+                # correlated to this sweep, job, and worker in the ledger.
+                with job_context(sweep=job.sweep, job_seq=job.seq,
+                                 worker=owner):
+                    try:
+                        result_blob = execute_job(job.payload)
+                    except Exception:
+                        ok = False
+                        store.fail(job.sweep, job.seq,
+                                   traceback.format_exc(limit=20), owner)
+                    else:
+                        if store.complete(job.sweep, job.seq, result_blob,
+                                          owner):
+                            _archive_trial_result(archive_path, job,
+                                                  result_blob)
+                        else:
+                            # The lease expired mid-run and another worker
+                            # reclaimed (and will redo) the job; our
+                            # deterministic result is discarded.  Silent
+                            # until now -- record it so stolen-lease no-ops
+                            # are diagnosable.
+                            emit_event("lease_theft", sweep=job.sweep,
+                                       seq=job.seq, owner=owner,
+                                       attempts=job.attempts)
+                heartbeat.finished(ok)
+                executed += 1
+                if on_job is not None:
+                    on_job(job)
+                if throttle > 0:
+                    time.sleep(throttle)
+    finally:
+        heartbeat.exited()
     return executed
 
 

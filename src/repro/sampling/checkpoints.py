@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.dramcache.base import StateSnapshot
+from repro.obs.core import current as obs_current
 from repro.trace.store import configured_root
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.tracefile import TraceFileWorkload
@@ -171,15 +172,19 @@ class CheckpointStore:
                 version, snapshot = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError, TypeError, ValueError):
+            obs_current().counter("checkpoint_misses")
             return None
         if version != CHECKPOINT_FORMAT_VERSION:
+            obs_current().counter("checkpoint_misses")
             return None
         if not isinstance(snapshot, StateSnapshot):
+            obs_current().counter("checkpoint_misses")
             return None
         try:
             os.utime(path)  # LRU recency for gc()
         except OSError:
             pass
+        obs_current().counter("checkpoint_hits")
         return snapshot
 
     def save(self, key: str, snapshot: StateSnapshot) -> bool:
@@ -205,6 +210,7 @@ class CheckpointStore:
                 raise
         except (OSError, pickle.PickleError):
             return False
+        obs_current().counter("checkpoint_saves")
         return True
 
     # ------------------------------------------------------------------ #

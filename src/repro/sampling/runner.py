@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.no_cache import NoDramCache
 from repro.config.system import SystemConfig
 from repro.dramcache.base import DramCacheModel
+from repro.obs.core import current as obs_current
 from repro.sampling.seekable import FileWindows, InMemoryWindows
 from repro.sampling.windows import (
     MeasurementWindow,
@@ -319,7 +320,8 @@ class WindowedSampler:
         if len(set(labels)) != len(labels):
             raise ValueError(f"duplicate sampled design labels: {labels}")
 
-        provider = self._provider(workload, trace)
+        with obs_current().span("trace_load"):
+            provider = self._provider(workload, trace)
         try:
             return self._compare(provider, design_names, labels, workload,
                                  capacity, associativity, trace,
@@ -352,6 +354,30 @@ class WindowedSampler:
             )
             for metric, floor in TRACKED_METRICS.items()
         }
+
+    @staticmethod
+    def _trace_convergence(obs_run, window_index, measured, designs) -> None:
+        """Emit one manifest event per measured window (enabled path only).
+
+        Records the worst relative CI error across designs for every
+        tracked metric -- the stopper-convergence trace that lets
+        ``repro runs show`` explain *why* a sampled trial stopped where it
+        did (or spent its whole window budget).
+        """
+        fields = {}
+        for metric in TRACKED_METRICS:
+            worst = 0.0
+            for _, _, _, series in designs:
+                try:
+                    error = series[metric].interval().relative_error
+                except (ValueError, ZeroDivisionError):
+                    continue
+                if error != error:  # NaN (undefined near-zero mean)
+                    continue
+                worst = max(worst, error)
+            fields[f"rel_err_{metric}"] = round(worst, 6)
+        obs_run.event("window", index=window_index, measured=len(measured),
+                      **fields)
 
     def _checkpoint_designs(self, provider, design_names, labels, capacity,
                             associativity, plan, store, stream_token):
@@ -412,14 +438,20 @@ class WindowedSampler:
     def _compare(self, provider, design_names, labels, workload, capacity,
                  associativity, trace=None,
                  trace_identity=None) -> SampledRun:
+        obs_run = obs_current()
         plan = plan_windows(provider.total, self.config.warmup_fraction,
                             self.sampling)
         store = self._checkpoint_store()
         stream_token = self._stream_token(workload, trace, trace_identity,
                                           store)
-        designs = self._checkpoint_designs(provider, design_names, labels,
-                                           capacity, associativity, plan,
-                                           store, stream_token)
+        # The checkpoint prologue is the sampled path's functional warming:
+        # it shows up in the ledger under the same "warmup" phase a full
+        # replay's warm-up does.
+        with obs_run.span("warmup"):
+            designs = self._checkpoint_designs(provider, design_names,
+                                               labels, capacity,
+                                               associativity, plan, store,
+                                               stream_token)
         stoppers = self._stoppers(plan)
 
         def all_converged() -> bool:
@@ -432,32 +464,44 @@ class WindowedSampler:
         results = {label: SampledDesignResult(design=label, series=series)
                    for label, _, _, series in designs}
         measured: List[int] = []
-        for window_index in plan.order:
-            window = plan.windows[window_index]
-            warmup = provider.read(window.warmup_start, window.start)
-            measure = provider.read(window.start, window.stop)
+        with obs_run.span("measure") as measure_span:
+            for window_index in plan.order:
+                window = plan.windows[window_index]
+                warmup = provider.read(window.warmup_start, window.start)
+                measure = provider.read(window.start, window.stop)
 
-            # Matched-pair baseline: the same window through a no-DRAM-cache
-            # system (cheap, and stateless beyond DRAM timing -- a fresh
-            # model per window keeps windows independent).
-            baseline = NoDramCache()
-            baseline.run(measure)
-            baseline_stats = baseline.cache_stats
+                # Matched-pair baseline: the same window through a
+                # no-DRAM-cache system (cheap, and stateless beyond DRAM
+                # timing -- a fresh model per window keeps windows
+                # independent).
+                baseline = NoDramCache()
+                baseline.run(measure)
+                baseline_stats = baseline.cache_stats
 
-            for label, design, checkpoint, series in designs:
-                design.restore_state(checkpoint)
-                outcome = self._measure_window(
-                    design, window, warmup, measure, baseline_stats, workload,
-                )
-                results[label].windows.append(outcome)
-                for metric in TRACKED_METRICS:
-                    series[metric].add(window_index,
-                                       getattr(outcome, metric))
-            measured.append(window_index)
+                for label, design, checkpoint, series in designs:
+                    design.restore_state(checkpoint)
+                    outcome = self._measure_window(
+                        design, window, warmup, measure, baseline_stats,
+                        workload,
+                    )
+                    results[label].windows.append(outcome)
+                    for metric in TRACKED_METRICS:
+                        series[metric].add(window_index,
+                                           getattr(outcome, metric))
+                measured.append(window_index)
+                measure_span.add("windows", 1)
+                if obs_run.enabled:
+                    obs_run.counter("accesses",
+                                    len(measure) * len(designs))
+                    obs_run.counter("warmup_accesses",
+                                    len(warmup) * len(designs))
+                    self._trace_convergence(obs_run, window_index, measured,
+                                            designs)
 
-            if all(stopper.should_stop([s[metric] for _, _, _, s in designs])
-                   for metric, stopper in stoppers.items()):
-                break
+                if all(stopper.should_stop([s[metric]
+                                            for _, _, _, s in designs])
+                       for metric, stopper in stoppers.items()):
+                    break
 
         return SampledRun(
             plan=plan,
@@ -492,36 +536,44 @@ class WindowedSampler:
         from repro.sim.registry import DESIGNS
 
         DESIGNS.resolve(design_name)
-        provider = self._provider(workload, trace)
+        obs_run = obs_current()
+        with obs_run.span("trace_load"):
+            provider = self._provider(workload, trace)
         try:
             plan = plan_windows(provider.total, self.config.warmup_fraction,
                                 self.sampling)
             store = self._checkpoint_store()
             stream_token = self._stream_token(workload, trace, trace_identity,
                                               store)
-            designs = self._checkpoint_designs(
-                provider, [design_name], [label or design_name], capacity,
-                associativity, plan, store, stream_token,
-            )
+            with obs_run.span("warmup"):
+                designs = self._checkpoint_designs(
+                    provider, [design_name], [label or design_name],
+                    capacity, associativity, plan, store, stream_token,
+                )
             _, design, checkpoint, _ = designs[0]
             measurements: Dict[int, WindowMeasurement] = {}
-            for index in window_indices:
-                if not 0 <= index < len(plan.windows):
-                    raise ValueError(
-                        f"window index {index} outside the plan "
-                        f"({len(plan.windows)} windows); was the trace "
-                        f"modified after the sweep was planned?"
+            with obs_run.span("measure") as measure_span:
+                for index in window_indices:
+                    if not 0 <= index < len(plan.windows):
+                        raise ValueError(
+                            f"window index {index} outside the plan "
+                            f"({len(plan.windows)} windows); was the trace "
+                            f"modified after the sweep was planned?"
+                        )
+                    window = plan.windows[index]
+                    warmup = provider.read(window.warmup_start, window.start)
+                    measure = provider.read(window.start, window.stop)
+                    baseline = NoDramCache()
+                    baseline.run(measure)
+                    design.restore_state(checkpoint)
+                    measurements[index] = self._measure_window(
+                        design, window, warmup, measure,
+                        baseline.cache_stats, workload,
                     )
-                window = plan.windows[index]
-                warmup = provider.read(window.warmup_start, window.start)
-                measure = provider.read(window.start, window.stop)
-                baseline = NoDramCache()
-                baseline.run(measure)
-                design.restore_state(checkpoint)
-                measurements[index] = self._measure_window(
-                    design, window, warmup, measure, baseline.cache_stats,
-                    workload,
-                )
+                    measure_span.add("windows", 1)
+                    if obs_run.enabled:
+                        obs_run.counter("accesses", len(measure))
+                        obs_run.counter("warmup_accesses", len(warmup))
             return measurements
         finally:
             provider.close()
@@ -590,7 +642,8 @@ class WindowedSampler:
             labels=[label] if label is not None else None,
             trace_identity=trace_identity,
         )
-        return run.results()[0]
+        with obs_current().span("assemble"):
+            return run.results()[0]
 
 
 __all__ = [

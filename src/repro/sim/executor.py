@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dramcache.stats import DramCacheStats
+from repro.obs.core import current as obs_current, start_run
 from repro.sim.experiment import ExperimentResult, ExperimentRunner, Workload
 from repro.sim.resultset import ResultSet
 from repro.sim.spec import ExperimentSpec, SweepSpec
@@ -222,18 +223,24 @@ def run_trial(trial: ExperimentSpec) -> ExperimentResult:
     trace, and a binary trace-file workload is windowed seekably (never
     fully materialized) on the sampled path.
     """
-    if trial.sampling is not None:
-        return _run_sampled_trial(trial)
-    runner = ExperimentRunner(trial.config, system=trial.system)
-    trace = cached_trace(runner, trial.workload)
-    baseline = cached_baseline(runner, trial.workload, trace)
-    return runner.run_design(
-        trial.design, trial.workload, trial.capacity,
-        trace=trace,
-        associativity=trial.associativity,
-        label=trial.label,
-        baseline_stats=baseline,
-    )
+    with start_run("trial", design=trial.design, label=trial.result_label,
+                   workload=trial.workload.name,
+                   capacity=str(trial.capacity),
+                   sampled=trial.sampling is not None) as obs_run:
+        if trial.sampling is not None:
+            return _run_sampled_trial(trial)
+        runner = ExperimentRunner(trial.config, system=trial.system)
+        with obs_run.span("trace_load"):
+            trace = cached_trace(runner, trial.workload)
+        with obs_run.span("baseline"):
+            baseline = cached_baseline(runner, trial.workload, trace)
+        return runner.run_design(
+            trial.design, trial.workload, trial.capacity,
+            trace=trace,
+            associativity=trial.associativity,
+            label=trial.label,
+            baseline_stats=baseline,
+        )
 
 
 def _sampled_trial_inputs(trial: ExperimentSpec):
@@ -254,7 +261,8 @@ def _sampled_trial_inputs(trial: ExperimentSpec):
         from repro.sampling.checkpoints import trace_token
 
         runner = ExperimentRunner(trial.config, system=trial.system)
-        trace = cached_trace(runner, trial.workload)
+        with obs_current().span("trace_load"):
+            trace = cached_trace(runner, trial.workload)
         # The cached trace is canonical for (workload, config) by
         # construction, so on-disk checkpoints key on the authoritative
         # generator-versioned identity rather than a content hash.
@@ -323,14 +331,18 @@ def run_trial_windows(trial: ExperimentSpec,
     bit-identical to the ones the serial sampled path produces for the same
     windows, so batches measured by different workers reassemble exactly.
     """
-    sampler, trace, trace_identity = _sampled_trial_inputs(trial)
-    return sampler.measure_windows(
-        trial.design, trial.workload, trial.capacity, window_indices,
-        trace=trace,
-        associativity=trial.associativity,
-        label=trial.result_label,
-        trace_identity=trace_identity,
-    )
+    with start_run("windows", design=trial.design, label=trial.result_label,
+                   workload=trial.workload.name,
+                   capacity=str(trial.capacity),
+                   windows=len(window_indices)):
+        sampler, trace, trace_identity = _sampled_trial_inputs(trial)
+        return sampler.measure_windows(
+            trial.design, trial.workload, trial.capacity, window_indices,
+            trace=trace,
+            associativity=trial.associativity,
+            label=trial.result_label,
+            trace_identity=trace_identity,
+        )
 
 
 def assemble_sampled_trial(trial: ExperimentSpec,
@@ -352,10 +364,11 @@ def assemble_sampled_trial(trial: ExperimentSpec,
         )
     sampler = WindowedSampler(trial.sampling, config=trial.config,
                               system=trial.system)
-    run = sampler.assemble_run(trial.result_label, measurements,
-                               workload_name=trial.workload.name,
-                               capacity=trial.capacity, plan=plan)
-    return run.results()[0]
+    with obs_current().span("assemble"):
+        run = sampler.assemble_run(trial.result_label, measurements,
+                                   workload_name=trial.workload.name,
+                                   capacity=trial.capacity, plan=plan)
+        return run.results()[0]
 
 
 class SweepExecutor:

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.baselines.no_cache import NoDramCache
 from repro.config.system import SystemConfig
+from repro.obs.core import current as obs_current
 from repro.dramcache.base import DramCacheModel
 from repro.dramcache.stats import DramCacheStats
 from repro.sim.factory import make_design, unison_design_for_ways
@@ -193,21 +194,28 @@ class ExperimentRunner:
         baseline over the same measurement window, letting sweep executors
         replay the baseline once per trace instead of once per cell.
         """
+        obs_run = obs_current()
         if trace is None:
-            trace = self.build_trace(profile)
+            with obs_run.span("trace_load"):
+                trace = self.build_trace(profile)
         warmup, measure = self.split_trace(trace)
 
         design = make_design(
             design_name, capacity, scale=self.config.scale,
             num_cores=self.config.num_cores, associativity=associativity,
         )
-        design.warm_up(warmup)
+        with obs_run.span("warmup"):
+            design.warm_up(warmup)
         activations_before = (design.memory.row_activations,
                               design.stacked.row_activations)
-        design.run(measure)
+        with obs_run.span("measure"):
+            design.run(measure)
+        obs_run.counter("accesses", len(measure))
+        obs_run.counter("warmup_accesses", len(warmup))
 
         if baseline_stats is None:
-            baseline_stats = self.no_cache_baseline(measure)
+            with obs_run.span("baseline"):
+                baseline_stats = self.no_cache_baseline(measure)
         speedup = self.performance.speedup(
             design.cache_stats, baseline_stats, profile
         )

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
+from repro.obs.core import current as obs_current
 from repro.trace.binfmt import (INDEX_SUFFIX, BinaryTraceReader,
                                 BinaryTraceWriter, index_path_for,
                                 read_header)
@@ -219,14 +220,17 @@ class TraceStore:
         path = self.path_for(key)
         if not path.exists():
             self.stats.misses += 1
+            obs_current().counter("trace_store_misses")
             return None
         try:
             read_header(path)  # reject corrupt/foreign files up front
         except TraceFormatError:
             self.stats.misses += 1
+            obs_current().counter("trace_store_misses")
             self._unlink_entry(path)
             return None
         self.stats.hits += 1
+        obs_current().counter("trace_store_hits")
         os.utime(path)
         return BinaryTraceReader(path)
 
@@ -247,6 +251,8 @@ class TraceStore:
         except (OSError, EOFError, ValueError, IndexError, zlib.error):
             self.stats.hits -= 1
             self.stats.misses += 1
+            obs_current().counter("trace_store_hits", -1)
+            obs_current().counter("trace_store_misses")
             self._unlink_entry(self.path_for(key))
             return None
 
@@ -285,6 +291,7 @@ class TraceStore:
             tmp.unlink(missing_ok=True)
             index_path_for(tmp).unlink(missing_ok=True)
         self.stats.writes += 1
+        obs_current().counter("trace_store_writes")
         self._evict_over_budget(protect=final)
         return collected
 
