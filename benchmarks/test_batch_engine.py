@@ -1,0 +1,106 @@
+"""Scalar-versus-batch functional-warming throughput.
+
+The batch engine's acceptance bar is a >=10x warming speedup on a
+1M-access trace for at least Unison and Alloy, with bit-identical
+post-warming state.  This benchmark measures both engines over the same
+in-memory trace (best-of-``REPRO_BENCH_WARM_REPS`` interleaved repetitions,
+so machine noise hits both sides equally), records the throughput table to
+``benchmarks/results/batch_warming.txt``, and writes the
+``BENCH_batch_warming.json`` trajectory artifact at the repo root so the
+speedup can be tracked across revisions.
+
+Fidelity knobs:
+
+* ``REPRO_BENCH_WARM_ACCESSES`` -- warm-stream length (default 1_000_000).
+* ``REPRO_BENCH_WARM_REPS``     -- repetitions per engine (default 2).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import format_table, write_report
+from repro.engine import (
+    numpy_available,
+    records_to_array,
+    set_batch_enabled,
+    warm_design,
+)
+from repro.sim.factory import make_design
+from repro.workloads import workload_by_name
+from repro.workloads.generator import SyntheticWorkload
+
+WARM_ACCESSES = int(os.environ.get("REPRO_BENCH_WARM_ACCESSES", "1000000"))
+WARM_REPS = int(os.environ.get("REPRO_BENCH_WARM_REPS", "2"))
+
+#: Validated measurement recipe: Web Search at scale 512, 256MB designs.
+CAPACITY = "256MB"
+SCALE = 512
+DESIGNS = ("unison", "alloy")
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_batch_warming.json"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_batch_warming_throughput(results_dir):
+    profile = workload_by_name("Web Search")
+    profile = profile.scaled(
+        max(profile.region_size * 64, profile.working_set_bytes // SCALE)
+    )
+    trace = SyntheticWorkload(profile, num_cores=4,
+                              seed=7).generate(WARM_ACCESSES)
+    array = records_to_array(trace)
+
+    rows = []
+    payload = {"accesses": WARM_ACCESSES, "reps": WARM_REPS,
+               "capacity": CAPACITY, "scale": SCALE, "designs": {}}
+    try:
+        set_batch_enabled(True)
+        for name in DESIGNS:
+            t_scalar = t_batch = float("inf")
+            scalar = batch = None
+            for _ in range(WARM_REPS):
+                scalar = make_design(name, CAPACITY, scale=SCALE)
+                started = time.perf_counter()
+                scalar.warm_up(trace)
+                t_scalar = min(t_scalar, time.perf_counter() - started)
+
+                batch = make_design(name, CAPACITY, scale=SCALE)
+                started = time.perf_counter()
+                engine = warm_design(batch, array)
+                t_batch = min(t_batch, time.perf_counter() - started)
+                assert engine == "batch"
+
+            assert (pickle.dumps(scalar.snapshot_state().state)
+                    == pickle.dumps(batch.snapshot_state().state)), (
+                f"batch warming diverged from scalar for {name}"
+            )
+            scalar_aps = WARM_ACCESSES / t_scalar
+            batch_aps = WARM_ACCESSES / t_batch
+            speedup = t_scalar / t_batch
+            rows.append([name, f"{scalar_aps:,.0f}", f"{batch_aps:,.0f}",
+                         f"{speedup:.2f}x"])
+            payload["designs"][name] = {
+                "scalar_accesses_per_sec": round(scalar_aps, 1),
+                "batch_accesses_per_sec": round(batch_aps, 1),
+                "speedup": round(speedup, 3),
+                "bit_identical": True,
+            }
+    finally:
+        set_batch_enabled(None)
+
+    lines = [f"Functional-warming throughput, {WARM_ACCESSES:,} accesses "
+             f"(Web Search, {CAPACITY} @ scale {SCALE}, "
+             f"best of {WARM_REPS} interleaved reps)", ""]
+    lines += format_table(
+        ["design", "scalar acc/s", "batch acc/s", "speedup"], rows
+    )
+    write_report(results_dir, "batch_warming", lines)
+    TRAJECTORY.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")

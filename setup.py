@@ -24,6 +24,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.8",
+    # numpy powers the vectorized batch-warming engine (repro.engine).  The
+    # simulator degrades to the scalar warming path when it is missing, so
+    # an install without numpy still passes the test suite.
+    install_requires=["numpy"],
     entry_points={
         "console_scripts": [
             "repro=repro.cli:run",

@@ -102,6 +102,34 @@ def _apply_telemetry_arguments(args: argparse.Namespace) -> None:
         os.environ[ENV_TELEMETRY] = "1"
 
 
+def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
+    """The batch-warming switches shared by the run-ish commands."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--batch-warming", dest="batch_warming",
+                       action="store_true", default=None,
+                       help="warm designs through the vectorized batch "
+                            "engine (the default when numpy is available; "
+                            "same as REPRO_BATCH=1)")
+    group.add_argument("--no-batch-warming", dest="batch_warming",
+                       action="store_false",
+                       help="force the scalar warming engine (same as "
+                            "REPRO_BATCH=0; needs no numpy)")
+
+
+def _apply_batch_arguments(args: argparse.Namespace) -> None:
+    """Translate --batch-warming/--no-batch-warming into the batch switch.
+
+    Both the in-process override and the REPRO_BATCH environment variable
+    are set, so forked/spawned sweep and queue workers inherit the choice.
+    """
+    from repro.engine import set_batch_enabled
+
+    value = getattr(args, "batch_warming", None)
+    if value is not None:
+        os.environ["REPRO_BATCH"] = "1" if value else "0"
+        set_batch_enabled(value)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-workloads", action="store_true",
                         help="list available workloads and exit")
     _add_telemetry_arguments(parser)
+    _add_batch_arguments(parser)
     return parser
 
 
@@ -498,6 +527,7 @@ def build_sample_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true",
                         help="print only the result table")
     _add_telemetry_arguments(parser)
+    _add_batch_arguments(parser)
     return parser
 
 
@@ -508,6 +538,7 @@ def sample_main(argv: List[str]) -> int:
 
     args = build_sample_parser().parse_args(argv)
     _apply_telemetry_arguments(args)
+    _apply_batch_arguments(args)
     overrides = {
         "max_windows": args.windows,
         "window_accesses": args.window_accesses,
@@ -1303,6 +1334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _apply_telemetry_arguments(args)
+    _apply_batch_arguments(args)
     if args.list_designs:
         return _list_designs()
     if args.list_workloads:

@@ -123,6 +123,20 @@ class DramCacheModel(abc.ABC):
             self.access(request)
         self.reset_stats()
 
+    def warm_up_array(self, accesses) -> str:
+        """Warm with a record array (or records) via the batch engine.
+
+        Dispatches to the fused batch kernels of :mod:`repro.engine` when
+        this design's composition is covered and batch warming is enabled
+        (``REPRO_BATCH`` / ``--batch-warming``), falling back to the scalar
+        :meth:`warm_up` otherwise.  The post-warming state is bit-identical
+        either way; returns ``"batch"`` or ``"scalar"`` naming the engine
+        that ran.
+        """
+        from repro.engine import warm_design
+
+        return warm_design(self, accesses)
+
     def reset_stats(self) -> None:
         """Reset statistics without touching cache contents (warm-up boundary)."""
         self.cache_stats.reset()

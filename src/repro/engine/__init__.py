@@ -1,0 +1,38 @@
+"""Vectorized batch engine for functional warming and bulk trace decode.
+
+Public surface:
+
+* :func:`repro.engine.warm_design` -- warm a design via the fused batch
+  kernels (bit-identical to scalar warming) with automatic scalar
+  fallback; returns which engine ran.
+* :func:`repro.engine.batch_enabled` / :func:`set_batch_enabled` -- the
+  ``REPRO_BATCH`` / ``--batch-warming`` controls.
+* :mod:`repro.engine.trace_array` -- numpy structured-array trace decode
+  (``decode_array``, ``records_to_array``, ``array_to_records``).
+* :func:`repro.engine.select_kernel` -- kernel coverage probe (None means
+  the composition warms through the scalar engine).
+"""
+
+from repro.engine.batch import batch_enabled, set_batch_enabled, warm_design
+from repro.engine.kernels import select_kernel
+from repro.engine.trace_array import (
+    RECORD_DTYPE,
+    array_to_records,
+    decode_array,
+    is_access_array,
+    numpy_available,
+    records_to_array,
+)
+
+__all__ = [
+    "RECORD_DTYPE",
+    "array_to_records",
+    "batch_enabled",
+    "decode_array",
+    "is_access_array",
+    "numpy_available",
+    "records_to_array",
+    "select_kernel",
+    "set_batch_enabled",
+    "warm_design",
+]

@@ -1,0 +1,65 @@
+"""Batch functional warming: the entry point the simulation layers call.
+
+:func:`warm_design` replays a warm stream into a design and guarantees the
+post-warming state (``StateSnapshot``) is bit-identical to
+``design.warm_up(records)`` followed by the implicit ``reset_stats()``
+warming semantics -- whichever engine actually ran.  It dispatches to a
+fused kernel (:mod:`repro.engine.kernels`) when the composition is covered
+and batch warming is enabled, and falls back to the scalar engine
+otherwise, reporting which engine ran so callers can tag telemetry.
+
+Enablement: batch warming is on by default.  ``REPRO_BATCH=0`` (or
+``false``/``no``/``off``) disables it process-wide; the CLI's
+``--batch-warming/--no-batch-warming`` flags override the environment via
+:func:`set_batch_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.engine.kernels import select_kernel
+from repro.engine.trace_array import as_records, make_columns
+
+_FALSY = ("0", "false", "no", "off")
+
+# CLI override: None defers to the REPRO_BATCH environment variable.
+_enabled_override: Optional[bool] = None
+
+
+def batch_enabled() -> bool:
+    """Whether batch warming may run (CLI override, then REPRO_BATCH)."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get("REPRO_BATCH", "1").strip().lower() not in _FALSY
+
+
+def set_batch_enabled(enabled: Optional[bool]) -> None:
+    """Force batch warming on/off; ``None`` defers to ``REPRO_BATCH``."""
+    global _enabled_override
+    _enabled_override = enabled
+
+
+def warm_design(design, accesses) -> str:
+    """Warm ``design`` with ``accesses``; returns ``"batch"`` or ``"scalar"``.
+
+    ``accesses`` may be a numpy structured record array (see
+    :mod:`repro.engine.trace_array`) or any iterable of ``MemoryAccess``.
+    Either way the design ends up warmed *and* with statistics reset, the
+    exact contract of the scalar warm-up path.
+    """
+    if batch_enabled():
+        kernel = select_kernel(design)
+        if kernel is not None:
+            columns = make_columns(accesses)
+            if columns is not None:
+                if columns.n:
+                    kernel(design, columns)
+                design.reset_stats()
+                return "batch"
+    design.warm_up(as_records(accesses))
+    return "scalar"
+
+
+__all__ = ["batch_enabled", "set_batch_enabled", "warm_design"]

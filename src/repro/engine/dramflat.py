@@ -1,0 +1,564 @@
+"""Flattened DRAM timing state for the fused batch-warming kernels.
+
+The object-graph timing model (``DramController`` -> ``Channel`` ->
+``Bank``) is exact but slow: every access crosses three method calls and
+builds an ``AccessResult``/``BankAccessResult`` pair.  During functional
+warming the caller discards every latency *statistic* afterwards
+(``reset_stats``), but the *state* the controller accumulates -- bank
+open rows, per-bank timing horizons, channel data-bus reservations, the
+tFAW activation window, and the non-resettable request/byte counters --
+is part of the design's snapshot and must come out bit-identical.
+
+:func:`flatten_controller` lifts one controller's state into flat local
+lists inside a closure, services accesses with zero object construction,
+and writes everything back (including re-derived ``BankState`` enums and
+the activation ``deque``) when the batch ends.  The arithmetic below is a
+line-for-line transliteration of ``dram/controller.py``, ``channel.py``
+and ``bank.py``; any change there must be mirrored here (the batch-engine
+equivalence tests catch drift).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.bank import BankState
+
+
+class FlatDram:
+    """Handle returned by :func:`flatten_controller`.
+
+    ``access(address, num_bytes, now_cpu, is_write) -> latency_cpu`` mirrors
+    ``DramController.access(...).latency_cpu_cycles``; ``writeback()`` must
+    be called exactly once, after the batch, to restore the object graph.
+    """
+
+    __slots__ = ("access", "burst", "read_pair", "writeback")
+
+    def __init__(self, access, burst, read_pair, writeback) -> None:
+        self.access = access
+        self.burst = burst
+        self.read_pair = read_pair
+        self.writeback = writeback
+
+
+def flatten_controller(controller) -> FlatDram:
+    """Capture ``controller`` into a closure-based flat timing engine."""
+    config = controller.config
+    timings = controller.timings
+    mapping = controller.mapping
+    channels = controller.channels
+    cpu_per_dram = controller._cpu_per_dram
+
+    num_channels = config.num_channels
+    banks_per_channel = config.banks_per_rank
+    row_bytes = mapping.row_bytes
+
+    t_cas = timings.t_cas
+    t_rcd = timings.t_rcd
+    t_rp = timings.t_rp
+    t_ras = timings.t_ras
+    t_rc = timings.t_rc
+    t_wr = timings.t_wr
+    t_wtr = timings.t_wtr
+    t_rtp = timings.t_rtp
+    t_rrd = timings.t_rrd
+    t_faw = timings.t_faw
+    faw_window = 4  # Channel._recent_activates maxlen
+
+    # Per-global-bank flat state, bank index g = channel * banks + bank.
+    b_open = []   # open_row (-1 == idle; BankState is derived from this)
+    b_act = []    # _next_activate
+    b_col = []    # _next_column
+    b_pre = []    # _next_precharge
+    b_acts = []   # activations
+    b_hits = []   # row_hits
+    b_miss = []   # row_misses
+    b_conf = []   # row_conflicts
+    # Per-channel flat state.
+    c_bus = []    # _data_bus_free
+    c_last = []   # _last_activate
+    c_recent = []  # _recent_activates as a plain list
+    c_reads = []
+    c_writes = []
+    c_bytes = []
+    for channel in channels:
+        c_bus.append(channel._data_bus_free)
+        c_last.append(channel._last_activate)
+        c_recent.append(list(channel._recent_activates))
+        c_reads.append(channel.reads)
+        c_writes.append(channel.writes)
+        c_bytes.append(channel.bytes_transferred)
+        for bank in channel.banks:
+            b_open.append(bank.open_row)
+            b_act.append(bank._next_activate)
+            b_col.append(bank._next_column)
+            b_pre.append(bank._next_precharge)
+            b_acts.append(bank.activations)
+            b_hits.append(bank.row_hits)
+            b_miss.append(bank.row_misses)
+            b_conf.append(bank.row_conflicts)
+
+    totals = [controller.total_requests]
+    # data_cycles(num_bytes) is pure; warming uses only a handful of sizes.
+    transfer_cache = {}
+    data_cycles = timings.data_cycles
+
+    def access(address: int, num_bytes: int, now_cpu: int,
+               is_write: bool) -> int:
+        # Kernels only issue positive sizes, so the controller's num_bytes
+        # validation is elided here.
+        # AddressMapping.decompose, inlined.
+        stripe = address // row_bytes
+        ch = stripe % num_channels
+        stripe //= num_channels
+        row = stripe // banks_per_channel
+        g = ch * banks_per_channel + stripe % banks_per_channel
+
+        now = int(now_cpu / cpu_per_dram)
+
+        # Channel.access + Bank.access, inlined.
+        if b_open[g] == row:
+            b_hits[g] += 1
+            column_issue = b_col[g]
+            if now > column_issue:
+                column_issue = now
+            next_column = column_issue
+        else:
+            issue_time = c_last[ch] + t_rrd
+            if now > issue_time:
+                issue_time = now
+            rec = c_recent[ch]
+            if len(rec) == faw_window:
+                faw_ready = rec[0] + t_faw
+                if faw_ready > issue_time:
+                    issue_time = faw_ready
+                del rec[0]
+            rec.append(issue_time)
+            c_last[ch] = issue_time
+
+            next_activate = b_act[g]
+            if b_open[g] >= 0:
+                # Row conflict: precharge the open row first.
+                b_conf[g] += 1
+                precharge_issue = b_pre[g]
+                if issue_time > precharge_issue:
+                    precharge_issue = issue_time
+                ready = precharge_issue + t_rp
+                if ready > next_activate:
+                    next_activate = ready
+            else:
+                b_miss[g] += 1
+                ready = issue_time
+                if next_activate > ready:
+                    ready = next_activate
+            if next_activate > ready:
+                activate_issue = next_activate
+            else:
+                activate_issue = ready
+            b_open[g] = row
+            b_acts[g] += 1
+            b_act[g] = activate_issue + t_rc
+            b_pre[g] = activate_issue + t_ras
+            column_ready = activate_issue + t_rcd
+            next_column = b_col[g]
+            if column_ready > next_column:
+                next_column = column_ready
+            column_issue = next_column
+            if now > column_issue:
+                column_issue = now
+
+        if is_write:
+            data_start = column_issue
+            horizon = column_issue + t_wr
+            if horizon > b_pre[g]:
+                b_pre[g] = horizon
+            horizon = column_issue + t_wtr
+            if horizon > next_column:
+                next_column = horizon
+            c_writes[ch] += 1
+        else:
+            data_start = column_issue + t_cas
+            horizon = column_issue + t_rtp
+            if horizon > b_pre[g]:
+                b_pre[g] = horizon
+            horizon = column_issue + 1
+            if horizon > next_column:
+                next_column = horizon
+            c_reads[ch] += 1
+        b_col[g] = next_column
+
+        try:
+            transfer = transfer_cache[num_bytes]
+        except KeyError:
+            transfer = transfer_cache[num_bytes] = data_cycles(num_bytes)
+        if c_bus[ch] > data_start:
+            data_start = c_bus[ch]
+        data_end = data_start + transfer
+        c_bus[ch] = data_end
+        c_bytes[ch] += num_bytes
+        totals[0] += 1
+
+        # _to_cpu_cycles(data_end - now): ceil under float semantics.
+        return int(-(-(data_end - now) * cpu_per_dram // 1))
+
+    def burst(base: int, stride: int, mask: int, num_bytes: int,
+              now_cpu: int, is_write: bool) -> int:
+        """One device op per set bit of ``mask``, ascending, at
+        ``base + bit_index * stride``; returns the *first* op's latency
+        (the critical block of a fetch; fills and writebacks ignore it).
+
+        Bit-identical to calling :func:`access` once per bit -- the only
+        shortcut is skipping the address decompose while consecutive ops
+        stay in the same DRAM row, which is the common case because a
+        page's blocks live in one row.
+        """
+        now = int(now_cpu / cpu_per_dram)
+        try:
+            transfer = transfer_cache[num_bytes]
+        except KeyError:
+            transfer = transfer_cache[num_bytes] = data_cycles(num_bytes)
+        first_latency = -1
+        cur_stripe = -1
+        ch = g = row = 0
+        # Bank and channel state cached in locals across the run, flushed
+        # whenever the run leaves the row and once at the end.
+        open_row = col = act = pre = hits = miss = conf = acts = 0
+        bus = last = reads = writes = nbytes = 0
+        count = 0
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            address = base + (low.bit_length() - 1) * stride
+            stripe = address // row_bytes
+            if stripe != cur_stripe:
+                if cur_stripe >= 0:
+                    b_open[g] = open_row
+                    b_col[g] = col
+                    b_act[g] = act
+                    b_pre[g] = pre
+                    b_hits[g] = hits
+                    b_miss[g] = miss
+                    b_conf[g] = conf
+                    b_acts[g] = acts
+                    c_bus[ch] = bus
+                    c_last[ch] = last
+                    c_reads[ch] = reads
+                    c_writes[ch] = writes
+                    c_bytes[ch] = nbytes
+                cur_stripe = stripe
+                ch = stripe % num_channels
+                rest = stripe // num_channels
+                row = rest // banks_per_channel
+                g = ch * banks_per_channel + rest % banks_per_channel
+                open_row = b_open[g]
+                col = b_col[g]
+                act = b_act[g]
+                pre = b_pre[g]
+                hits = b_hits[g]
+                miss = b_miss[g]
+                conf = b_conf[g]
+                acts = b_acts[g]
+                bus = c_bus[ch]
+                last = c_last[ch]
+                reads = c_reads[ch]
+                writes = c_writes[ch]
+                nbytes = c_bytes[ch]
+
+            if open_row == row:
+                hits += 1
+                column_issue = col
+                if now > column_issue:
+                    column_issue = now
+                next_column = column_issue
+            else:
+                issue_time = last + t_rrd
+                if now > issue_time:
+                    issue_time = now
+                rec = c_recent[ch]
+                if len(rec) == faw_window:
+                    faw_ready = rec[0] + t_faw
+                    if faw_ready > issue_time:
+                        issue_time = faw_ready
+                    del rec[0]
+                rec.append(issue_time)
+                last = issue_time
+
+                next_activate = act
+                if open_row >= 0:
+                    conf += 1
+                    precharge_issue = pre
+                    if issue_time > precharge_issue:
+                        precharge_issue = issue_time
+                    ready = precharge_issue + t_rp
+                    if ready > next_activate:
+                        next_activate = ready
+                else:
+                    miss += 1
+                    ready = issue_time
+                    if next_activate > ready:
+                        ready = next_activate
+                if next_activate > ready:
+                    activate_issue = next_activate
+                else:
+                    activate_issue = ready
+                open_row = row
+                acts += 1
+                act = activate_issue + t_rc
+                pre = activate_issue + t_ras
+                column_ready = activate_issue + t_rcd
+                next_column = col
+                if column_ready > next_column:
+                    next_column = column_ready
+                column_issue = next_column
+                if now > column_issue:
+                    column_issue = now
+
+            if is_write:
+                data_start = column_issue
+                horizon = column_issue + t_wr
+                if horizon > pre:
+                    pre = horizon
+                horizon = column_issue + t_wtr
+                if horizon > next_column:
+                    next_column = horizon
+                writes += 1
+            else:
+                data_start = column_issue + t_cas
+                horizon = column_issue + t_rtp
+                if horizon > pre:
+                    pre = horizon
+                horizon = column_issue + 1
+                if horizon > next_column:
+                    next_column = horizon
+                reads += 1
+            col = next_column
+
+            if bus > data_start:
+                data_start = bus
+            data_end = data_start + transfer
+            bus = data_end
+            nbytes += num_bytes
+            count += 1
+            if first_latency < 0:
+                first_latency = int(-(-(data_end - now) * cpu_per_dram
+                                      // 1))
+        if cur_stripe >= 0:
+            b_open[g] = open_row
+            b_col[g] = col
+            b_act[g] = act
+            b_pre[g] = pre
+            b_hits[g] = hits
+            b_miss[g] = miss
+            b_conf[g] = conf
+            b_acts[g] = acts
+            c_bus[ch] = bus
+            c_last[ch] = last
+            c_reads[ch] = reads
+            c_writes[ch] = writes
+            c_bytes[ch] = nbytes
+        totals[0] += count
+        return first_latency
+
+    def read_pair(addr_a: int, bytes_a: int, addr_b: int, bytes_b: int,
+                  now_cpu: int, serialized: bool) -> int:
+        """Two reads issued at the same instant (the page-hit tag+data
+        pattern); returns their serialized sum or overlapped max.
+
+        Bit-identical to two :func:`access` calls; fused to share the
+        clock-domain conversion and, when both reads land in the same DRAM
+        row (tags live beside the data in the in-DRAM layout), the address
+        decompose.
+        """
+        now = int(now_cpu / cpu_per_dram)
+        stripe_a = addr_a // row_bytes
+        ch = stripe_a % num_channels
+        rest = stripe_a // num_channels
+        row = rest // banks_per_channel
+        g = ch * banks_per_channel + rest % banks_per_channel
+
+        # ---- read A --------------------------------------------------- #
+        if b_open[g] == row:
+            b_hits[g] += 1
+            column_issue = b_col[g]
+            if now > column_issue:
+                column_issue = now
+            next_column = column_issue
+        else:
+            issue_time = c_last[ch] + t_rrd
+            if now > issue_time:
+                issue_time = now
+            rec = c_recent[ch]
+            if len(rec) == faw_window:
+                faw_ready = rec[0] + t_faw
+                if faw_ready > issue_time:
+                    issue_time = faw_ready
+                del rec[0]
+            rec.append(issue_time)
+            c_last[ch] = issue_time
+
+            next_activate = b_act[g]
+            if b_open[g] >= 0:
+                b_conf[g] += 1
+                precharge_issue = b_pre[g]
+                if issue_time > precharge_issue:
+                    precharge_issue = issue_time
+                ready = precharge_issue + t_rp
+                if ready > next_activate:
+                    next_activate = ready
+            else:
+                b_miss[g] += 1
+                ready = issue_time
+                if next_activate > ready:
+                    ready = next_activate
+            if next_activate > ready:
+                activate_issue = next_activate
+            else:
+                activate_issue = ready
+            b_open[g] = row
+            b_acts[g] += 1
+            b_act[g] = activate_issue + t_rc
+            b_pre[g] = activate_issue + t_ras
+            column_ready = activate_issue + t_rcd
+            next_column = b_col[g]
+            if column_ready > next_column:
+                next_column = column_ready
+            column_issue = next_column
+            if now > column_issue:
+                column_issue = now
+
+        data_start = column_issue + t_cas
+        horizon = column_issue + t_rtp
+        if horizon > b_pre[g]:
+            b_pre[g] = horizon
+        horizon = column_issue + 1
+        if horizon > next_column:
+            next_column = horizon
+        c_reads[ch] += 1
+        b_col[g] = next_column
+
+        try:
+            transfer = transfer_cache[bytes_a]
+        except KeyError:
+            transfer = transfer_cache[bytes_a] = data_cycles(bytes_a)
+        if c_bus[ch] > data_start:
+            data_start = c_bus[ch]
+        data_end = data_start + transfer
+        c_bus[ch] = data_end
+        c_bytes[ch] += bytes_a
+        latency_a = int(-(-(data_end - now) * cpu_per_dram // 1))
+
+        # ---- read B --------------------------------------------------- #
+        stripe_b = addr_b // row_bytes
+        if stripe_b != stripe_a:
+            ch = stripe_b % num_channels
+            rest = stripe_b // num_channels
+            row = rest // banks_per_channel
+            g = ch * banks_per_channel + rest % banks_per_channel
+
+        if b_open[g] == row:
+            b_hits[g] += 1
+            column_issue = b_col[g]
+            if now > column_issue:
+                column_issue = now
+            next_column = column_issue
+        else:
+            issue_time = c_last[ch] + t_rrd
+            if now > issue_time:
+                issue_time = now
+            rec = c_recent[ch]
+            if len(rec) == faw_window:
+                faw_ready = rec[0] + t_faw
+                if faw_ready > issue_time:
+                    issue_time = faw_ready
+                del rec[0]
+            rec.append(issue_time)
+            c_last[ch] = issue_time
+
+            next_activate = b_act[g]
+            if b_open[g] >= 0:
+                b_conf[g] += 1
+                precharge_issue = b_pre[g]
+                if issue_time > precharge_issue:
+                    precharge_issue = issue_time
+                ready = precharge_issue + t_rp
+                if ready > next_activate:
+                    next_activate = ready
+            else:
+                b_miss[g] += 1
+                ready = issue_time
+                if next_activate > ready:
+                    ready = next_activate
+            if next_activate > ready:
+                activate_issue = next_activate
+            else:
+                activate_issue = ready
+            b_open[g] = row
+            b_acts[g] += 1
+            b_act[g] = activate_issue + t_rc
+            b_pre[g] = activate_issue + t_ras
+            column_ready = activate_issue + t_rcd
+            next_column = b_col[g]
+            if column_ready > next_column:
+                next_column = column_ready
+            column_issue = next_column
+            if now > column_issue:
+                column_issue = now
+
+        data_start = column_issue + t_cas
+        horizon = column_issue + t_rtp
+        if horizon > b_pre[g]:
+            b_pre[g] = horizon
+        horizon = column_issue + 1
+        if horizon > next_column:
+            next_column = horizon
+        c_reads[ch] += 1
+        b_col[g] = next_column
+
+        try:
+            transfer = transfer_cache[bytes_b]
+        except KeyError:
+            transfer = transfer_cache[bytes_b] = data_cycles(bytes_b)
+        if c_bus[ch] > data_start:
+            data_start = c_bus[ch]
+        data_end = data_start + transfer
+        c_bus[ch] = data_end
+        c_bytes[ch] += bytes_b
+        totals[0] += 2
+        latency_b = int(-(-(data_end - now) * cpu_per_dram // 1))
+
+        if serialized:
+            return latency_a + latency_b
+        if latency_a > latency_b:
+            return latency_a
+        return latency_b
+
+    def writeback() -> None:
+        controller.total_requests = totals[0]
+        g = 0
+        for ch, channel in enumerate(channels):
+            channel._data_bus_free = c_bus[ch]
+            channel._last_activate = c_last[ch]
+            channel._recent_activates = deque(c_recent[ch],
+                                              maxlen=faw_window)
+            channel.reads = c_reads[ch]
+            channel.writes = c_writes[ch]
+            channel.bytes_transferred = c_bytes[ch]
+            for bank in channel.banks:
+                open_row = b_open[g]
+                bank.open_row = open_row
+                bank.state = (BankState.ACTIVE if open_row >= 0
+                              else BankState.IDLE)
+                bank._next_activate = b_act[g]
+                bank._next_column = b_col[g]
+                bank._next_precharge = b_pre[g]
+                bank.activations = b_acts[g]
+                bank.row_hits = b_hits[g]
+                bank.row_misses = b_miss[g]
+                bank.row_conflicts = b_conf[g]
+                g += 1
+
+    return FlatDram(access, burst, read_pair, writeback)
+
+
+__all__ = ["FlatDram", "flatten_controller"]

@@ -256,13 +256,36 @@ class WindowedSampler:
         runner = ExperimentRunner(self.config, system=self.system)
         return InMemoryWindows(runner.build_trace(workload))
 
+    def _read_warm(self, provider, start: int, stop: int):
+        """Read a warm-stream slice, packed for the batch engine if it may run.
+
+        When batch warming is enabled and numpy is present, a provider with
+        a bulk ``read_array`` yields a structured record array (one
+        ``np.frombuffer`` per window instead of per-record decode); in every
+        other case this is a plain :meth:`read`.  Either return type feeds
+        :meth:`~repro.dramcache.base.DramCacheModel.warm_up_array`, whose
+        post-warming state is bit-identical across engines.
+        """
+        from repro.engine import batch_enabled, numpy_available
+
+        if batch_enabled() and numpy_available():
+            read_array = getattr(provider, "read_array", None)
+            if read_array is not None:
+                return read_array(start, stop)
+        return provider.read(start, stop)
+
     def _measure_window(self, design: DramCacheModel,
                         window: MeasurementWindow,
                         warmup: Sequence[MemoryAccess],
                         measure: Sequence[MemoryAccess],
-                        baseline_stats, profile) -> WindowMeasurement:
-        if warmup:
-            design.warm_up(warmup)
+                        baseline_stats, profile,
+                        span=None) -> WindowMeasurement:
+        if len(warmup):
+            engine = design.warm_up_array(warmup)
+            if span is not None:
+                span.add("engine_" + engine, 1)
+                if engine == "batch":
+                    span.add("batch_accesses", len(warmup))
         else:
             design.reset_stats()
         activations_before = (design.memory.row_activations,
@@ -380,17 +403,19 @@ class WindowedSampler:
                       **fields)
 
     def _checkpoint_designs(self, provider, design_names, labels, capacity,
-                            associativity, plan, store, stream_token):
+                            associativity, plan, store, stream_token,
+                            span=None):
         """Build every design warm: restore its checkpoint or replay once.
 
         Returns ``[(label, design, checkpoint, series)]`` -- the shared
         setup of live measurement (:meth:`_compare`) and distributed
         window-batch jobs (:meth:`measure_windows`), so both start every
-        window from bit-identical warm state.
+        window from bit-identical warm state.  ``span`` (the enclosing
+        warmup span) is tagged with which warming engine ran per design.
         """
         from repro.sampling.checkpoints import design_token
 
-        prologue: Optional[Sequence[MemoryAccess]] = None
+        prologue = None
 
         designs = []
         for name, label in zip(design_names, labels):
@@ -424,9 +449,14 @@ class WindowedSampler:
                 # measurement region, frozen once, restored before every
                 # window -- and persisted so later processes skip it too.
                 if prologue is None:
-                    prologue = provider.read(plan.checkpoint_start,
-                                             plan.checkpoint_stop)
-                design.warm_up(prologue)
+                    prologue = self._read_warm(provider,
+                                               plan.checkpoint_start,
+                                               plan.checkpoint_stop)
+                engine = design.warm_up_array(prologue)
+                if span is not None:
+                    span.add("engine_" + engine, 1)
+                    if engine == "batch":
+                        span.add("batch_accesses", len(prologue))
                 checkpoint = design.snapshot_state()
                 if store is not None and key is not None:
                     store.save(key, checkpoint)
@@ -447,11 +477,11 @@ class WindowedSampler:
         # The checkpoint prologue is the sampled path's functional warming:
         # it shows up in the ledger under the same "warmup" phase a full
         # replay's warm-up does.
-        with obs_run.span("warmup"):
+        with obs_run.span("warmup") as warm_span:
             designs = self._checkpoint_designs(provider, design_names,
                                                labels, capacity,
                                                associativity, plan, store,
-                                               stream_token)
+                                               stream_token, span=warm_span)
         stoppers = self._stoppers(plan)
 
         def all_converged() -> bool:
@@ -467,7 +497,8 @@ class WindowedSampler:
         with obs_run.span("measure") as measure_span:
             for window_index in plan.order:
                 window = plan.windows[window_index]
-                warmup = provider.read(window.warmup_start, window.start)
+                warmup = self._read_warm(provider, window.warmup_start,
+                                         window.start)
                 measure = provider.read(window.start, window.stop)
 
                 # Matched-pair baseline: the same window through a
@@ -482,7 +513,7 @@ class WindowedSampler:
                     design.restore_state(checkpoint)
                     outcome = self._measure_window(
                         design, window, warmup, measure, baseline_stats,
-                        workload,
+                        workload, span=measure_span,
                     )
                     results[label].windows.append(outcome)
                     for metric in TRACKED_METRICS:
@@ -545,10 +576,11 @@ class WindowedSampler:
             store = self._checkpoint_store()
             stream_token = self._stream_token(workload, trace, trace_identity,
                                               store)
-            with obs_run.span("warmup"):
+            with obs_run.span("warmup") as warm_span:
                 designs = self._checkpoint_designs(
                     provider, [design_name], [label or design_name],
                     capacity, associativity, plan, store, stream_token,
+                    span=warm_span,
                 )
             _, design, checkpoint, _ = designs[0]
             measurements: Dict[int, WindowMeasurement] = {}
@@ -561,14 +593,15 @@ class WindowedSampler:
                             f"modified after the sweep was planned?"
                         )
                     window = plan.windows[index]
-                    warmup = provider.read(window.warmup_start, window.start)
+                    warmup = self._read_warm(provider, window.warmup_start,
+                                             window.start)
                     measure = provider.read(window.start, window.stop)
                     baseline = NoDramCache()
                     baseline.run(measure)
                     design.restore_state(checkpoint)
                     measurements[index] = self._measure_window(
                         design, window, warmup, measure,
-                        baseline.cache_stats, workload,
+                        baseline.cache_stats, workload, span=measure_span,
                     )
                     measure_span.add("windows", 1)
                     if obs_run.enabled:

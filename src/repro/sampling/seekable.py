@@ -108,6 +108,27 @@ class MmapTraceReader(BinaryTraceReader):
         finally:
             view.release()
 
+    def read_array(self, start: int, stop: int):
+        """Records ``[start, stop)`` as a numpy structured array.
+
+        One ``np.frombuffer`` over the packed slice -- no per-record
+        decode at all.  Raises a ``RuntimeError`` naming the batch-warming
+        controls when numpy is unavailable (see
+        :func:`repro.engine.trace_array.require_numpy`).
+        """
+        from repro.engine.trace_array import decode_array
+
+        start, stop = _clip_window(start, stop, self._count)
+        view = memoryview(self._map())
+        lo = HEADER.size + start * RECORD.size
+        hi = HEADER.size + stop * RECORD.size
+        try:
+            # Copy the slice out of the mapping so the array never pins the
+            # mmap open (windows are small relative to the trace).
+            return decode_array(bytes(view[lo:hi]))
+        finally:
+            view.release()
+
     def read_all(self) -> List[MemoryAccess]:
         return self.read_window(0, self._count)
 
@@ -159,11 +180,8 @@ class IndexedWindowReader:
     def index(self) -> ChunkIndex:
         return self._index
 
-    def read_window(self, start: int, stop: int) -> List[MemoryAccess]:
-        """Records ``[start, stop)``, decompressing only covering chunks."""
-        start, stop = _clip_window(start, stop, self._count)
-        if start >= stop:
-            return []
+    def _read_span(self, start: int, stop: int) -> bytes:
+        """Decompressed payload of the chunks covering ``[start, stop)``."""
         first = self._index.chunk_containing(start)
         last = self._index.chunk_containing(stop - 1)
         lo = self._index.offsets[first]
@@ -172,10 +190,34 @@ class IndexedWindowReader:
         if self._file is None:
             self._file = self._path.open("rb")
         self._file.seek(lo)
-        blob = decompress_members(self._file.read(hi - lo), self._info.codec,
+        return decompress_members(self._file.read(hi - lo), self._info.codec,
                                   self._path)
-        base = self._index.starts[first]
+
+    def read_window(self, start: int, stop: int) -> List[MemoryAccess]:
+        """Records ``[start, stop)``, decompressing only covering chunks."""
+        start, stop = _clip_window(start, stop, self._count)
+        if start >= stop:
+            return []
+        blob = self._read_span(start, stop)
+        base = self._index.starts[self._index.chunk_containing(start)]
         return _decode_records(
+            blob[(start - base) * RECORD.size:(stop - base) * RECORD.size]
+        )
+
+    def read_array(self, start: int, stop: int):
+        """Records ``[start, stop)`` as a numpy structured array.
+
+        Decompresses only the covering chunks (like :meth:`read_window`)
+        and bulk-decodes them with one ``np.frombuffer``.
+        """
+        from repro.engine.trace_array import decode_array
+
+        start, stop = _clip_window(start, stop, self._count)
+        if start >= stop:
+            return decode_array(b"")
+        blob = self._read_span(start, stop)
+        base = self._index.starts[self._index.chunk_containing(start)]
+        return decode_array(
             blob[(start - base) * RECORD.size:(stop - base) * RECORD.size]
         )
 
@@ -224,6 +266,13 @@ class InMemoryWindows:
         start, stop = _clip_window(start, stop, len(self._trace))
         return self._trace[start:stop]
 
+    def read_array(self, start: int, stop: int):
+        """The window as a numpy structured array (packed and bulk-typed)."""
+        from repro.engine.trace_array import records_to_array
+
+        start, stop = _clip_window(start, stop, len(self._trace))
+        return records_to_array(self._trace[start:stop])
+
     def close(self) -> None:
         pass
 
@@ -253,6 +302,11 @@ class FileWindows:
     def read(self, start: int, stop: int) -> Sequence[MemoryAccess]:
         start, stop = _clip_window(start, stop, self._total)
         return self._reader.read_window(start, stop)
+
+    def read_array(self, start: int, stop: int):
+        """The window as a numpy structured array, bulk-decoded on read."""
+        start, stop = _clip_window(start, stop, self._total)
+        return self._reader.read_array(start, stop)
 
     def close(self) -> None:
         self._reader.close()

@@ -204,8 +204,11 @@ class ExperimentRunner:
             design_name, capacity, scale=self.config.scale,
             num_cores=self.config.num_cores, associativity=associativity,
         )
-        with obs_run.span("warmup"):
-            design.warm_up(warmup)
+        with obs_run.span("warmup") as warm_span:
+            engine = design.warm_up_array(warmup)
+            warm_span.add("engine_" + engine, 1)
+            if engine == "batch":
+                warm_span.add("batch_accesses", len(warmup))
         activations_before = (design.memory.row_activations,
                               design.stacked.row_activations)
         with obs_run.span("measure"):

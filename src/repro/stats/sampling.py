@@ -48,6 +48,14 @@ class WindowSeries:
     def __bool__(self) -> bool:
         return bool(self._values)
 
+    def __eq__(self, other) -> bool:
+        """Value equality, so containers of series (sampled runs) compare."""
+        if not isinstance(other, WindowSeries):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    __hash__ = None  # mutable: unhashable, like a list
+
     def indices(self) -> "List[int]":
         """Window indices present, ascending."""
         return sorted(self._values)

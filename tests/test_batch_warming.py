@@ -1,0 +1,285 @@
+"""Tests for the vectorized batch engine (repro.engine).
+
+The batch engine's contract is *bit identity*: warming a design through the
+fused kernels must leave it in exactly the state the scalar
+``warm_up``-then-reset path produces, for every registered composition,
+regardless of how the warm stream is chopped into batches.  These tests
+enforce the contract with pickled :class:`StateSnapshot` comparison (the
+strictest equality the models expose), and cover the enablement switches,
+the bulk ``read_array`` decode paths, and graceful degradation without
+numpy.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.engine import (
+    batch_enabled,
+    numpy_available,
+    select_kernel,
+    set_batch_enabled,
+    warm_design,
+)
+from repro.engine.trace_array import require_numpy
+from repro.sim.factory import design_names, make_design
+from repro.trace.binfmt import write_trace_bin
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+#: Paper capacity / scale used by the equivalence tests: large enough that
+#: pages conflict, evict, and write back within the tiny trace.
+CAPACITY = "256MB"
+SCALE = 4096
+
+
+@pytest.fixture(autouse=True)
+def _reset_batch_override(monkeypatch):
+    """Leave the process-wide batch switch untouched by each test."""
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    yield
+    set_batch_enabled(None)
+
+
+def _snapshot_bytes(design) -> bytes:
+    return pickle.dumps(design.snapshot_state().state)
+
+
+def _warm_stream(trace):
+    """The batch input: a structured array when numpy is available."""
+    if numpy_available():
+        from repro.engine import records_to_array
+        return records_to_array(trace)
+    return list(trace)
+
+
+class TestSnapshotEquivalence:
+    """Batch warming is bit-identical to scalar warming, per composition."""
+
+    @pytest.mark.parametrize("name", design_names())
+    def test_batch_matches_scalar(self, name, tiny_trace):
+        scalar = make_design(name, CAPACITY, scale=SCALE)
+        batch = make_design(name, CAPACITY, scale=SCALE)
+
+        scalar.warm_up(tiny_trace)
+        engine = warm_design(batch, _warm_stream(tiny_trace))
+
+        assert engine in ("batch", "scalar")
+        if select_kernel(batch) is not None:
+            assert engine == "batch"
+        assert _snapshot_bytes(scalar) == _snapshot_bytes(batch)
+
+    @pytest.mark.parametrize("splits_seed", [0, 1, 2])
+    def test_batch_boundaries_do_not_matter(self, splits_seed, tiny_trace):
+        """Chopping the warm stream at arbitrary points changes nothing."""
+        whole = make_design("unison", CAPACITY, scale=SCALE)
+        chunked = make_design("unison", CAPACITY, scale=SCALE)
+
+        warm_design(whole, _warm_stream(tiny_trace))
+
+        rng = random.Random(splits_seed)
+        cuts = sorted(rng.sample(range(1, len(tiny_trace)),
+                                 rng.randint(1, 7)))
+        bounds = [0] + cuts + [len(tiny_trace)]
+        for lo, hi in zip(bounds, bounds[1:]):
+            warm_design(chunked, _warm_stream(tiny_trace[lo:hi]))
+
+        assert _snapshot_bytes(whole) == _snapshot_bytes(chunked)
+
+    def test_empty_stream_is_a_no_op(self):
+        design = make_design("unison", CAPACITY, scale=SCALE)
+        before = _snapshot_bytes(design)
+        warm_design(design, _warm_stream([]))
+        assert _snapshot_bytes(design) == before
+
+
+class TestEnablement:
+    """REPRO_BATCH and set_batch_enabled gate the fused kernels."""
+
+    def test_enabled_by_default(self):
+        assert batch_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " Off "])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert not batch_enabled()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        set_batch_enabled(True)
+        assert batch_enabled()
+        set_batch_enabled(None)
+        assert not batch_enabled()
+
+    def test_disabled_falls_back_to_scalar(self, tiny_trace):
+        set_batch_enabled(False)
+        design = make_design("unison", CAPACITY, scale=SCALE)
+        assert warm_design(design, list(tiny_trace)) == "scalar"
+
+    def test_scalar_fallback_is_still_correct(self, tiny_trace):
+        set_batch_enabled(False)
+        scalar = make_design("alloy", CAPACITY, scale=SCALE)
+        fallback = make_design("alloy", CAPACITY, scale=SCALE)
+        scalar.warm_up(tiny_trace)
+        warm_design(fallback, _warm_stream(tiny_trace))
+        assert _snapshot_bytes(scalar) == _snapshot_bytes(fallback)
+
+
+@needs_numpy
+class TestReadArray:
+    """Bulk decode paths return exactly what the scalar decode returns."""
+
+    def _written(self, tmp_path, tiny_trace, codec):
+        path = tmp_path / f"trace-{codec}.rptr"
+        write_trace_bin(path, tiny_trace, codec=codec)
+        return path
+
+    @pytest.mark.parametrize("codec", ["none", "gzip"])
+    def test_window_readers(self, tmp_path, tiny_trace, codec):
+        from repro.engine import array_to_records, records_to_array
+        from repro.sampling.seekable import open_window_reader
+
+        path = self._written(tmp_path, tiny_trace, codec)
+        with open_window_reader(path) as reader:
+            for start, stop in [(0, 50), (123, 1234), (1990, 2000),
+                                (0, 2000), (1500, 99999), (40, 40)]:
+                arr = reader.read_array(start, stop)
+                records = reader.read_window(start, stop)
+                assert arr.tobytes() == records_to_array(records).tobytes()
+                assert array_to_records(arr) == list(records)
+
+    def test_window_providers(self, tmp_path, tiny_trace):
+        from repro.engine import records_to_array
+        from repro.sampling.seekable import FileWindows, InMemoryWindows
+
+        path = self._written(tmp_path, tiny_trace, "none")
+        memory = InMemoryWindows(tiny_trace)
+        disk = FileWindows(path, limit=1800)
+        assert (memory.read_array(100, 900).tobytes()
+                == records_to_array(tiny_trace[100:900]).tobytes())
+        # The provider honours its limit when clipping array reads too.
+        assert (disk.read_array(1700, 5000).tobytes()
+                == records_to_array(tiny_trace[1700:1800]).tobytes())
+        disk.close()
+
+    def test_decode_roundtrip(self, tiny_trace):
+        from repro.engine import (array_to_records, decode_array,
+                                  records_to_array)
+        from repro.trace.binfmt import RECORD
+        from repro.trace.record import AccessType
+
+        blob = b"".join(
+            RECORD.pack(r.address, r.pc, r.timestamp, r.core_id,
+                        1 if r.access_type is AccessType.WRITE else 0)
+            for r in tiny_trace[:64]
+        )
+        arr = decode_array(blob)
+        assert array_to_records(arr) == tiny_trace[:64]
+        assert records_to_array(tiny_trace[:64]).tobytes() == blob
+
+
+class TestWithoutNumpy:
+    """Everything degrades gracefully when numpy is absent."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        import repro.engine.trace_array as trace_array
+        monkeypatch.setattr(trace_array, "_np", None)
+
+    def test_require_numpy_names_the_controls(self, no_numpy):
+        with pytest.raises(RuntimeError) as excinfo:
+            require_numpy("bulk record decode")
+        message = str(excinfo.value)
+        assert "--no-batch-warming" in message
+        assert "REPRO_BATCH=0" in message
+
+    def test_read_array_raises_the_clear_error(self, no_numpy, tmp_path,
+                                               tiny_trace):
+        from repro.sampling.seekable import MmapTraceReader
+
+        path = tmp_path / "trace.rptr"
+        write_trace_bin(path, tiny_trace, codec="none")
+        with MmapTraceReader(path) as reader:
+            with pytest.raises(RuntimeError, match="no-batch-warming"):
+                reader.read_array(0, 10)
+
+    def test_warming_records_still_works(self, no_numpy, tiny_trace):
+        """Record-list warming needs no numpy, whatever engine runs."""
+        import repro.engine.trace_array as trace_array
+        assert not trace_array.numpy_available()
+        scalar = make_design("unison", CAPACITY, scale=SCALE)
+        other = make_design("unison", CAPACITY, scale=SCALE)
+        scalar.warm_up(tiny_trace)
+        warm_design(other, list(tiny_trace))
+        assert _snapshot_bytes(scalar) == _snapshot_bytes(other)
+
+    def test_sampler_read_falls_back_to_records(self, no_numpy, tiny_trace):
+        from repro.sampling.runner import WindowedSampler
+        from repro.sampling.seekable import InMemoryWindows
+
+        sampler = WindowedSampler.__new__(WindowedSampler)
+        window = sampler._read_warm(InMemoryWindows(tiny_trace), 5, 25)
+        assert list(window) == tiny_trace[5:25]
+
+
+class TestSampledSweepByteEquality:
+    """The sampled hot path yields byte-identical results either way."""
+
+    @pytest.fixture
+    def sampler(self):
+        from repro.sampling import SamplingConfig, WindowedSampler
+        from repro.sim.experiment import ExperimentConfig
+
+        config = ExperimentConfig(scale=4096, num_accesses=24_000,
+                                  num_cores=4, seed=5)
+        sampling = SamplingConfig(window_accesses=1_000,
+                                  warmup_accesses=1_000,
+                                  checkpoint_accesses=4_000,
+                                  min_windows=3, max_windows=4)
+        return WindowedSampler(sampling, config=config)
+
+    def test_resultsets_byte_equal_with_telemetry(self, sampler, tiny_profile,
+                                                  tmp_path, monkeypatch):
+        from repro.obs.core import start_run
+
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "obs"))
+
+        set_batch_enabled(True)
+        with start_run("trial", kind_detail="sample-batch"):
+            with_batch = sampler.compare(["unison", "alloy"], tiny_profile,
+                                         "1GB")
+        set_batch_enabled(False)
+        with start_run("trial", kind_detail="sample-scalar"):
+            without = sampler.compare(["unison", "alloy"], tiny_profile,
+                                      "1GB")
+
+        assert with_batch == without
+        batch_json = tmp_path / "batch.json"
+        scalar_json = tmp_path / "scalar.json"
+        with_batch.to_resultset().to_json(batch_json)
+        without.to_resultset().to_json(scalar_json)
+        assert batch_json.read_bytes() == scalar_json.read_bytes()
+
+        # The spans carry the engine tag and the batch-size counter: the
+        # checkpoint prologue tags the "warmup" phase, the per-window
+        # re-warms tag the enclosing "measure" phase.
+        counters = []
+        for manifest in (tmp_path / "obs" / "manifests").glob("*.jsonl"):
+            for line in manifest.read_text().splitlines():
+                record = json.loads(line)
+                if (record.get("event") == "phase"
+                        and record.get("name") in ("warmup", "measure")):
+                    counters.append(record.get("counters") or {})
+        assert counters, "no warmup/measure spans reached the manifests"
+        if numpy_available():
+            batched = [c for c in counters if c.get("engine_batch")]
+            assert batched
+            assert any(c.get("batch_accesses", 0) > 0 for c in batched)
+        assert any(c.get("engine_scalar") for c in counters)
