@@ -26,6 +26,11 @@ Two entry points share the program:
   ledger that ``--telemetry`` (or ``REPRO_TELEMETRY=1``) runs record --
   per-phase wall-clock, accesses/sec, store and checkpoint hit rates,
   queue events, and live worker heartbeats -- see :mod:`repro.obs`.
+* **Results service** (``repro serve``): a zero-dependency HTTP server
+  over the archive, ledger, and queue -- JSON API (``/api/sweeps``,
+  ``/api/runs``, ``/api/queue``), SVG paper figures with 95% CI error
+  bars (``/api/figures/fig6``), and a live dashboard -- see
+  :mod:`repro.serve`.
 
 Examples::
 
@@ -55,6 +60,7 @@ Examples::
     python -m repro runs show <run-id or sweep token>
     python -m repro runs compare <ref> <ref>
     python -m repro top
+    python -m repro serve --port 8035
 """
 
 from __future__ import annotations
@@ -787,18 +793,51 @@ def _job_record(job) -> dict:
     }
 
 
-def _queue_status_data(store, token: Optional[str],
-                       include_jobs: bool) -> Optional[dict]:
-    """The status report as data (one shape for --json and the renderer)."""
+def _archived_meta(service) -> dict:
+    """Archive metadata by token (``ResultArchive.list_sweeps``), or {}."""
+    if not service.archive_path.is_file():
+        return {}
+    with service.archive() as archive:
+        return {str(meta["token"]): meta for meta in archive.list_sweeps()}
+
+
+def _queue_status_data(store, token: Optional[str], include_jobs: bool,
+                       archived: Optional[dict] = None) -> Optional[dict]:
+    """The status report as data (one shape for --json and the renderer).
+
+    ``archived`` (token -> ``ResultArchive.list_sweeps()`` dict) annotates
+    each sweep with its durable record count; sweeps whose job rows were
+    pruned after archiving still appear in the listing.
+    """
+    archived = archived or {}
     if token is None:
         sweeps = []
         for row in store.sweeps():
             counts = store.counts(row["token"])
-            sweeps.append({
+            entry = {
                 "token": row["token"],
                 "description": row["description"],
                 "counts": counts,
                 "total": sum(counts.values()),
+            }
+            meta = archived.get(row["token"])
+            if meta is not None:
+                entry["archived"] = {"records": meta["records"],
+                                     "total": meta["total"],
+                                     "complete": meta["complete"]}
+            sweeps.append(entry)
+        present = {sweep["token"] for sweep in sweeps}
+        for token_, meta in archived.items():
+            if token_ in present:
+                continue
+            sweeps.append({
+                "token": token_,
+                "description": meta["description"],
+                "counts": None,
+                "total": None,
+                "archived": {"records": meta["records"],
+                             "total": meta["total"],
+                             "complete": meta["complete"]},
             })
         return {"sweeps": sweeps}
     row = store.sweep_row(token)
@@ -812,6 +851,11 @@ def _queue_status_data(store, token: Optional[str],
         "total": sum(counts.values()),
         "timing": store.timing(token),
     }
+    meta = archived.get(token)
+    if meta is not None:
+        data["archived"] = {"records": meta["records"],
+                            "total": meta["total"],
+                            "complete": meta["complete"]}
     if include_jobs:
         data["jobs"] = [_job_record(job) for job in store.jobs(token)]
     return data
@@ -823,8 +867,17 @@ def _print_queue_status(data: dict, include_jobs: bool) -> None:
             print("no sweeps submitted")
             return
         for sweep in data["sweeps"]:
-            print(f"{sweep['token']}  {sweep['counts']['done']}/"
-                  f"{sweep['total']} done  {sweep['description']}")
+            if sweep["counts"] is None:
+                jobs = "jobs pruned"
+            else:
+                jobs = f"{sweep['counts']['done']}/{sweep['total']} done"
+            archived = sweep.get("archived")
+            archive_text = ""
+            if archived:
+                archive_text = (f"  archived {archived['records']}/"
+                                f"{archived['total']}")
+            print(f"{sweep['token']}  {jobs}{archive_text}  "
+                  f"{sweep['description']}")
         return
     counts, timing = data["counts"], data["timing"]
     print(f"sweep {data['token']}: {data['description']}")
@@ -834,6 +887,11 @@ def _print_queue_status(data: dict, include_jobs: bool) -> None:
           f"timed jobs, {timing['total_seconds']:.2f}s total, "
           f"{timing['mean_seconds']:.2f}s mean, "
           f"{timing['longest_seconds']:.2f}s longest")
+    archived = data.get("archived")
+    if archived:
+        state = " (complete)" if archived["complete"] else ""
+        print(f"  archived {archived['records']}/{archived['total']} "
+              f"records{state}")
     if counts["done"] == data["total"]:
         print(f"all {data['total']} jobs done")
     if include_jobs and data.get("jobs"):
@@ -906,9 +964,11 @@ def _queue_status(args: argparse.Namespace) -> int:
     service = _queue_service(args)
 
     def render() -> Optional[int]:
+        archived = _archived_meta(service)
         with service.store() as store:
             data = _queue_status_data(
                 store, args.token, include_jobs=args.jobs or args.token,
+                archived=archived,
             )
             unfinished = (store.unfinished(args.token)
                           if args.token else store.unfinished())
@@ -931,9 +991,15 @@ def _queue_status(args: argparse.Namespace) -> int:
 
     if not args.watch or args.json:
         return render() or 0
+    # Clear the screen only on real terminals: piped to a file or a CI log
+    # the escapes are control garbage, so emit a separator line instead.
+    tty = sys.stdout.isatty()
     try:
         while True:
-            sys.stdout.write("\033[2J\033[H")  # clear screen, home cursor
+            if tty:
+                sys.stdout.write("\033[2J\033[H")  # clear screen, home
+            else:
+                print("---")
             code = render()
             if code:
                 return code
@@ -1281,6 +1347,43 @@ def _unfinished_jobs(queue_dir: Optional[str],
         return store.unfinished(sweep)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the result archive, run ledger, and work queue "
+                    "over HTTP: a JSON API, SVG paper figures with 95% CI "
+                    "error bars, and a live dashboard.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"port, 0 picks a free one "
+                             f"(default {DEFAULT_PORT})")
+    parser.add_argument("--root", default=None,
+                        help="serve <root>/queue and <root>/telemetry "
+                             "instead of the environment's queue dir and "
+                             "telemetry root")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request log lines")
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """Entry point of ``repro serve``."""
+    from repro.serve.server import serve
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        return serve(host=args.host, port=args.port, root=args.root,
+                     quiet=args.quiet)
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+
+
 def top_main(argv: List[str]) -> int:
     """Entry point of ``repro top``."""
     args = build_top_parser().parse_args(argv)
@@ -1296,9 +1399,13 @@ def top_main(argv: List[str]) -> int:
     if not args.watch:
         render()
         return 0
+    tty = sys.stdout.isatty()  # no ANSI clears into pipes or CI logs
     try:
         while True:
-            sys.stdout.write("\033[2J\033[H")  # clear screen, home cursor
+            if tty:
+                sys.stdout.write("\033[2J\033[H")  # clear screen, home
+            else:
+                print("---")
             render()
             sys.stdout.flush()
             time.sleep(args.interval)
@@ -1325,6 +1432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return runs_main(argv[1:])
     if argv and argv[0] == "top":
         return top_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "work":
         # `repro work` == `repro queue work`: the verb a fleet of standalone
         # worker shells actually types.

@@ -112,8 +112,31 @@ _COLUMN_LABELS = ("label", "design", "workload", "capacity", "sweep",
 class RunLedger:
     """SQLite-backed store of runs, phases, metrics, events, heartbeats."""
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, readonly: bool = False) -> None:
         self.path = Path(path)
+        self.readonly = readonly
+        if readonly:
+            # Query-only connection: never takes write locks, so readers
+            # (``repro serve``, ``repro runs``) cannot block live workers.
+            # Read-only opens of a WAL database can raise OperationalError
+            # when the -shm file is missing; callers fall back to a
+            # writable connection in that case.
+            if not self.path.is_file():
+                raise FileNotFoundError(f"no run ledger at {self.path}")
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=30.0
+            )
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is not None and int(row["value"]) != LEDGER_SCHEMA_VERSION:
+                raise ValueError(
+                    f"run ledger {self.path} has schema v{row['value']}, "
+                    f"this build expects v{LEDGER_SCHEMA_VERSION}"
+                )
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.row_factory = sqlite3.Row

@@ -22,7 +22,7 @@ import sqlite3
 import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.sim.experiment import ExperimentResult
 from repro.sim.resultset import ResultSet
@@ -57,8 +57,31 @@ CREATE TABLE IF NOT EXISTS results (
 class ResultArchive:
     """Archived :class:`ResultSet` rows keyed by sweep token."""
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, readonly: bool = False) -> None:
         self.path = Path(path)
+        self.readonly = readonly
+        if readonly:
+            # A read-only connection never takes write locks, so readers
+            # (e.g. ``repro serve``) cannot stall concurrent workers.  WAL
+            # databases whose -shm file is missing refuse read-only opens
+            # with SQLITE_CANTOPEN; callers should catch OperationalError
+            # and fall back to a writable connection.
+            if not self.path.is_file():
+                raise FileNotFoundError(f"no result archive at {self.path}")
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=30.0
+            )
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is not None and int(row["value"]) != ARCHIVE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"result archive {self.path} has schema v{row['value']}, "
+                    f"this build expects v{ARCHIVE_SCHEMA_VERSION}"
+                )
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.row_factory = sqlite3.Row
@@ -155,6 +178,19 @@ class ResultArchive:
             json.loads(row["record"]) for row in rows
         )
 
+    def records(self, token: str) -> List[dict]:
+        """All archived result records of ``token``, in trial order.
+
+        Unlike :meth:`get` this does not require the sweep to be complete,
+        so live readers (the dashboard, ``repro serve``) can render partial
+        sweeps while workers are still draining the queue.
+        """
+        rows = self._conn.execute(
+            "SELECT record FROM results WHERE sweep = ? ORDER BY trial_index",
+            (token,),
+        ).fetchall()
+        return [json.loads(row["record"]) for row in rows]
+
     def tokens(self) -> List[str]:
         rows = self._conn.execute(
             "SELECT token FROM sweeps ORDER BY created_at"
@@ -165,6 +201,48 @@ class ResultArchive:
         return self._conn.execute(
             "SELECT * FROM sweeps ORDER BY created_at"
         ).fetchall()
+
+    def list_sweeps(self) -> List[Dict[str, object]]:
+        """One metadata dict per archived sweep, oldest first.
+
+        Each dict carries ``token``, ``description`` (the spec label),
+        ``total`` (planned trials), ``records`` (archived so far),
+        ``created_at``, ``completed_at`` (``None`` while incomplete), and
+        ``complete``.  This replaces callers poking at the sweeps table or
+        globbing the archive directory.
+        """
+        rows = self._conn.execute(
+            "SELECT s.token, s.description, s.total, s.created_at,"
+            "       s.completed_at,"
+            "       (SELECT COUNT(*) FROM results r WHERE r.sweep = s.token)"
+            "       AS records"
+            " FROM sweeps s ORDER BY s.created_at, s.token"
+        ).fetchall()
+        return [self._sweep_dict(row) for row in rows]
+
+    def sweep_meta(self, token: str) -> Optional[Dict[str, object]]:
+        """Metadata dict of one sweep (see :meth:`list_sweeps`), or ``None``."""
+        row = self._conn.execute(
+            "SELECT s.token, s.description, s.total, s.created_at,"
+            "       s.completed_at,"
+            "       (SELECT COUNT(*) FROM results r WHERE r.sweep = s.token)"
+            "       AS records"
+            " FROM sweeps s WHERE s.token = ?",
+            (token,),
+        ).fetchone()
+        return None if row is None else self._sweep_dict(row)
+
+    @staticmethod
+    def _sweep_dict(row: sqlite3.Row) -> Dict[str, object]:
+        return {
+            "token": row["token"],
+            "description": row["description"],
+            "total": row["total"],
+            "records": row["records"],
+            "created_at": row["created_at"],
+            "completed_at": row["completed_at"],
+            "complete": row["records"] >= row["total"] and row["total"] > 0,
+        }
 
 
 __all__ = ["ARCHIVE_SCHEMA_VERSION", "ResultArchive"]

@@ -187,8 +187,23 @@ def _job_from_row(row: sqlite3.Row) -> Job:
 class JobStore:
     """Durable queue of sweep jobs in one SQLite file."""
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, readonly: bool = False) -> None:
         self.path = Path(path)
+        self.readonly = readonly
+        if readonly:
+            # Query-only open for status readers (``repro serve``/``top``):
+            # no write locks, no schema creation.  Read-only WAL opens can
+            # raise OperationalError when the -shm file is missing; callers
+            # fall back to a writable connection.
+            if not self.path.is_file():
+                raise FileNotFoundError(f"no job store at {self.path}")
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=30.0
+            )
+            self._conn.row_factory = sqlite3.Row
+            self._conn.isolation_level = None
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.row_factory = sqlite3.Row

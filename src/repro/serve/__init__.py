@@ -1,0 +1,48 @@
+"""Queryable results service and live dashboard (``repro serve``).
+
+A zero-dependency ``http.server`` layer over the reproduction's three
+stores -- the durable work queue's :class:`~repro.queue.JobStore`, the
+:class:`~repro.queue.ResultArchive`, and the telemetry
+:class:`~repro.obs.ledger.RunLedger` -- exposing a JSON API
+(``/api/sweeps``, ``/api/runs``, ``/api/queue``), server-rendered SVG
+paper figures with 95% CI error bars (``/api/figures/fig6``...), and an
+auto-refreshing HTML dashboard.  See ``README.md`` ("Serving results")
+and ``examples/serve_tour.py``.
+"""
+
+from repro.serve.api import FIGURES, Response, handle_request
+from repro.serve.figures import (
+    Bar,
+    BarGroup,
+    compare_svg,
+    fig6_svg,
+    fig7_svg,
+    render_grouped_bars,
+)
+from repro.serve.readmodel import ReadModel, open_readonly
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ReproServer,
+    create_server,
+    serve,
+)
+
+__all__ = [
+    "Bar",
+    "BarGroup",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "FIGURES",
+    "ReadModel",
+    "ReproServer",
+    "Response",
+    "compare_svg",
+    "create_server",
+    "fig6_svg",
+    "fig7_svg",
+    "handle_request",
+    "open_readonly",
+    "render_grouped_bars",
+    "serve",
+]

@@ -1,0 +1,196 @@
+"""The single-template HTML dashboard behind ``repro serve``.
+
+One self-contained page (inline CSS + JS, zero external assets) that
+polls the JSON API: sweep progress and archive state every few seconds,
+worker heartbeats with staleness highlighting, recent ledger runs, and
+the fig6/fig7 SVGs inlined so error bars update while a worker fleet
+drains the queue.  Polling (not SSE) keeps the server a plain
+``http.server`` request/response loop with no long-lived connections.
+"""
+
+from __future__ import annotations
+
+#: Milliseconds between JSON polls / figure refreshes.
+POLL_MS = 3000
+FIGURE_POLL_MS = 10000
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro · results dashboard</title>
+<style>
+  body { font: 14px/1.45 sans-serif; margin: 0; color: #222;
+         background: #f6f7f9; }
+  header { background: #232f3e; color: #fff; padding: 10px 20px;
+           display: flex; align-items: baseline; gap: 14px; }
+  header h1 { font-size: 17px; margin: 0; }
+  header .sub { color: #9db2c9; font-size: 12px; }
+  main { padding: 16px 20px; max-width: 1180px; margin: 0 auto; }
+  section { background: #fff; border: 1px solid #e3e6ea; border-radius: 6px;
+            padding: 12px 16px; margin-bottom: 16px; }
+  h2 { font-size: 14px; margin: 0 0 8px; text-transform: uppercase;
+       letter-spacing: .04em; color: #555; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th, td { text-align: left; padding: 3px 10px 3px 0; white-space: nowrap; }
+  th { color: #777; font-weight: 600; border-bottom: 1px solid #e3e6ea; }
+  td.num { font-variant-numeric: tabular-nums; }
+  .bar { background: #e3e6ea; border-radius: 3px; height: 10px;
+         width: 160px; display: inline-block; vertical-align: middle; }
+  .bar i { display: block; height: 10px; border-radius: 3px;
+           background: #4e79a7; }
+  .ok { color: #2b7a2b; } .bad { color: #b03a2e; } .muted { color: #888; }
+  .stale { color: #b03a2e; font-weight: 600; }
+  .figures { display: flex; flex-wrap: wrap; gap: 16px; }
+  .figures svg { max-width: 100%; height: auto; }
+  code { background: #eef1f4; padding: 1px 4px; border-radius: 3px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro results dashboard</h1>
+  <span class="sub" id="health">connecting…</span>
+  <span class="sub" id="updated"></span>
+</header>
+<main>
+  <section><h2>Sweeps</h2><div id="sweeps" class="muted">loading…</div></section>
+  <section><h2>Workers</h2><div id="workers" class="muted">loading…</div></section>
+  <section><h2>Recent runs</h2><div id="runs" class="muted">loading…</div></section>
+  <section><h2>Recent events</h2><div id="events" class="muted">loading…</div></section>
+  <section><h2>Figures</h2>
+    <div class="figures"><div id="fig6"></div><div id="fig7"></div></div>
+  </section>
+</main>
+<script>
+"use strict";
+const esc = (s) => String(s ?? "").replace(/[&<>"]/g,
+  (c) => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+const fmtAge = (s) => s == null ? "-" : (s < 90 ? s.toFixed(0) + "s"
+  : (s / 60).toFixed(1) + "m");
+
+async function getJSON(url) {
+  const r = await fetch(url);
+  return { ok: r.ok, data: await r.json() };
+}
+
+function progressBar(done, total) {
+  const pct = total ? Math.round(100 * done / total) : 0;
+  return `<span class="bar"><i style="width:${pct}%"></i></span>
+          <span class="num">${done}/${total}</span>`;
+}
+
+function renderSweeps(d) {
+  const el = document.getElementById("sweeps");
+  if (!d.available) { el.innerHTML = `<span class="muted">${esc(d.reason)}</span>`; return; }
+  if (!d.sweeps.length) { el.innerHTML = '<span class="muted">no sweeps yet</span>'; return; }
+  const rows = d.sweeps.map((s) => {
+    const jobs = s.jobs ? `${s.jobs.counts.done} done / ${s.jobs.counts.failed} failed`
+                        : '<span class="muted">pruned</span>';
+    const state = s.complete ? '<span class="ok">complete</span>'
+      : (s.archived ? '<span class="muted">partial</span>'
+                    : '<span class="muted">unarchived</span>');
+    return `<tr><td><code>${esc(String(s.token).slice(0, 12))}</code></td>
+      <td>${esc(s.description)}</td>
+      <td>${progressBar(s.records, s.total ?? 0)}</td>
+      <td>${state}</td><td>${jobs}</td></tr>`;
+  }).join("");
+  el.innerHTML = `<table><tr><th>token</th><th>spec</th>
+    <th>archived records</th><th>state</th><th>jobs</th></tr>${rows}</table>`;
+}
+
+function renderWorkers(w, unfinished) {
+  const el = document.getElementById("workers");
+  if (!w.available) { el.innerHTML = `<span class="muted">${esc(w.reason)}</span>`; return; }
+  if (!w.workers.length) { el.innerHTML = '<span class="muted">none active</span>'; return; }
+  const rows = w.workers.map((h) => `<tr>
+    <td><code>${esc(h.owner)}</code></td>
+    <td class="${h.stale ? "stale" : "ok"}">${esc(h.status)}</td>
+    <td>${esc(h.job_kind ?? "-")} ${h.job_seq == null ? "" : "#" + h.job_seq}</td>
+    <td class="num">${h.jobs_done}</td>
+    <td class="num">${h.jobs_per_second ? h.jobs_per_second.toFixed(2) + "/s" : "-"}</td>
+    <td class="num">${fmtAge(h.seen_seconds_ago)} ago</td></tr>`).join("");
+  const eta = w.eta_seconds != null
+    ? `<p class="muted">ETA: ${unfinished} unfinished jobs /
+       ${w.jobs_per_second.toFixed(2)} jobs/s ≈ ${fmtAge(w.eta_seconds)}</p>` : "";
+  el.innerHTML = `<table><tr><th>worker</th><th>status</th><th>job</th>
+    <th>done</th><th>rate</th><th>seen</th></tr>${rows}</table>${eta}`;
+}
+
+function renderRuns(d) {
+  const el = document.getElementById("runs");
+  if (!d.available) { el.innerHTML = `<span class="muted">${esc(d.reason)}</span>`; return; }
+  if (!d.runs.length) { el.innerHTML = '<span class="muted">no runs recorded</span>'; return; }
+  const rows = d.runs.map((r) => `<tr>
+    <td><code>${esc(String(r.run_id).slice(0, 10))}</code></td>
+    <td>${esc(r.kind)}</td><td>${esc(r.label ?? "")}</td>
+    <td class="${r.status === "ok" ? "ok" : "bad"}">${esc(r.status)}</td>
+    <td class="num">${(r.wall_seconds ?? 0).toFixed(2)}s</td></tr>`).join("");
+  el.innerHTML = `<table><tr><th>run</th><th>kind</th><th>label</th>
+    <th>status</th><th>wall</th></tr>${rows}</table>`;
+}
+
+function renderEvents(events) {
+  const el = document.getElementById("events");
+  if (!events.length) { el.innerHTML = '<span class="muted">none</span>'; return; }
+  const rows = events.map((e) => `<tr>
+    <td class="num">${new Date(e.ts * 1000).toLocaleTimeString()}</td>
+    <td>${esc(e.kind)}</td>
+    <td><code>${esc(String(e.sweep ?? "").slice(0, 10))}</code></td>
+    <td>${esc(e.detail ?? "")}</td></tr>`).join("");
+  el.innerHTML = `<table><tr><th>time</th><th>event</th><th>sweep</th>
+    <th>detail</th></tr>${rows}</table>`;
+}
+
+async function refresh() {
+  try {
+    const [health, sweeps, queue, runs] = await Promise.all([
+      getJSON("/api/health"), getJSON("/api/sweeps"),
+      getJSON("/api/queue?jobs=0"), getJSON("/api/runs?limit=10")]);
+    document.getElementById("health").textContent =
+      `queue: ${health.data.queue_dir} · telemetry: ${health.data.telemetry_dir ?? "none"}`;
+    renderSweeps(sweeps.data);
+    renderWorkers(queue.data.workers ?? { available: false, reason: "n/a" },
+                  queue.data.unfinished ?? 0);
+    renderRuns(runs.data);
+    const events = (runs.data.runs?.length
+      ? await getJSON(`/api/runs/${encodeURIComponent(runs.data.runs[0].sweep
+                                   ?? runs.data.runs[0].run_id)}`)
+      : { ok: false, data: {} });
+    renderEvents(events.ok ? (events.data.events ?? []).slice(0, 12) : []);
+    document.getElementById("updated").textContent =
+      "updated " + new Date().toLocaleTimeString();
+  } catch (err) {
+    document.getElementById("health").textContent = "refresh failed: " + err;
+  }
+}
+
+async function refreshFigures() {
+  for (const name of ["fig6", "fig7"]) {
+    try {
+      const r = await fetch("/api/figures/" + name);
+      const el = document.getElementById(name);
+      if (r.ok) { el.innerHTML = await r.text(); }
+      else {
+        const body = await r.json().catch(() => ({ error: r.statusText }));
+        el.innerHTML = `<span class="muted">${esc(name)}: ${esc(body.error)}</span>`;
+      }
+    } catch (err) { /* keep the last good figure on transient errors */ }
+  }
+}
+
+refresh(); refreshFigures();
+setInterval(refresh, __POLL_MS__);
+setInterval(refreshFigures, __FIGURE_POLL_MS__);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard() -> str:
+    return (_PAGE
+            .replace("__POLL_MS__", str(POLL_MS))
+            .replace("__FIGURE_POLL_MS__", str(FIGURE_POLL_MS)))
+
+
+__all__ = ["FIGURE_POLL_MS", "POLL_MS", "render_dashboard"]

@@ -1,0 +1,275 @@
+"""Dependency-free SVG figures served by ``repro serve``.
+
+Grouped bar charts in the shape of the paper's headline figures: fig6
+(miss ratio per design/workload) and fig7 (speedup over no cache), with
+95% confidence-interval error bars taken from archived sampled runs
+(``ExperimentResult.extra['sampling_*_half_width']``, the half-widths
+:class:`~repro.stats.sampling.WindowSeries` computed during sampling).
+
+Exactness contract: every bar ``<rect>`` carries ``data-mean`` and
+``data-half-width`` attributes rendered with :func:`repr`, so the raw
+ResultSet floats round-trip through the SVG unchanged -- tests (and
+scripts scraping the figures) compare them with ``==``, not "close to".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.sim.resultset import ResultSet
+
+#: Fill colors per series (design), Tableau-ish and colorblind-safe.
+PALETTE = (
+    "#4e79a7",  # blue
+    "#f28e2b",  # orange
+    "#59a14f",  # green
+    "#e15759",  # red
+    "#b07aa1",  # purple
+    "#76b7b2",  # teal
+    "#edc948",  # yellow
+    "#9c755f",  # brown
+)
+
+_AXIS = "#444444"
+_GRID = "#dddddd"
+_TEXT = "#222222"
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One bar: raw mean and 95% CI half-width (0 when unsampled)."""
+
+    series: str
+    mean: float
+    half_width: float = 0.0
+
+
+@dataclass(frozen=True)
+class BarGroup:
+    label: str
+    bars: Tuple[Bar, ...] = field(default_factory=tuple)
+
+
+def _nice_step(span: float, ticks: int = 5) -> float:
+    """A 1/2/2.5/5 x 10^k step giving roughly ``ticks`` divisions."""
+    if span <= 0:
+        return 1.0
+    raw = span / ticks
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if raw <= factor * magnitude:
+            return factor * magnitude
+    return 10.0 * magnitude
+
+
+def render_grouped_bars(title: str, ylabel: str,
+                        groups: Sequence[BarGroup],
+                        scale: float = 1.0,
+                        value_format: str = "{:.3f}",
+                        figure_id: str = "figure") -> str:
+    """A grouped bar chart as a standalone ``<svg>`` document.
+
+    ``scale`` converts raw means into plotted units (e.g. 100 for
+    percent) -- the ``data-mean``/``data-half-width`` attributes always
+    carry the *raw* values via :func:`repr`.
+    """
+    series: List[str] = []
+    for group in groups:
+        for bar in group.bars:
+            if bar.series not in series:
+                series.append(bar.series)
+    color = {name: PALETTE[i % len(PALETTE)]
+             for i, name in enumerate(series)}
+
+    bar_w, bar_gap, group_pad = 22, 4, 18
+    slots = max((len(group.bars) for group in groups), default=1)
+    group_w = slots * (bar_w + bar_gap) - bar_gap + 2 * group_pad
+    left, right, top, bottom = 64, 20, 54, 58
+    plot_h = 260
+    plot_w = max(group_w * max(len(groups), 1), 240)
+    width = left + plot_w + right
+    height = top + plot_h + bottom
+
+    peak = max((abs(bar.mean) + bar.half_width
+                for group in groups for bar in group.bars), default=0.0)
+    peak *= scale
+    step = _nice_step(peak if peak > 0 else 1.0)
+    y_max = step
+    while y_max < peak * 1.02:
+        y_max += step
+
+    def y_of(value: float) -> float:
+        return top + plot_h - (value / y_max) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" viewBox="0 0 {width} {height}"'
+        f' role="img" id={quoteattr(figure_id)}>'
+    )
+    parts.append(
+        f'<style>text{{font:12px sans-serif;fill:{_TEXT}}}'
+        f'.title{{font:bold 14px sans-serif}}'
+        f'.muted{{fill:#666666;font-size:11px}}</style>'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    parts.append(f'<text class="title" x="{left}" y="22">'
+                 f'{escape(title)}</text>')
+
+    # Gridlines, ticks, axes.
+    tick = 0.0
+    while tick <= y_max + 1e-9:
+        y = y_of(tick)
+        parts.append(f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}"'
+                     f' y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>')
+        parts.append(f'<text class="muted" x="{left - 8}" y="{y + 4:.1f}"'
+                     f' text-anchor="end">{tick:g}</text>')
+        tick += step
+    parts.append(f'<line x1="{left}" y1="{top}" x2="{left}"'
+                 f' y2="{top + plot_h}" stroke="{_AXIS}"/>')
+    parts.append(f'<line x1="{left}" y1="{top + plot_h}"'
+                 f' x2="{left + plot_w}" y2="{top + plot_h}"'
+                 f' stroke="{_AXIS}"/>')
+    parts.append(f'<text transform="rotate(-90)" x="{-(top + plot_h / 2)}"'
+                 f' y="16" text-anchor="middle">{escape(ylabel)}</text>')
+
+    # Legend.
+    lx = left
+    for name in series:
+        parts.append(f'<rect x="{lx}" y="32" width="10" height="10"'
+                     f' fill="{color[name]}"/>')
+        parts.append(f'<text x="{lx + 14}" y="41">{escape(name)}</text>')
+        lx += 14 + 8 * max(len(name), 4) + 16
+
+    # Bars with CI whiskers.
+    for gi, group in enumerate(groups):
+        gx = left + gi * group_w
+        inner_w = len(group.bars) * (bar_w + bar_gap) - bar_gap
+        bx = gx + (group_w - inner_w) / 2
+        for bar in group.bars:
+            value = bar.mean * scale
+            half = bar.half_width * scale
+            y_top = y_of(value)
+            tooltip = (f"{bar.series} / {group.label}: "
+                       f"{value_format.format(value)} ± "
+                       f"{value_format.format(half)}")
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{y_top:.1f}" width="{bar_w}"'
+                f' height="{top + plot_h - y_top:.1f}"'
+                f' fill="{color[bar.series]}"'
+                f' data-series={quoteattr(bar.series)}'
+                f' data-group={quoteattr(group.label)}'
+                f' data-mean={quoteattr(repr(bar.mean))}'
+                f' data-half-width={quoteattr(repr(bar.half_width))}>'
+                f'<title>{escape(tooltip)}</title></rect>'
+            )
+            if bar.half_width > 0:
+                cx = bx + bar_w / 2
+                y_lo, y_hi = y_of(value - half), y_of(value + half)
+                parts.append(f'<line x1="{cx:.1f}" y1="{y_hi:.1f}"'
+                             f' x2="{cx:.1f}" y2="{y_lo:.1f}"'
+                             f' stroke="{_AXIS}" stroke-width="1.5"/>')
+                for y_cap in (y_hi, y_lo):
+                    parts.append(f'<line x1="{cx - 4:.1f}" y1="{y_cap:.1f}"'
+                                 f' x2="{cx + 4:.1f}" y2="{y_cap:.1f}"'
+                                 f' stroke="{_AXIS}" stroke-width="1.5"/>')
+            bx += bar_w + bar_gap
+        parts.append(f'<text x="{gx + group_w / 2:.1f}"'
+                     f' y="{top + plot_h + 18}" text-anchor="middle"'
+                     f' class="muted">{escape(group.label)}</text>')
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------- #
+# Paper figures from a ResultSet
+# ---------------------------------------------------------------------- #
+def _metric_groups(resultset: ResultSet, metric: str,
+                   ci_key: str) -> List[BarGroup]:
+    designs = resultset.designs
+    capacities = resultset.capacities
+    multi_capacity = len(capacities) > 1
+    groups: List[BarGroup] = []
+    for workload in resultset.workloads:
+        for capacity in capacities:
+            bars: List[Bar] = []
+            for design in designs:
+                subset = resultset.filter(design=design, workload=workload,
+                                          capacity=capacity)
+                if not subset:
+                    continue
+                result = subset[0]
+                value = getattr(result, metric)
+                if value is None:
+                    continue
+                bars.append(Bar(series=design, mean=value,
+                                half_width=result.extra.get(ci_key, 0.0)))
+            if not bars:
+                continue
+            label = (f"{workload} @ {capacity}" if multi_capacity
+                     else workload)
+            groups.append(BarGroup(label=label, bars=tuple(bars)))
+    return groups
+
+
+def fig6_svg(resultset: ResultSet, subtitle: str = "") -> str:
+    """Fig.6-style miss ratio (%) per design/workload with 95% CI bars."""
+    title = "Fig. 6 — DRAM cache miss ratio (95% CI)"
+    if subtitle:
+        title += f" · {subtitle}"
+    groups = _metric_groups(resultset, "miss_ratio",
+                            "sampling_miss_ratio_half_width")
+    return render_grouped_bars(title, "miss ratio (%)", groups, scale=100.0,
+                               value_format="{:.2f}", figure_id="fig6")
+
+
+def fig7_svg(resultset: ResultSet, subtitle: str = "") -> str:
+    """Fig.7-style speedup over no DRAM cache with 95% CI bars."""
+    title = "Fig. 7 — speedup vs no DRAM cache (95% CI)"
+    if subtitle:
+        title += f" · {subtitle}"
+    groups = _metric_groups(resultset, "speedup_vs_no_cache",
+                            "sampling_speedup_half_width")
+    return render_grouped_bars(title, "speedup vs no cache", groups,
+                               scale=1.0, value_format="{:.3f}",
+                               figure_id="fig7")
+
+
+def compare_svg(sides: Sequence[Tuple[str, Dict[str, object]]]) -> str:
+    """Run-comparison view: per-phase wall-clock of two (or more) refs.
+
+    ``sides`` pairs a display label with a ``summarize()``-shaped dict
+    (``phases`` mapping name -> ``{"seconds": ..., "count": ...}``).
+    """
+    phase_names: List[str] = []
+    for _, summary in sides:
+        for name in summary.get("phases", {}):
+            if name not in phase_names:
+                phase_names.append(name)
+    groups = []
+    for name in phase_names:
+        bars = []
+        for label, summary in sides:
+            phases = summary.get("phases", {})
+            seconds = float(phases.get(name, {}).get("seconds", 0.0))
+            bars.append(Bar(series=label, mean=seconds))
+        groups.append(BarGroup(label=name, bars=tuple(bars)))
+    labels = " vs ".join(label for label, _ in sides)
+    return render_grouped_bars(f"Run comparison — {labels}",
+                               "wall-clock seconds", groups,
+                               value_format="{:.2f}", figure_id="compare")
+
+
+__all__ = [
+    "Bar",
+    "BarGroup",
+    "PALETTE",
+    "compare_svg",
+    "fig6_svg",
+    "fig7_svg",
+    "render_grouped_bars",
+]
