@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Tour of the design-space autotuner (``repro tune``).
+
+The composed-design grid -- tag organization x hit predictor x fetch
+policy x writeback policy x replacement policy -- holds hundreds of legal
+hybrids the paper never evaluated.  This tour drives the search subsystem
+end to end on a deliberately tiny budget:
+
+1. declare a :class:`repro.search.SearchSpace` and enumerate the legal
+   combinations its constraint predicates leave standing;
+2. run a seeded successive-halving search: every rung re-measures the
+   survivors at a wider CI budget (more sampling windows, tighter target
+   error) and prunes designs whose confidence interval is dominated;
+3. inspect the CI-aware Pareto frontier over miss ratio, speedup, and
+   SRAM overhead, including which paper baselines each hybrid dominates;
+4. re-run the winning design *by its registered name* -- search winners
+   become first-class named designs -- and confirm the re-run reproduces
+   the archived search measurement bit-for-bit.
+
+Every trial is an idempotent queue job: re-running the same search (or
+resuming after a crash) replays finished rungs from the archive and
+executes zero new jobs.
+
+Usage::
+
+    python examples/design_search_tour.py [--candidates 6] [--jobs 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.search import TuneConfig, TuneSearch, default_space
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="Web Search")
+    parser.add_argument("--capacity", default="1GB")
+    parser.add_argument("--candidates", type=int, default=6)
+    parser.add_argument("--rungs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    args = parser.parse_args()
+
+    # ---------------------------------------------------------------- #
+    # 1. The declarative search space
+    # ---------------------------------------------------------------- #
+    space = default_space()
+    print(f"search space: {space.describe()}")
+    print(f"  {len(space)} legal combinations after constraints\n")
+
+    # ---------------------------------------------------------------- #
+    # 2. A tiny successive-halving search
+    # ---------------------------------------------------------------- #
+    config = TuneConfig(
+        workload=args.workload,
+        capacity=args.capacity,
+        seed=args.seed,
+        num_candidates=args.candidates,
+        rungs=args.rungs,
+        # Tour-sized fidelity: seconds, not minutes.
+        scale=4096,
+        num_accesses=6_000,
+        window_accesses=500,
+        warmup_accesses=500,
+        checkpoint_accesses=2_000,
+        min_windows=2,
+        base_windows=2,
+        base_relative_error=0.5,
+    )
+    queue_dir = Path(tempfile.mkdtemp(prefix="repro-tune-tour-"))
+    search = TuneSearch(config, queue_dir=queue_dir)
+    state = search.run(workers=args.jobs)
+    print(f"search {state.token}: status={state.status}")
+    for rung in state.rungs:
+        print(f"  rung {rung['rung']}: {len(rung['designs'])} designs at "
+              f"max_windows={rung['max_windows']} -> "
+              f"{len(rung['survivors'])} survive "
+              f"({len(rung['pruned'])} CI-pruned)")
+
+    # ---------------------------------------------------------------- #
+    # 3. The CI-aware Pareto frontier
+    # ---------------------------------------------------------------- #
+    artifact = state.frontier
+    print("\nfrontier (miss ratio asc):")
+    ranked = sorted(artifact["designs"],
+                    key=lambda d: d["miss_ratio"]["mean"])
+    for design in ranked:
+        if not design["on_frontier"]:
+            continue
+        miss, speed = design["miss_ratio"], design["speedup"]
+        beats = ", ".join(design["dominates_baselines"]) or "-"
+        print(f"  {design['name']:<16} [{design['kind']}] "
+              f"miss {miss['mean']:.4f}±{miss['half_width']:.4f}  "
+              f"speedup {speed['mean']:.3f}±{speed['half_width']:.3f}  "
+              f"sram {design['sram_overhead_bytes'] / 1024:.1f}KB  "
+              f"beats: {beats}")
+    print(f"winners: {', '.join(artifact['winners']) or '-'}")
+
+    # ---------------------------------------------------------------- #
+    # 4. Re-run the winner by its registered name, bit-identically
+    # ---------------------------------------------------------------- #
+    if state.winners:
+        report = search.verify_winner(state)
+        verdict = "bit-identical" if report["identical"] else "MISMATCH"
+        print(f"\nre-run of {report['design']} by registered name: "
+              f"{verdict} (miss {report['miss_ratio']:.6f} vs archived "
+              f"{report['archived_miss_ratio']:.6f})")
+        if not report["identical"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,7 @@ import json as _json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.sim.executor import run_sweep
@@ -228,6 +229,7 @@ def designs_main(argv: List[str]) -> int:
         from repro.dramcache.components import (
             FETCH_POLICIES,
             HIT_PREDICTORS,
+            REPLACEMENT_POLICIES,
             TAG_ORGANIZATIONS,
             WRITEBACK_POLICIES,
         )
@@ -235,7 +237,7 @@ def designs_main(argv: List[str]) -> int:
         print()
         print("component kinds (DesignSpec building blocks):")
         for registry in (TAG_ORGANIZATIONS, HIT_PREDICTORS, FETCH_POLICIES,
-                         WRITEBACK_POLICIES):
+                         WRITEBACK_POLICIES, REPLACEMENT_POLICIES):
             kinds = " ".join(sorted(registry.kinds()))
             print(f"  {registry.role + ':':<18} {kinds}")
     return 0
@@ -729,6 +731,24 @@ def build_queue_parser() -> argparse.ArgumentParser:
     resume.add_argument("--quiet", action="store_true",
                         help="print only the result table")
 
+    prune = sub.add_parser(
+        "prune", help="drop job rows of archived sweeps (retention policy)",
+        description="Delete the job-store rows of sweeps whose results are "
+                    "fully archived; the result archive is never touched. "
+                    "With a TOKEN: prune exactly that sweep. Without one: "
+                    "apply the retention policy (--keep-days / "
+                    "--keep-archived) across the store.")
+    prune.add_argument("token", nargs="?", default=None, metavar="TOKEN",
+                       help="prune only this sweep's job rows")
+    prune.add_argument("--keep-days", type=float, default=7.0, metavar="D",
+                       help="retain sweeps submitted within D days "
+                            "(default: 7; 0 = age protects nothing)")
+    prune.add_argument("--keep-archived", type=int, default=0, metavar="N",
+                       help="additionally retain the N most recent archived "
+                            "sweeps regardless of age (default: 0)")
+    prune.add_argument("--json", action="store_true",
+                       help="machine-readable JSON summary")
+
     work = sub.add_parser(
         "work", help="run a standalone worker loop on the shared store",
         description="Lease and execute jobs until the store drains.  Any "
@@ -839,7 +859,8 @@ def _queue_status_data(store, token: Optional[str], include_jobs: bool,
                              "total": meta["total"],
                              "complete": meta["complete"]},
             })
-        return {"sweeps": sweeps}
+        pruned = sum(1 for sweep in sweeps if sweep["counts"] is None)
+        return {"sweeps": sweeps, "pruned_sweeps": pruned}
     row = store.sweep_row(token)
     if row is None:
         return None
@@ -878,6 +899,9 @@ def _print_queue_status(data: dict, include_jobs: bool) -> None:
                                 f"{archived['total']}")
             print(f"{sweep['token']}  {jobs}{archive_text}  "
                   f"{sweep['description']}")
+        if data.get("pruned_sweeps"):
+            print(f"{data['pruned_sweeps']} sweeps pruned from the job "
+                  f"store (results remain in the archive)")
         return
     counts, timing = data["counts"], data["timing"]
     print(f"sweep {data['token']}: {data['description']}")
@@ -1032,6 +1056,42 @@ def _queue_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_prune(args: argparse.Namespace) -> int:
+    service = _queue_service(args)
+    if args.token is not None:
+        with service.archive() as archive:
+            meta = archive.sweep_meta(args.token)
+        if meta is None:
+            print(f"error: no archived sweep {args.token!r}",
+                  file=sys.stderr)
+            return 1
+        if not meta["complete"]:
+            print(f"error: sweep {args.token!r} is not fully archived; "
+                  f"its job rows are its resume state", file=sys.stderr)
+            return 1
+        deleted = service.prune(args.token)
+        summary = {"pruned": [args.token], "jobs_deleted": deleted,
+                   "kept_recent": 0, "kept_young": 0,
+                   "skipped_unarchived": 0}
+    else:
+        summary = service.prune_retention(keep_days=args.keep_days,
+                                          keep_archived=args.keep_archived)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"pruned {len(summary['pruned'])} sweeps "
+          f"({summary['jobs_deleted']} job rows); archive untouched")
+    for token in summary["pruned"]:
+        print(f"  {token}")
+    kept = summary["kept_recent"] + summary["kept_young"]
+    if kept or summary["skipped_unarchived"]:
+        print(f"kept {kept} archived sweeps "
+              f"({summary['kept_recent']} by --keep-archived, "
+              f"{summary['kept_young']} within --keep-days), "
+              f"skipped {summary['skipped_unarchived']} not fully archived")
+    return 0
+
+
 def _queue_work(args: argparse.Namespace) -> int:
     from repro.queue import work as queue_work
 
@@ -1060,8 +1120,260 @@ def queue_main(argv: List[str]) -> int:
             return _queue_status(args)
         if args.command == "resume":
             return _queue_resume(args)
+        if args.command == "prune":
+            return _queue_prune(args)
         return _queue_work(args)
     except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# --------------------------------------------------------------------- #
+# repro tune ...
+# --------------------------------------------------------------------- #
+def build_tune_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro tune",
+        description="Design-space autotuning: a seeded successive-halving "
+                    "search over the composable component grid, run as "
+                    "resumable queue sweeps of increasing CI fidelity, "
+                    "ending in a CI-aware Pareto frontier against the "
+                    "paper's designs.",
+    )
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="queue directory (default: REPRO_QUEUE_DIR, "
+                             "else <trace store>/queue)")
+    _add_telemetry_arguments(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", help="plan a search and run it to completion",
+        description="Draw candidates from the design space (seeded, "
+                    "deterministic), then run every rung: each widens the "
+                    "sampled window budget, tightens the CI target, and "
+                    "prunes candidates whose CI is dominated beyond noise. "
+                    "Idempotent and resumable: a killed search re-submitted "
+                    "with the same flags re-runs zero finished jobs.")
+    submit.add_argument("--workload", default="Web Search",
+                        help='workload name (default: "Web Search")')
+    submit.add_argument("--capacity", default="1GB",
+                        help="cache capacity (default: 1GB)")
+    submit.add_argument("--seed", type=int, default=1,
+                        help="seed of the candidate draw and sampling")
+    submit.add_argument("--candidates", type=int, default=36, metavar="N",
+                        help="candidate compositions to draw (default: 36)")
+    submit.add_argument("--rungs", type=int, default=3,
+                        help="successive-halving rungs (default: 3)")
+    submit.add_argument("--eta", type=int, default=2,
+                        help="halving factor per rung (default: 2)")
+    submit.add_argument("--scale", type=int, default=1024,
+                        help="capacity scale-down factor (default: 1024)")
+    submit.add_argument("--accesses", type=int, default=120_000,
+                        help="trace length per trial (default: 120000)")
+    submit.add_argument("--cores", type=int, default=16,
+                        help="modeled core count (default: 16)")
+    submit.add_argument("--window-accesses", type=int, default=2_000,
+                        metavar="N", help="accesses per sampled window")
+    submit.add_argument("--warmup-accesses", type=int, default=2_000,
+                        metavar="N", help="per-window functional warming")
+    submit.add_argument("--checkpoint-accesses", type=int, default=20_000,
+                        metavar="N", help="warm-checkpoint prologue length")
+    submit.add_argument("--min-windows", type=int, default=3, metavar="N",
+                        help="windows before adaptive termination")
+    submit.add_argument("--base-windows", type=int, default=4, metavar="N",
+                        help="rung 0 window budget (x eta per rung)")
+    submit.add_argument("--base-relative-error", type=float, default=0.10,
+                        metavar="E", help="rung 0 CI target (/ eta per rung)")
+    submit.add_argument("--no-baselines", action="store_true",
+                        help="skip measuring the paper designs in the "
+                             "final rung")
+    submit.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per rung; 1 = in-process, "
+                             "0 = one per CPU (default: 1)")
+    submit.add_argument("--plan-only", action="store_true",
+                        help="write the search state and print its token "
+                             "without running any rung")
+
+    status = sub.add_parser(
+        "status", help="list searches, or one search's rung progress",
+        description="Without a token: every persisted search. With one: "
+                    "per-rung designs, fidelity, survivors, and results.")
+    status.add_argument("token", nargs="?", default=None, metavar="TOKEN")
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted search to completion",
+        description="Reload the persisted state, re-register the candidate "
+                    "designs, and drive the unfinished rungs; finished "
+                    "jobs (and fully archived rungs) are never re-run.")
+    resume.add_argument("token", metavar="TOKEN")
+    resume.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per rung (default: 1)")
+
+    frontier = sub.add_parser(
+        "frontier", help="print (or export) a finished search's frontier",
+        description="The CI-aware Pareto frontier of the final rung: "
+                    "discovered hybrids and paper baselines on the "
+                    "miss-ratio / speedup / SRAM-overhead axes.")
+    frontier.add_argument("token", metavar="TOKEN")
+    frontier.add_argument("--json", default=None, metavar="PATH",
+                          help="write the frontier artifact JSON "
+                               "('-' = stdout)")
+    frontier.add_argument("--verify", action="store_true",
+                          help="re-run the winning design by its registered "
+                               "name and check it reproduces the archived "
+                               "record bit-identically")
+    return parser
+
+
+def _tune_config(args: argparse.Namespace):
+    from repro.search import TuneConfig
+
+    return TuneConfig(
+        workload=args.workload,
+        capacity=args.capacity,
+        seed=args.seed,
+        num_candidates=args.candidates,
+        rungs=args.rungs,
+        eta=args.eta,
+        scale=args.scale,
+        num_accesses=args.accesses,
+        num_cores=args.cores,
+        window_accesses=args.window_accesses,
+        warmup_accesses=args.warmup_accesses,
+        checkpoint_accesses=args.checkpoint_accesses,
+        min_windows=args.min_windows,
+        base_windows=args.base_windows,
+        base_relative_error=args.base_relative_error,
+        include_baselines=not args.no_baselines,
+    )
+
+
+def _print_tune_state(state) -> None:
+    print(f"search {state.token}: {state.status}, "
+          f"{len(state.candidates)} candidates")
+    for record in state.rungs:
+        fidelity = (f"{record['max_windows']} windows @ "
+                    f"{record['target_relative_error']:.3f} rel err")
+        if record["status"] == "done":
+            print(f"  rung {record['rung']}: {len(record['designs'])} "
+                  f"designs, {fidelity} -> {len(record['survivors'])} "
+                  f"survive, {len(record['pruned'])} pruned "
+                  f"(sweep {record['sweep_token'][:12]})")
+        else:
+            print(f"  rung {record['rung']}: {len(record['designs'])} "
+                  f"designs, {fidelity} -> {record['status']}")
+    if state.winners:
+        print(f"  winners: {' '.join(state.winners)}")
+
+
+def _tune_submit(args: argparse.Namespace) -> int:
+    from repro.search import TuneSearch
+
+    search = TuneSearch(_tune_config(args), queue_dir=args.queue_dir)
+    state = search.plan()
+    print(f"search {state.token}")
+    print(f"  space: {search.space.describe()}")
+    print(f"  drawn: {len(state.candidates)} candidates, "
+          f"{search.config.rungs} rungs (eta={search.config.eta})")
+    print(f"  state: {search.state_path(state.token)}")
+    if args.plan_only:
+        return 0
+    state = search.run(state, workers=args.jobs or None)
+    print()
+    _print_tune_state(state)
+    return 0
+
+
+def _tune_status(args: argparse.Namespace) -> int:
+    from repro.search import list_searches, load_search
+
+    if args.token is None:
+        states = list_searches(args.queue_dir)
+        if args.json:
+            print(_json.dumps([state.to_json() for state in states],
+                              indent=2, sort_keys=True))
+            return 0
+        if not states:
+            print("no searches")
+            return 0
+        for state in states:
+            done = sum(1 for r in state.rungs if r["status"] == "done")
+            print(f"{state.token}  {state.status:<9} "
+                  f"rungs {done}/{state.config.rungs}  "
+                  f"{len(state.candidates)} candidates  "
+                  f"{state.config.workload} @ {state.config.capacity}")
+        return 0
+    _, state = load_search(args.token, args.queue_dir)
+    if args.json:
+        print(_json.dumps(state.to_json(), indent=2, sort_keys=True))
+        return 0
+    _print_tune_state(state)
+    return 0
+
+
+def _tune_resume(args: argparse.Namespace) -> int:
+    from repro.search import load_search
+
+    search, state = load_search(args.token, args.queue_dir)
+    state = search.run(state, workers=args.jobs or None)
+    _print_tune_state(state)
+    return 0
+
+
+def _tune_frontier(args: argparse.Namespace) -> int:
+    from repro.search import load_search
+
+    search, state = load_search(args.token, args.queue_dir)
+    artifact = state.frontier or search.build_frontier(state)
+    if args.json == "-":
+        print(_json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        width = max(len(d["name"]) for d in artifact["designs"])
+        print(f"frontier of search {state.token} "
+              f"({artifact['workload']} @ {artifact['capacity']}):")
+        for design in artifact["designs"]:
+            miss = design["miss_ratio"]
+            speed = design["speedup"]
+            mark = "*" if design["on_frontier"] else " "
+            beats = (" beats: " + " ".join(design["dominates_baselines"])
+                     if design["dominates_baselines"] else "")
+            print(f" {mark} {design['name']:<{width}} "
+                  f"[{design['kind']:<9}] "
+                  f"miss {miss['mean']:.4f}±{miss['half_width']:.4f}  "
+                  f"speedup {speed['mean']:.3f}±{speed['half_width']:.3f}  "
+                  f"sram {design['sram_overhead_bytes'] / 1024:.1f}KB"
+                  f"{beats}")
+        print(f"  winners: {' '.join(artifact['winners']) or '(none)'}")
+        if args.json is not None:
+            Path(args.json).write_text(
+                _json.dumps(artifact, indent=2, sort_keys=True))
+            print(f"  artifact: {args.json}")
+    if args.verify:
+        report = search.verify_winner(state)
+        verdict = "bit-identical" if report["identical"] else "MISMATCH"
+        print(f"  verify {report['design']}: {verdict} "
+              f"(miss {report['miss_ratio']:.6f} vs archived "
+              f"{report['archived_miss_ratio']:.6f})")
+        if not report["identical"]:
+            return 1
+    return 0
+
+
+def tune_main(argv: List[str]) -> int:
+    """Entry point of the ``repro tune`` subcommands."""
+    args = build_tune_parser().parse_args(argv)
+    _apply_telemetry_arguments(args)
+    try:
+        if args.command == "submit":
+            return _tune_submit(args)
+        if args.command == "status":
+            return _tune_status(args)
+        if args.command == "resume":
+            return _tune_resume(args)
+        return _tune_frontier(args)
+    except (KeyError, RuntimeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -1428,6 +1740,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return designs_main(argv[1:])
     if argv and argv[0] == "queue":
         return queue_main(argv[1:])
+    if argv and argv[0] == "tune":
+        return tune_main(argv[1:])
     if argv and argv[0] == "runs":
         return runs_main(argv[1:])
     if argv and argv[0] == "top":

@@ -19,6 +19,11 @@ interchangeable implementations:
   the demand block only, the whole page, or a predicted footprint with
   singleton bypass and eviction-time learning.
 * :class:`WritebackPolicy` -- how dirty data leaves the cache.
+* :class:`ReplacementComponent` -- which victim a set-associative
+  organization evicts: LRU (the paper's policy, the default), deterministic
+  random, or 2-bit SRRIP.  The component is a per-set state factory; the
+  policies it makes live inside the tag organization, so replacement state
+  snapshots/checkpoints through the existing ``tags`` machinery.
 
 Components are deliberately *device-free*: they hold only their own mutable
 state (tag arrays, predictor tables) and receive the engine -- a
@@ -28,9 +33,10 @@ the engine fold component state into the accumulated ``_STATE_ATTRS``
 snapshot mechanism unchanged.
 
 Each role has a registry (:data:`TAG_ORGANIZATIONS`, :data:`HIT_PREDICTORS`,
-:data:`FETCH_POLICIES`, :data:`WRITEBACK_POLICIES`) mapping a *kind* name to
-a factory, so a :class:`repro.dramcache.spec.DesignSpec` can name its parts
-declaratively -- and downstream code can register new variants.
+:data:`FETCH_POLICIES`, :data:`WRITEBACK_POLICIES`,
+:data:`REPLACEMENT_POLICIES`) mapping a *kind* name to a factory, so a
+:class:`repro.dramcache.spec.DesignSpec` can name its parts declaratively --
+and downstream code can register new variants.
 """
 
 from __future__ import annotations
@@ -38,7 +44,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from repro.cache.replacement import LruPolicy
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    RripPolicy,
+)
 from repro.config.cache_configs import (
     AlloyCacheConfig,
     FOOTPRINT_TABLE_ENTRIES,
@@ -171,6 +182,8 @@ HIT_PREDICTORS = ComponentRegistry("hit predictor")
 FETCH_POLICIES = ComponentRegistry("fetch policy")
 #: Writeback-policy factories: ``factory(context, tags, **params) -> WritebackPolicy``.
 WRITEBACK_POLICIES = ComponentRegistry("writeback policy")
+#: Replacement-policy factories: ``factory(context, tags, **params) -> ReplacementComponent``.
+REPLACEMENT_POLICIES = ComponentRegistry("replacement policy")
 
 
 class CachePolicyComponent:
@@ -272,6 +285,75 @@ WRITEBACK_POLICIES.register(
                             WritebackDirtyPolicy))
 WRITEBACK_POLICIES.register(
     "none", _parameterless("writeback policy", "none", DropDirtyPolicy))
+
+
+# --------------------------------------------------------------------- #
+# Replacement policies (the fifth component role)
+# --------------------------------------------------------------------- #
+class ReplacementComponent(CachePolicyComponent):
+    """How a set-associative organization chooses eviction victims.
+
+    The component itself is a *per-set state factory*: the tag organization
+    calls :meth:`make_set_policy` once per set at construction (through
+    :meth:`TagOrganization.apply_replacement`), and the resulting
+    :class:`~repro.cache.replacement.ReplacementPolicy` objects live inside
+    the organization's ``lru`` list -- so replacement state keeps riding the
+    existing ``tags`` snapshot/checkpoint machinery unchanged.
+    """
+
+    def make_set_policy(self, associativity: int,
+                        set_index: int) -> ReplacementPolicy:
+        raise NotImplementedError
+
+
+class LruReplacement(ReplacementComponent):
+    """Least-recently-used (the paper's page replacement; the default)."""
+
+    kind = "lru"
+
+    def make_set_policy(self, associativity: int,
+                        set_index: int) -> ReplacementPolicy:
+        return LruPolicy(associativity)
+
+
+class RandomReplacement(ReplacementComponent):
+    """Random victims from a deterministic per-set generator.
+
+    Each set's generator is seeded from ``(seed, set_index)`` so results
+    are reproducible and independent of the order sets are constructed in.
+    """
+
+    kind = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def make_set_policy(self, associativity: int,
+                        set_index: int) -> ReplacementPolicy:
+        return RandomPolicy(associativity,
+                            seed=self.seed * 1000003 + set_index)
+
+
+class RripReplacement(ReplacementComponent):
+    """Static RRIP (2-bit SRRIP) victims."""
+
+    kind = "rrip"
+
+    def make_set_policy(self, associativity: int,
+                        set_index: int) -> ReplacementPolicy:
+        return RripPolicy(associativity)
+
+
+def _build_random_replacement(context, tags, seed: int = 0,
+                              ) -> RandomReplacement:
+    return RandomReplacement(seed=seed)
+
+
+REPLACEMENT_POLICIES.register(
+    "lru", _parameterless("replacement policy", "lru", LruReplacement))
+REPLACEMENT_POLICIES.register("random", _build_random_replacement)
+REPLACEMENT_POLICIES.register(
+    "rrip", _parameterless("replacement policy", "rrip", RripReplacement))
 
 
 # --------------------------------------------------------------------- #
@@ -597,6 +679,22 @@ class TagOrganization(CachePolicyComponent):
     associativity: int = 1
     capacity_bytes: int = 0
 
+    # -- replacement --------------------------------------------------- #
+    def apply_replacement(self, replacement: ReplacementComponent) -> None:
+        """Install per-set replacement state from the replacement component.
+
+        Organizations without a victim choice (direct-mapped, always-hit,
+        no-cache) accept only the default ``lru`` component: any other kind
+        would silently change nothing, so it fails loudly at build time
+        instead.
+        """
+        if replacement.kind != "lru":
+            raise ValueError(
+                f"tag organization {self.kind!r} has no per-set replacement "
+                f"choice; only the default 'lru' replacement component is "
+                f"valid (got {replacement.kind!r})"
+            )
+
     # -- placement ----------------------------------------------------- #
     def probe(self, request: MemoryAccess) -> Lookup:
         raise NotImplementedError
@@ -651,8 +749,14 @@ class _SetAssocPageTags(TagOrganization):
             [self._new_frame() for _ in range(associativity)]
             for _ in range(num_sets)
         ]
-        self.lru: List[LruPolicy] = [
+        self.lru: List[ReplacementPolicy] = [
             LruPolicy(associativity) for _ in range(num_sets)
+        ]
+
+    def apply_replacement(self, replacement: ReplacementComponent) -> None:
+        self.lru = [
+            replacement.make_set_policy(self.associativity, set_index)
+            for set_index in range(self.num_sets)
         ]
 
     def _new_frame(self) -> PageFrame:
@@ -1216,11 +1320,17 @@ class MissMapBlockTags(TagOrganization):
         self.dirty: List[List[bool]] = [
             [False] * self.associativity for _ in range(self.num_sets)
         ]
-        self.lru: List[LruPolicy] = [
+        self.lru: List[ReplacementPolicy] = [
             LruPolicy(self.associativity) for _ in range(self.num_sets)
         ]
         # The MissMap: presence bits for every block the cache may hold.
         self.missmap: Dict[int, bool] = {}
+
+    def apply_replacement(self, replacement: ReplacementComponent) -> None:
+        self.lru = [
+            replacement.make_set_policy(self.associativity, set_index)
+            for set_index in range(self.num_sets)
+        ]
 
     def _locate(self, block_address: int) -> "tuple[int, int]":
         return block_address % self.num_sets, block_address // self.num_sets
@@ -1462,12 +1572,17 @@ __all__ = [
     "HitPredictor",
     "HitPrediction",
     "Lookup",
+    "LruReplacement",
     "MissMapBlockTags",
     "MissPredictionPolicy",
     "NoCacheTags",
     "NoHitPrediction",
     "OracleWayPrediction",
     "PageFrame",
+    "REPLACEMENT_POLICIES",
+    "RandomReplacement",
+    "ReplacementComponent",
+    "RripReplacement",
     "SramPageTags",
     "TAG_ORGANIZATIONS",
     "TagOrganization",

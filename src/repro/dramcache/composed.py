@@ -1,6 +1,6 @@
 """The composed DRAM-cache engine.
 
-:class:`ComposedDramCache` is one generic ``_service_request`` driving four
+:class:`ComposedDramCache` is one generic ``_service_request`` driving five
 pluggable policy components (see :mod:`repro.dramcache.components`):
 
 1. the :class:`~repro.dramcache.components.TagOrganization` *probes* where
@@ -23,8 +23,12 @@ to their former monolithic ``_service_request`` bodies -- and new hybrids
 (e.g. ``alloy+footprint``) are just different component sets, declared with
 a :class:`repro.dramcache.spec.DesignSpec`.
 
+6. eviction victims come from the
+   :class:`~repro.dramcache.components.ReplacementComponent`-built per-set
+   policies living inside the tag organization (LRU by default).
+
 Component state folds into the accumulated ``_STATE_ATTRS`` snapshot
-mechanism: the engine declares its four component slots, so
+mechanism: the engine declares its five component slots, so
 :meth:`~repro.dramcache.base.DramCacheModel.snapshot_state` deep-copies the
 components wholesale (they are device-free by construction).
 """
@@ -38,8 +42,10 @@ from repro.dramcache.components import (
     DemandBlockFetch,
     FetchPolicy,
     HitPredictor,
+    LruReplacement,
     MissPredictionPolicy,
     NoHitPrediction,
+    ReplacementComponent,
     TagOrganization,
     WayPredictionPolicy,
     WritebackDirtyPolicy,
@@ -59,12 +65,14 @@ class ComposedDramCache(DramCacheModel):
 
     #: Warm state beyond the base's: the component objects themselves (tag
     #: arrays, replacement state, predictor tables all live inside them).
-    _STATE_ATTRS = ("tags", "hit_predictor", "fetch", "writeback")
+    _STATE_ATTRS = ("tags", "hit_predictor", "fetch", "writeback",
+                    "replacement")
 
     def __init__(self, tags: TagOrganization,
                  hit_predictor: Optional[HitPredictor] = None,
                  fetch: Optional[FetchPolicy] = None,
                  writeback: Optional[WritebackPolicy] = None,
+                 replacement: Optional[ReplacementComponent] = None,
                  stacked: Optional[StackedDram] = None,
                  memory: Optional[MainMemory] = None,
                  interarrival_cycles: int = 6,
@@ -77,12 +85,19 @@ class ComposedDramCache(DramCacheModel):
         self.hit_predictor = hit_predictor or NoHitPrediction()
         self.fetch = fetch or DemandBlockFetch()
         self.writeback = writeback or WritebackDirtyPolicy()
+        self.replacement = replacement or LruReplacement()
+        # Install the per-set replacement state before any access touches
+        # the arrays.  The default LRU component rebuilds exactly the state
+        # the organization constructed, so existing designs stay
+        # bit-identical; non-default components swap the victim policy in.
+        self.tags.apply_replacement(self.replacement)
 
     # ------------------------------------------------------------------ #
     def _components(self) -> "tuple":
         """The component slots in reporting order (fetch metrics first, to
         match the legacy designs' metric ordering)."""
-        return (self.fetch, self.hit_predictor, self.tags, self.writeback)
+        return (self.fetch, self.hit_predictor, self.tags, self.writeback,
+                self.replacement)
 
     # ------------------------------------------------------------------ #
     # The one generic service path
@@ -260,7 +275,8 @@ class ComposedDramCache(DramCacheModel):
         """One-line component breakdown (``repro designs``)."""
         return (f"tags={self.tags.kind} "
                 f"hit_predictor={self.hit_predictor.kind} "
-                f"fetch={self.fetch.kind} writeback={self.writeback.kind}")
+                f"fetch={self.fetch.kind} writeback={self.writeback.kind} "
+                f"replacement={self.replacement.kind}")
 
 
 __all__ = ["ComposedDramCache"]

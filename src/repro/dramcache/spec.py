@@ -42,6 +42,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 from repro.dramcache.components import (
     FETCH_POLICIES,
     HIT_PREDICTORS,
+    REPLACEMENT_POLICIES,
     TAG_ORGANIZATIONS,
     WRITEBACK_POLICIES,
 )
@@ -128,6 +129,8 @@ class DesignSpec:
         default_factory=lambda: ComponentSpec("demand"))
     writeback: ComponentSpec = field(
         default_factory=lambda: ComponentSpec("dirty"))
+    replacement: ComponentSpec = field(
+        default_factory=lambda: ComponentSpec("lru"))
     description: str = ""
     #: Whether :func:`make_design` may override the tag associativity.
     supports_associativity: bool = False
@@ -144,12 +147,15 @@ class DesignSpec:
                            _coerce_component(self.fetch, "fetch"))
         object.__setattr__(self, "writeback",
                            _coerce_component(self.writeback, "writeback"))
+        object.__setattr__(self, "replacement",
+                           _coerce_component(self.replacement, "replacement"))
         # Unknown component kinds fail here, at declaration time, not in the
         # middle of a sweep.
         TAG_ORGANIZATIONS.resolve(self.tags.kind)
         HIT_PREDICTORS.resolve(self.hit_predictor.kind)
         FETCH_POLICIES.resolve(self.fetch.kind)
         WRITEBACK_POLICIES.resolve(self.writeback.kind)
+        REPLACEMENT_POLICIES.resolve(self.replacement.kind)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -181,11 +187,14 @@ class DesignSpec:
             context, tags, **self.fetch.params_dict())
         writeback = WRITEBACK_POLICIES.resolve(self.writeback.kind)(
             context, tags, **self.writeback.params_dict())
+        replacement = REPLACEMENT_POLICIES.resolve(self.replacement.kind)(
+            context, tags, **self.replacement.params_dict())
         return ComposedDramCache(
             tags=tags,
             hit_predictor=hit_predictor,
             fetch=fetch,
             writeback=writeback,
+            replacement=replacement,
             design_name=self.name,
         )
 
@@ -203,20 +212,23 @@ class DesignSpec:
                 f"tags:{self.tags.token()};"
                 f"hit:{self.hit_predictor.token()};"
                 f"fetch:{self.fetch.token()};"
-                f"wb:{self.writeback.token()}")
+                f"wb:{self.writeback.token()};"
+                f"repl:{self.replacement.token()}")
 
     def describe_components(self) -> str:
         """Human-readable component breakdown (``repro designs``)."""
         return (f"tags={self.tags.describe()} "
                 f"hit={self.hit_predictor.describe()} "
                 f"fetch={self.fetch.describe()} "
-                f"wb={self.writeback.describe()}")
+                f"wb={self.writeback.describe()} "
+                f"repl={self.replacement.describe()}")
 
 
 def require_components(spec: "DesignSpec", *, tags: "tuple[str, ...]",
                        hit_predictor: "tuple[str, ...]",
                        fetch: "tuple[str, ...]",
-                       writeback: "tuple[str, ...]" = ("dirty",)) -> None:
+                       writeback: "tuple[str, ...]" = ("dirty",),
+                       replacement: "tuple[str, ...]" = ("lru",)) -> None:
     """Reject component *kinds* a concrete model class cannot embody.
 
     A class carrier hard-codes its composition; a spec naming a different
@@ -229,6 +241,7 @@ def require_components(spec: "DesignSpec", *, tags: "tuple[str, ...]",
         ("hit_predictor", spec.hit_predictor.kind, hit_predictor),
         ("fetch", spec.fetch.kind, fetch),
         ("writeback", spec.writeback.kind, writeback),
+        ("replacement", spec.replacement.kind, replacement),
     ):
         if kind not in allowed:
             raise ValueError(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from itertools import repeat
 
+from repro.cache.replacement import LruPolicy
 from repro.dramcache.base import DramCacheModel
 from repro.dramcache.composed import ComposedDramCache
 from repro.dramcache.components import (
@@ -65,6 +66,16 @@ _STATELESS_FETCH_TYPES = (DemandBlockFetch, FullPageFetch)
 _FETCH_TYPES = (DemandBlockFetch, FullPageFetch, FootprintFetch)
 
 
+def _lru_only(tags) -> bool:
+    """True when every per-set replacement policy is exactly LRU.
+
+    The set-associative and MissMap kernels inline LRU's clock/recency
+    updates; any other replacement component (random, RRIP) must take the
+    scalar path, which drives the real policy objects.
+    """
+    return all(type(policy) is LruPolicy for policy in tags.lru)
+
+
 def select_kernel(design):
     """Return the fused kernel covering ``design``, or None (scalar path).
 
@@ -92,6 +103,8 @@ def select_kernel(design):
             return None
         if fetch_type not in _FETCH_TYPES:
             return None
+        if not _lru_only(design.tags):
+            return None
         return _warm_page_set_assoc
     if tags_type is DirectMappedBlockTags:
         if not (hp_none or hp_type is MissPredictionPolicy):
@@ -101,6 +114,8 @@ def select_kernel(design):
         return _warm_direct_mapped
     if tags_type is MissMapBlockTags:
         if not hp_none or fetch_type not in _STATELESS_FETCH_TYPES:
+            return None
+        if not _lru_only(design.tags):
             return None
         return _warm_missmap
     if tags_type is AlwaysHitTags:

@@ -424,6 +424,67 @@ class SweepService:
                 conn.execute("DELETE FROM sweeps WHERE token = ?", (token,))
             return cursor.rowcount
 
+    def prune_retention(self, keep_days: float = 7.0,
+                        keep_archived: int = 0,
+                        now: Optional[float] = None) -> Dict[str, object]:
+        """Retention prune: drop job rows of old, fully archived sweeps.
+
+        A sweep's job rows are transient scaffolding once its results are
+        archived; this removes exactly that scaffolding and nothing else:
+
+        * only sweeps whose archive row set is **complete** are eligible --
+          an unfinished sweep's jobs are its resume state and are never
+          touched;
+        * ``keep_days`` retains sweeps submitted within the window (0 means
+          "age does not protect anything");
+        * ``keep_archived`` additionally retains the N most recently
+          submitted archived sweeps regardless of age.
+
+        The result archive itself is never modified.  Returns a summary
+        dict: pruned tokens, job rows deleted, and what was kept and why.
+        """
+        if keep_days < 0:
+            raise ValueError("keep_days must be non-negative")
+        if keep_archived < 0:
+            raise ValueError("keep_archived must be non-negative")
+        now = time.time() if now is None else now
+        cutoff = now - keep_days * 86400.0
+        with self.archive() as archive:
+            complete = {meta["token"] for meta in archive.list_sweeps()
+                        if meta["complete"]}
+        with self.store() as store:
+            rows = store.sweeps()
+        archived_rows = [row for row in rows if row["token"] in complete]
+        recent_protected = {
+            row["token"]
+            for row in sorted(archived_rows, key=lambda r: r["created_at"],
+                              reverse=True)[:keep_archived]
+        }
+        pruned: List[str] = []
+        jobs_deleted = 0
+        kept_recent = kept_young = 0
+        skipped_unarchived = 0
+        for row in rows:
+            token = row["token"]
+            if token not in complete:
+                skipped_unarchived += 1
+                continue
+            if token in recent_protected:
+                kept_recent += 1
+                continue
+            if row["created_at"] > cutoff:
+                kept_young += 1
+                continue
+            jobs_deleted += self.prune(token)
+            pruned.append(token)
+        return {
+            "pruned": pruned,
+            "jobs_deleted": jobs_deleted,
+            "kept_recent": kept_recent,
+            "kept_young": kept_young,
+            "skipped_unarchived": skipped_unarchived,
+        }
+
 
 class _TrialProgress:
     """Fires the per-trial progress callback as trials finish."""

@@ -1,0 +1,46 @@
+"""Design-space autotuning: enumeration, successive halving, Pareto analysis.
+
+* :mod:`repro.search.space` -- the declarative :class:`SearchSpace` over the
+  five component roles, with constraint predicates cutting the cross product
+  to buildable compositions.
+* :mod:`repro.search.driver` -- the :class:`TuneSearch` successive-halving
+  driver: seeded candidate draw, CI-widening rungs on the durable queue,
+  resumable JSON state.
+* :mod:`repro.search.frontier` -- CI-aware dominance, the rung prune, the
+  Pareto frontier, and the deterministic SRAM overhead cost model.
+"""
+
+from repro.search.driver import (
+    PAPER_BASELINES,
+    REFERENCE_DESIGNS,
+    TuneConfig,
+    TuneSearch,
+    TuneState,
+    list_searches,
+    load_search,
+)
+from repro.search.frontier import (
+    DesignPoint,
+    ci_dominates,
+    pareto_frontier,
+    prune_by_interval,
+    sram_overhead_bytes,
+)
+from repro.search.space import SearchSpace, default_space
+
+__all__ = [
+    "DesignPoint",
+    "PAPER_BASELINES",
+    "REFERENCE_DESIGNS",
+    "SearchSpace",
+    "TuneConfig",
+    "TuneSearch",
+    "TuneState",
+    "ci_dominates",
+    "default_space",
+    "list_searches",
+    "load_search",
+    "pareto_frontier",
+    "prune_by_interval",
+    "sram_overhead_bytes",
+]

@@ -1,0 +1,235 @@
+"""Declarative enumeration of the composable design space.
+
+A :class:`SearchSpace` lists the component options of each of the five
+policy roles (tag organization, hit predictor, fetch, writeback,
+replacement) plus the *constraint predicates* that cut the raw cross
+product down to buildable, meaningful compositions -- e.g. footprint
+fetching needs a page/region view wider than one block, and a replacement
+choice only matters where there are ways to choose between.
+
+Every valid combination becomes a :class:`~repro.dramcache.spec.DesignSpec`
+named ``tune-<digest>``, where the digest hashes the component recipe, so
+candidate names are stable across processes and sessions -- the search
+driver persists them in its state file and re-registers them on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.dramcache.spec import ComponentSpec, DesignSpec
+
+#: One candidate composition: role name -> component spec.
+Combo = Mapping[str, ComponentSpec]
+
+#: Tag organizations with multi-block page frames and real set ways.
+PAGE_TAG_KINDS = ("dram-page", "sram-page")
+#: Tag organizations holding per-set replacement state (a victim choice).
+REPLACEMENT_TAG_KINDS = ("dram-page", "sram-page", "missmap")
+
+ROLES = ("tags", "hit_predictor", "fetch", "writeback", "replacement")
+
+
+def _page_blocks(tags: ComponentSpec) -> int:
+    """Blocks per page frame the fetch policy sees on this organization."""
+    params = tags.params_dict()
+    if tags.kind == "dram-page":
+        return int(params.get("blocks_per_page", 15))
+    if tags.kind == "sram-page":
+        return int(params.get("page_size", 2048)) // 64
+    if tags.kind == "direct-mapped":
+        return int(params.get("page_blocks", 1))
+    return 1
+
+
+# --------------------------------------------------------------------- #
+# Constraint predicates (named module-level functions: picklable, and the
+# search state can report which constraints shaped the space).
+# --------------------------------------------------------------------- #
+def way_prediction_needs_page_ways(combo: Combo) -> bool:
+    """Way prediction only pays off on set-associative page organizations."""
+    return (combo["hit_predictor"].kind != "way"
+            or combo["tags"].kind in PAGE_TAG_KINDS)
+
+
+def footprint_needs_region_observer(combo: Combo) -> bool:
+    """Footprint fetch needs a page/region view wider than one block."""
+    return (combo["fetch"].kind != "footprint"
+            or _page_blocks(combo["tags"]) > 1)
+
+
+def full_page_needs_pages(combo: Combo) -> bool:
+    """Full-page fetch degenerates to demand fetch on one-block frames."""
+    return (combo["fetch"].kind != "full-page"
+            or _page_blocks(combo["tags"]) > 1)
+
+
+def replacement_needs_ways(combo: Combo) -> bool:
+    """A victim policy only matters where sets have more than one way."""
+    return (combo["replacement"].kind == "lru"
+            or combo["tags"].kind in REPLACEMENT_TAG_KINDS)
+
+
+def missmap_is_block_granular(combo: Combo) -> bool:
+    """The MissMap organization tracks single blocks: demand fetch only."""
+    return combo["tags"].kind != "missmap" or combo["fetch"].kind == "demand"
+
+
+DEFAULT_CONSTRAINTS: Tuple[Callable[[Combo], bool], ...] = (
+    way_prediction_needs_page_ways,
+    footprint_needs_region_observer,
+    full_page_needs_pages,
+    replacement_needs_ways,
+    missmap_is_block_granular,
+)
+
+
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SearchSpace:
+    """The component options per role plus the validity constraints."""
+
+    tags: Tuple[ComponentSpec, ...]
+    hit_predictors: Tuple[ComponentSpec, ...]
+    fetches: Tuple[ComponentSpec, ...]
+    writebacks: Tuple[ComponentSpec, ...]
+    replacements: Tuple[ComponentSpec, ...]
+    constraints: Tuple[Callable[[Combo], bool], ...] = DEFAULT_CONSTRAINTS
+
+    def __post_init__(self) -> None:
+        for role, options in self._role_options().items():
+            if not options:
+                raise ValueError(f"SearchSpace.{role} must not be empty")
+
+    def _role_options(self) -> Dict[str, Tuple[ComponentSpec, ...]]:
+        return {
+            "tags": self.tags,
+            "hit_predictor": self.hit_predictors,
+            "fetch": self.fetches,
+            "writeback": self.writebacks,
+            "replacement": self.replacements,
+        }
+
+    # ------------------------------------------------------------------ #
+    def combos(self) -> List[Dict[str, ComponentSpec]]:
+        """Valid combinations, in deterministic nested enumeration order."""
+        valid = []
+        for tags in self.tags:
+            for hit in self.hit_predictors:
+                for fetch in self.fetches:
+                    for writeback in self.writebacks:
+                        for replacement in self.replacements:
+                            combo = {
+                                "tags": tags,
+                                "hit_predictor": hit,
+                                "fetch": fetch,
+                                "writeback": writeback,
+                                "replacement": replacement,
+                            }
+                            if all(check(combo)
+                                   for check in self.constraints):
+                                valid.append(combo)
+        return valid
+
+    def candidates(self) -> List[DesignSpec]:
+        """One ``tune-<digest>`` DesignSpec per valid combination."""
+        return [candidate_spec(combo) for combo in self.combos()]
+
+    def __len__(self) -> int:
+        return len(self.combos())
+
+    def describe(self) -> str:
+        options = self._role_options()
+        shape = " x ".join(f"{len(opts)} {role}" for role, opts
+                           in options.items())
+        return (f"{shape} = {len(self)} valid candidates "
+                f"({len(self.constraints)} constraints)")
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (the tune state file persists the space it searched)
+    # ------------------------------------------------------------------ #
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "roles": {
+                role: [[spec.kind, spec.params_dict()] for spec in options]
+                for role, options in self._role_options().items()
+            },
+            "constraints": [check.__name__ for check in self.constraints],
+        }
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, object]) -> "SearchSpace":
+        roles = config["roles"]
+
+        def parse(role: str) -> Tuple[ComponentSpec, ...]:
+            return tuple(ComponentSpec(kind, params)
+                         for kind, params in roles[role])
+
+        known = {check.__name__: check for check in DEFAULT_CONSTRAINTS}
+        constraints = tuple(known[name] for name in config["constraints"]
+                            if name in known)
+        return cls(tags=parse("tags"), hit_predictors=parse("hit_predictor"),
+                   fetches=parse("fetch"), writebacks=parse("writeback"),
+                   replacements=parse("replacement"),
+                   constraints=constraints)
+
+
+def candidate_name(combo: Combo) -> str:
+    """Stable ``tune-<digest>`` name hashing the component recipe."""
+    recipe = ";".join(f"{role}:{combo[role].token()}" for role in ROLES)
+    return "tune-" + hashlib.sha256(recipe.encode("utf-8")).hexdigest()[:8]
+
+
+def candidate_spec(combo: Combo) -> DesignSpec:
+    """The generic-engine DesignSpec of one valid combination."""
+    description = " + ".join(combo[role].describe() for role in ROLES)
+    return DesignSpec(
+        name=candidate_name(combo),
+        tags=combo["tags"],
+        hit_predictor=combo["hit_predictor"],
+        fetch=combo["fetch"],
+        writeback=combo["writeback"],
+        replacement=combo["replacement"],
+        description=f"tuned hybrid: {description}",
+    )
+
+
+def default_space() -> SearchSpace:
+    """The stock hybrid grid: 66 valid compositions over five roles."""
+    return SearchSpace(
+        tags=(
+            ComponentSpec("dram-page"),
+            ComponentSpec("sram-page"),
+            ComponentSpec("direct-mapped", {"page_blocks": 15}),
+            ComponentSpec("missmap"),
+        ),
+        hit_predictors=(
+            ComponentSpec("none"),
+            ComponentSpec("way"),
+            ComponentSpec("map-i"),
+        ),
+        fetches=(
+            ComponentSpec("demand"),
+            ComponentSpec("full-page"),
+            ComponentSpec("footprint"),
+        ),
+        writebacks=(ComponentSpec("dirty"),),
+        replacements=(
+            ComponentSpec("lru"),
+            ComponentSpec("random"),
+            ComponentSpec("rrip"),
+        ),
+    )
+
+
+__all__ = [
+    "DEFAULT_CONSTRAINTS",
+    "PAGE_TAG_KINDS",
+    "REPLACEMENT_TAG_KINDS",
+    "SearchSpace",
+    "candidate_name",
+    "candidate_spec",
+    "default_space",
+]

@@ -9,6 +9,7 @@ Endpoints::
 
     /                         auto-refreshing HTML dashboard
     /api/health               store paths + availability
+    /api/designs              design catalog with per-role components
     /api/sweeps               archive listing merged with job counts
     /api/sweeps/<token>       one sweep + archived result records
     /api/runs?limit=&sweep=&kind=
@@ -107,6 +108,8 @@ def _route(model: ReadModel, path: str, query: Query) -> Response:
         return Response(200, HTML_TYPE, render_dashboard().encode("utf-8"))
     if path == "/api/health":
         return json_response(model.health())
+    if path == "/api/designs":
+        return json_response(model.designs())
     if path == "/api/sweeps":
         return json_response(model.sweeps())
     if path.startswith("/api/sweeps/"):
